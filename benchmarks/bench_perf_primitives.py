@@ -1,0 +1,74 @@
+"""Raw performance benchmarks for the library's primitives.
+
+Not tied to a paper artifact: these watch the hot paths (construction,
+scheme generation, validation, BFS, max-flow) so performance regressions
+are visible in CI.  Sizes are chosen to run in milliseconds.
+"""
+
+import pytest
+
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct, construct_base
+from repro.flows.paths import round_packing_bound
+from repro.graphs.hypercube import hypercube
+from repro.model.validator import validate_broadcast
+from repro.schedulers.greedy import heuristic_line_broadcast
+from repro.graphs.trees import balanced_ternary_core_tree
+
+
+class BenchFixtures:
+    N = 12
+
+
+def test_perf_construct_base_n12(benchmark):
+    sh = benchmark(lambda: construct_base(12, 4).graph)
+    assert sh.n_vertices == 4096
+
+
+def test_perf_construct_k4_n12(benchmark):
+    sh = benchmark(lambda: construct(4, 12, (2, 5, 8)).graph)
+    assert sh.n_vertices == 4096
+
+
+def test_perf_hypercube_n12(benchmark):
+    g = benchmark(lambda: hypercube(12))
+    assert g.n_edges == 12 * 2048
+
+
+def test_perf_broadcast_schedule_n12(benchmark):
+    sh = construct_base(12, 4)
+    sh.graph  # materialize outside the timer
+    sched = benchmark(lambda: broadcast_schedule(sh, 0))
+    assert sched.num_calls == 4095
+
+
+def test_perf_validate_n12(benchmark):
+    sh = construct_base(12, 4)
+    g = sh.graph
+    sched = broadcast_schedule(sh, 0)
+    rep = benchmark(lambda: validate_broadcast(g, sched, 2))
+    assert rep.ok
+
+
+def test_perf_bfs_sweep(benchmark):
+    g = hypercube(12)
+    dist = benchmark(lambda: g.bfs_distances(0))
+    assert int(dist.max()) == 12
+
+
+def test_perf_round_packing_flow(benchmark):
+    g = hypercube(8)
+    informed = set(range(0, 256, 16))
+    value = benchmark(lambda: round_packing_bound(g, set(informed)))
+    assert value == len(informed)
+
+
+@pytest.mark.parametrize("h", [4])
+def test_perf_heuristic_tree_broadcast(benchmark, h):
+    g = balanced_ternary_core_tree(h)
+    sched = benchmark.pedantic(
+        lambda: heuristic_line_broadcast(g, 0, 2 * h, restarts=100),
+        rounds=1,
+        iterations=1,
+    )
+    assert sched is not None

@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Each ``bench_eXX`` module regenerates one paper artifact (see DESIGN.md's
+per-experiment index), printing its table once and timing the builder with
+pytest-benchmark.  ``once_per_session`` avoids reprinting under
+benchmark's calibration loops.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+_printed: set[str] = set()
+
+
+@pytest.fixture
+def print_once():
+    """Print an experiment table exactly once per session."""
+
+    def _print(key: str, rows, title: str) -> None:
+        if key not in _printed:
+            _printed.add(key)
+            print()
+            print(format_table(rows, title=title))
+
+    return _print

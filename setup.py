@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments without the ``wheel``
+package (pip's legacy editable path calls ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

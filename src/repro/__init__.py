@@ -1,0 +1,81 @@
+"""repro — Sparse Hypercube: minimal k-line broadcast graphs.
+
+A full reproduction of S. Fujita and A. M. Farley, *Sparse Hypercube — a
+minimal k-line broadcast graph* (IPPS/SPDP'99; journal version Discrete
+Applied Mathematics 127 (2003) 431–446).
+
+Quickstart
+----------
+>>> import repro
+>>> sh = repro.construct_base(10, repro.theorem5_m_star(10))   # a 2-mlbg
+>>> sh.degree_formula()                                        # Δ(G) « 10
+5
+>>> sched = repro.broadcast_schedule(sh, source=0)
+>>> len(sched.rounds)                                          # ⌈log₂ N⌉
+10
+>>> repro.validate_broadcast(sh.graph, sched, k=2).ok
+True
+
+Package map
+-----------
+``repro.core``        constructions, schemes, bounds (the paper's results)
+``repro.graphs``      graph kernel, Q_n, classic topologies, trees
+``repro.domination``  Condition-A labelings / domatic machinery
+``repro.coding``      GF(2) + Hamming codes (the optimal labeling engine)
+``repro.model``       the k-line communication model: simulator + validator
+``repro.schedulers``  exact/heuristic/baseline schedulers
+``repro.flows``       Dinic max-flow (round packing substrate)
+``repro.analysis``    experiment harness (tables E01–E16)
+"""
+
+from repro.core import (
+    SparseHypercube,
+    broadcast_2,
+    broadcast_k,
+    broadcast_schedule,
+    construct,
+    construct_base,
+    construct_rec,
+    degree_lower_bound,
+    theorem1_tree,
+    theorem5_m_star,
+    theorem7_params,
+    upper_bound_theorem5,
+    upper_bound_theorem7,
+)
+from repro.graphs import Graph, hypercube
+from repro.model import (
+    LineNetworkSimulator,
+    assert_valid_broadcast,
+    validate_broadcast,
+    verify_k_mlbg_via_scheme,
+)
+from repro.types import Call, Round, Schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SparseHypercube",
+    "Graph",
+    "Call",
+    "Round",
+    "Schedule",
+    "hypercube",
+    "construct_base",
+    "construct_rec",
+    "construct",
+    "broadcast_2",
+    "broadcast_k",
+    "broadcast_schedule",
+    "theorem1_tree",
+    "theorem5_m_star",
+    "theorem7_params",
+    "degree_lower_bound",
+    "upper_bound_theorem5",
+    "upper_bound_theorem7",
+    "LineNetworkSimulator",
+    "validate_broadcast",
+    "assert_valid_broadcast",
+    "verify_k_mlbg_via_scheme",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro`` — run the experiment CLI."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Experiment harness: table builders for every figure/example/theorem.
+
+Each ``experiment_eXX`` function regenerates one artifact of the paper
+(see DESIGN.md's per-experiment index) and returns plain rows
+(``list[dict]``) so the same code backs the pytest benchmarks, the CLI
+(``python -m repro``), and EXPERIMENTS.md.
+"""
+
+from repro.analysis.tables import format_table
+from repro.analysis.experiments import (
+    experiment_e01_theorem1,
+    experiment_e02_lower_bounds,
+    experiment_e04_labelings,
+    experiment_e05_lambda_m,
+    experiment_e06_g42,
+    experiment_e07_g153,
+    experiment_e08_fig4,
+    experiment_e09_broadcast2,
+    experiment_e10_theorem5,
+    experiment_e11_rec742,
+    experiment_e12_broadcastk,
+    experiment_e13_theorem7,
+    experiment_e14_topology_compare,
+    experiment_e15_congestion,
+    experiment_e16_baseline_k1,
+    experiment_e17_gossip,
+    experiment_e18_diameter,
+    experiment_e19_faults,
+    experiment_e20_vertex_disjoint,
+    experiment_e21_wormhole,
+    experiment_e22_multimessage,
+)
+
+__all__ = [
+    "format_table",
+    "experiment_e01_theorem1",
+    "experiment_e02_lower_bounds",
+    "experiment_e04_labelings",
+    "experiment_e05_lambda_m",
+    "experiment_e06_g42",
+    "experiment_e07_g153",
+    "experiment_e08_fig4",
+    "experiment_e09_broadcast2",
+    "experiment_e10_theorem5",
+    "experiment_e11_rec742",
+    "experiment_e12_broadcastk",
+    "experiment_e13_theorem7",
+    "experiment_e14_topology_compare",
+    "experiment_e15_congestion",
+    "experiment_e16_baseline_k1",
+    "experiment_e17_gossip",
+    "experiment_e18_diameter",
+    "experiment_e19_faults",
+    "experiment_e20_vertex_disjoint",
+    "experiment_e21_wormhole",
+    "experiment_e22_multimessage",
+]

@@ -1,0 +1,113 @@
+"""Parameter sweeps and series artifacts (CSV writers).
+
+The paper has no plots, but its theorems describe curves — Δ(n) for each
+k, the asymptotic ratio Δ/ᵏ√n (Corollary 2), gossip and wormhole costs.
+These helpers produce the series as plain data and write CSV artifacts so
+downstream users can plot them with anything.
+
+All sweeps use the degree *formula* (no graph materialization), so they
+scale to n in the hundreds instantly.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.bounds import (
+    degree_lower_bound,
+    upper_bound_theorem5,
+    upper_bound_theorem7,
+)
+from repro.core.params import (
+    default_thresholds,
+    degree_formula_for_thresholds,
+    improved_params_k3,
+    optimized_params,
+)
+from repro.types import InvalidParameterError
+
+__all__ = [
+    "degree_series",
+    "asymptotic_ratio_series",
+    "write_csv",
+    "export_all_series",
+]
+
+
+def degree_series(k: int, n_values: Sequence[int]) -> list[dict]:
+    """Δ(n) for one k: analytic, optimized, paper bound, lower bound."""
+    rows = []
+    for n in n_values:
+        if n <= k:
+            continue
+        analytic = default_thresholds(k, n)
+        row = {
+            "k": k,
+            "n": n,
+            "delta_analytic": degree_formula_for_thresholds(n, analytic),
+            "delta_optimized": degree_formula_for_thresholds(
+                n, optimized_params(k, n, exhaustive_limit=20_000)
+            ),
+            "upper_bound": (
+                upper_bound_theorem5(n) if k == 2 else upper_bound_theorem7(n, k)
+            ),
+            "lower_bound": degree_lower_bound(n, k),
+            "hypercube_degree": n,
+        }
+        if k == 3 and n >= 4:
+            row["delta_improved_k3"] = degree_formula_for_thresholds(
+                n, improved_params_k3(n)
+            )
+        rows.append(row)
+    return rows
+
+
+def asymptotic_ratio_series(k: int, n_values: Sequence[int]) -> list[dict]:
+    """The Corollary-2 ratio Δ/ᵏ√n along n — bounded for constant k."""
+    rows = []
+    for n in n_values:
+        if n <= k:
+            continue
+        delta = degree_formula_for_thresholds(n, default_thresholds(k, n))
+        root = n ** (1.0 / k)
+        rows.append(
+            {
+                "k": k,
+                "n": n,
+                "delta": delta,
+                "kth_root_n": round(root, 4),
+                "ratio": round(delta / root, 4),
+                "paper_coefficient": 2 * k - 1,
+            }
+        )
+    return rows
+
+
+def write_csv(rows: Iterable[Mapping[str, object]], path: str) -> int:
+    """Write rows (uniform keys) to CSV; returns the row count."""
+    rows = list(rows)
+    if not rows:
+        raise InvalidParameterError("no rows to write")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def export_all_series(out_dir: str, *, max_n: int = 128) -> dict[str, int]:
+    """Write every series to ``out_dir``; returns {filename: rows}."""
+    n_values = list(range(4, max_n + 1, 4))
+    written: dict[str, int] = {}
+    for k in (2, 3, 4, 5):
+        rows = degree_series(k, n_values)
+        name = f"degree_series_k{k}.csv"
+        written[name] = write_csv(rows, os.path.join(out_dir, name))
+        ratios = asymptotic_ratio_series(k, n_values)
+        name = f"asymptotic_ratio_k{k}.csv"
+        written[name] = write_csv(ratios, os.path.join(out_dir, name))
+    return written

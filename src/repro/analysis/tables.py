@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment output.
+
+No dependencies; produces aligned monospace tables from ``list[dict]``
+rows, matching the shape of the tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object]],
+    *,
+    columns: list[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned text table.
+
+    Column order: explicit ``columns`` if given, else insertion order of
+    the first row.  Values are str()-ed; floats get 4 significant digits.
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = columns if columns is not None else list(rows[0].keys())
+
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        if isinstance(v, bool):
+            return "yes" if v else "no"
+        return str(v)
+
+    table = [[fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in table)) for i, c in enumerate(cols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append(sep)
+    for row in table:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Iterable[Mapping[str, object]],
+    *,
+    columns: list[str] | None = None,
+    title: str | None = None,
+) -> None:
+    print(format_table(rows, columns=columns, title=title))

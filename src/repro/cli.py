@@ -1,0 +1,118 @@
+"""Command-line experiment runner: ``python -m repro <experiment|all>``.
+
+Regenerates the paper's figures/examples/theorem tables (E01–E16, see
+DESIGN.md) and prints them as text tables.  The same builders back the
+pytest benchmarks; the CLI exists so a reader can reproduce any single
+table without the test machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import (
+    experiment_e01_theorem1,
+    experiment_e02_lower_bounds,
+    experiment_e04_labelings,
+    experiment_e05_lambda_m,
+    experiment_e06_g42,
+    experiment_e07_g153,
+    experiment_e08_fig4,
+    experiment_e09_broadcast2,
+    experiment_e10_theorem5,
+    experiment_e11_rec742,
+    experiment_e12_broadcastk,
+    experiment_e13_theorem7,
+    experiment_e14_topology_compare,
+    experiment_e15_congestion,
+    experiment_e16_baseline_k1,
+    experiment_e17_gossip,
+    experiment_e18_diameter,
+    experiment_e19_faults,
+    experiment_e20_vertex_disjoint,
+    experiment_e21_wormhole,
+    experiment_e22_multimessage,
+    format_table,
+)
+
+EXPERIMENTS = {
+    "e01": (experiment_e01_theorem1, "Fig. 1 + Theorem 1: Δ≤3 trees"),
+    "e02": (experiment_e02_lower_bounds, "Theorems 2–3: degree lower bounds"),
+    "e04": (experiment_e04_labelings, "Example 1: optimal labelings of Q2/Q3"),
+    "e05": (experiment_e05_lambda_m, "Lemma 2: λ_m bounds"),
+    "e06": (experiment_e06_g42, "Example 2 / Figs. 2–3: G_{4,2}"),
+    "e07": (experiment_e07_g153, "Example 3: G_{15,3}"),
+    "e08": (experiment_e08_fig4, "Example 4 / Fig. 4: broadcast from 0000"),
+    "e09": (experiment_e09_broadcast2, "Theorem 4: Broadcast_2 sweep"),
+    "e10": (experiment_e10_theorem5, "Theorem 5: k=2 degree bound"),
+    "e11": (experiment_e11_rec742, "Examples 5–6 / Fig. 5: Construct_REC(7,4,2)"),
+    "e12": (experiment_e12_broadcastk, "Theorem 6: Broadcast_k sweep"),
+    "e13": (experiment_e13_theorem7, "Theorem 7 + corollaries: general k"),
+    "e14": (experiment_e14_topology_compare, "Topology comparison (context)"),
+    "e15": (experiment_e15_congestion, "Section 5: congestion / bandwidth"),
+    "e16": (experiment_e16_baseline_k1, "k=1 store-and-forward baseline"),
+    "e17": (experiment_e17_gossip, "Section 5: gossip under the k-line model"),
+    "e18": (experiment_e18_diameter, "Footnote 1: diameters vs k·log2 N"),
+    "e19": (experiment_e19_faults, "Robustness: edge failures + repair"),
+    "e20": (experiment_e20_vertex_disjoint, "Section 5: vertex-disjoint calls"),
+    "e21": (experiment_e21_wormhole, "Wormhole cycle cost: degree vs latency"),
+    "e22": (experiment_e22_multimessage, "Multiple messages broadcasting ([24])"),
+}
+
+
+def run_experiment(name: str) -> None:
+    fn, description = EXPERIMENTS[name]
+    t0 = time.perf_counter()
+    rows = fn()
+    dt = time.perf_counter() - t0
+    print(format_table(rows, title=f"[{name.upper()}] {description}  ({dt:.2f}s)"))
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's figures and tables (E01–E22).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment ids (e01..e22) or 'all' (default)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--export-csv",
+        metavar="DIR",
+        help="write the degree/asymptotic series as CSV files to DIR and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name}: {description}")
+        return 0
+    if args.export_csv:
+        from repro.analysis.sweeps import export_all_series
+
+        written = export_all_series(args.export_csv)
+        for fname, count in sorted(written.items()):
+            print(f"wrote {fname}: {count} rows")
+        return 0
+    targets = args.experiments
+    if targets == ["all"] or targets == []:
+        targets = list(EXPERIMENTS)
+    for name in targets:
+        key = name.lower()
+        if key not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
+            return 2
+        run_experiment(key)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

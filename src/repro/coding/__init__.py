@@ -1,0 +1,36 @@
+"""Coding-theory substrate: GF(2) linear algebra and Hamming codes.
+
+The paper's Lemma 2 builds its optimal Condition-A labeling from Hamming
+codes (ref. [28]): for ``m = 2^p − 1`` the syndrome map of the ``[m, m−p]``
+Hamming code assigns ``m + 1`` labels to ``V(Q_m)`` such that every closed
+neighbourhood contains each label exactly once — because the Hamming code
+is a *perfect* 1-error-correcting code, i.e. radius-1 balls around
+codewords tile the space.  This package implements that machinery from
+scratch.
+"""
+
+from repro.coding.gf2 import (
+    gf2_matvec,
+    gf2_nullspace,
+    gf2_rank,
+    gf2_rref,
+)
+from repro.coding.hamming import (
+    HammingCode,
+    hamming_parity_check_matrix,
+    hamming_syndrome,
+    is_perfect_code,
+    syndrome_classes,
+)
+
+__all__ = [
+    "gf2_matvec",
+    "gf2_rank",
+    "gf2_rref",
+    "gf2_nullspace",
+    "HammingCode",
+    "hamming_parity_check_matrix",
+    "hamming_syndrome",
+    "syndrome_classes",
+    "is_perfect_code",
+]

@@ -1,0 +1,112 @@
+"""Dense linear algebra over GF(2), represented as 0/1 uint8 NumPy arrays.
+
+Small and self-contained: the Hamming-code machinery needs matrix-vector
+products, row reduction, rank and nullspace over GF(2).  Matrices are
+``(rows, cols)`` uint8 arrays with entries in {0, 1}; vectors are 1-D
+uint8 arrays.  All operations return fresh arrays (inputs never mutated).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gf2_matvec",
+    "gf2_matmul",
+    "gf2_rref",
+    "gf2_rank",
+    "gf2_nullspace",
+    "gf2_solve",
+]
+
+
+def _as_gf2(a: np.ndarray) -> np.ndarray:
+    out = np.asarray(a, dtype=np.uint8) & 1
+    return out
+
+
+def gf2_matvec(mat: np.ndarray, vec: np.ndarray) -> np.ndarray:
+    """``mat @ vec`` over GF(2)."""
+    mat = _as_gf2(mat)
+    vec = _as_gf2(vec)
+    if mat.shape[1] != vec.shape[0]:
+        raise ValueError(f"shape mismatch: {mat.shape} @ {vec.shape}")
+    return (mat.astype(np.int64) @ vec.astype(np.int64) % 2).astype(np.uint8)
+
+
+def gf2_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` over GF(2)."""
+    a = _as_gf2(a)
+    b = _as_gf2(b)
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {a.shape} @ {b.shape}")
+    return (a.astype(np.int64) @ b.astype(np.int64) % 2).astype(np.uint8)
+
+
+def gf2_rref(mat: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Reduced row-echelon form over GF(2).
+
+    Returns ``(rref_matrix, pivot_columns)``.
+    """
+    m = _as_gf2(mat).copy()
+    rows, cols = m.shape
+    pivots: list[int] = []
+    r = 0
+    for c in range(cols):
+        if r >= rows:
+            break
+        # find a pivot row at or below r
+        pivot_rows = np.nonzero(m[r:, c])[0]
+        if pivot_rows.size == 0:
+            continue
+        p = r + int(pivot_rows[0])
+        if p != r:
+            m[[r, p]] = m[[p, r]]
+        # eliminate the column everywhere else
+        mask = m[:, c].astype(bool)
+        mask[r] = False
+        m[mask] ^= m[r]
+        pivots.append(c)
+        r += 1
+    return m, pivots
+
+
+def gf2_rank(mat: np.ndarray) -> int:
+    """Rank over GF(2)."""
+    _, pivots = gf2_rref(mat)
+    return len(pivots)
+
+
+def gf2_nullspace(mat: np.ndarray) -> np.ndarray:
+    """A basis of the right nullspace of ``mat`` over GF(2).
+
+    Returns a ``(dim, cols)`` uint8 array whose rows are basis vectors
+    (possibly zero rows count = 0, returned shape ``(0, cols)``).
+    """
+    mat = _as_gf2(mat)
+    rref, pivots = gf2_rref(mat)
+    rows, cols = rref.shape
+    free_cols = [c for c in range(cols) if c not in pivots]
+    basis = np.zeros((len(free_cols), cols), dtype=np.uint8)
+    for k, fc in enumerate(free_cols):
+        basis[k, fc] = 1
+        for r, pc in enumerate(pivots):
+            if rref[r, fc]:
+                basis[k, pc] = 1
+    return basis
+
+
+def gf2_solve(mat: np.ndarray, rhs: np.ndarray) -> np.ndarray | None:
+    """One solution ``x`` of ``mat @ x = rhs`` over GF(2), or None."""
+    mat = _as_gf2(mat)
+    rhs = _as_gf2(rhs)
+    rows, cols = mat.shape
+    aug = np.concatenate([mat, rhs.reshape(rows, 1)], axis=1)
+    rref, pivots = gf2_rref(aug)
+    # inconsistent iff a pivot lands in the rhs column
+    if cols in pivots:
+        return None
+    x = np.zeros(cols, dtype=np.uint8)
+    for r, pc in enumerate(pivots):
+        x[pc] = rref[r, cols]
+    return x

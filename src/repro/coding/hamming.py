@@ -1,0 +1,181 @@
+"""Binary Hamming codes ``[2^p − 1, 2^p − 1 − p, 3]`` and their syndromes.
+
+Why this lives here: the paper's optimal Condition-A labeling of ``Q_m``
+for ``m = 2^p − 1`` (Lemma 2, citing Roman's *Coding and Information
+Theory*) is exactly the *syndrome map* of the Hamming code of length m.
+
+The parity-check matrix ``H`` is the ``p × m`` matrix whose j-th column is
+the binary expansion of ``j`` (columns indexed 1..m).  For a vertex
+``u ∈ {0,1}^m`` the syndrome ``s(u) = H·u ∈ GF(2)^p`` takes ``2^p = m + 1``
+values; flipping bit j changes the syndrome by column j, and since the
+columns are exactly the ``m`` distinct non-zero vectors, the closed
+neighbourhood ``{u} ∪ {⊕_j u}`` realizes **every** syndrome exactly once.
+That is precisely Condition A with ``m + 1`` labels — and it is optimal
+because ``λ_m ≤ m + 1`` (each vertex has only m neighbours).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coding.gf2 import gf2_matvec, gf2_nullspace, gf2_rank
+from repro.types import InvalidParameterError
+from repro.util.bits import int_to_bits, popcount
+
+__all__ = [
+    "hamming_parity_check_matrix",
+    "hamming_syndrome",
+    "hamming_syndrome_table",
+    "syndrome_classes",
+    "is_perfect_code",
+    "HammingCode",
+]
+
+
+def hamming_parity_check_matrix(p: int) -> np.ndarray:
+    """The ``p × (2^p − 1)`` parity check matrix with column j = binary(j).
+
+    Row ``r`` holds bit ``r`` (LSB first) of each column index, so
+    ``H[r, j-1] = (j >> r) & 1`` for columns ``j = 1 .. 2^p − 1``.
+    """
+    if p < 1:
+        raise InvalidParameterError(f"need p >= 1, got {p}")
+    m = (1 << p) - 1
+    cols = np.arange(1, m + 1, dtype=np.int64)
+    rows = np.arange(p, dtype=np.int64).reshape(p, 1)
+    return ((cols >> rows) & 1).astype(np.uint8)
+
+
+def hamming_syndrome(u: int, p: int) -> int:
+    """Syndrome of the word ``u`` (length ``m = 2^p − 1``) as an int in
+    ``[0, 2^p)``.
+
+    Computed directly from the column structure: syndrome =
+    XOR of the (1-indexed) positions of the set bits of ``u``.
+    This identity (column j of H *is* binary(j)) is what makes the
+    labeling computable in O(popcount) per vertex.
+    """
+    if p < 1:
+        raise InvalidParameterError(f"need p >= 1, got {p}")
+    m = (1 << p) - 1
+    if u < 0 or u >= (1 << m):
+        raise InvalidParameterError(f"word {u} does not fit in m={m} bits")
+    s = 0
+    pos = 1
+    while u:
+        if u & 1:
+            s ^= pos
+        u >>= 1
+        pos += 1
+    return s
+
+
+def hamming_syndrome_table(p: int) -> np.ndarray:
+    """Vector of syndromes for all ``2^m`` words, ``m = 2^p − 1``.
+
+    Built incrementally: ``syndrome(u)`` differs from
+    ``syndrome(u with top bit cleared)`` by the top bit's position.
+    O(2^m) time and memory; used to label whole subcube vertex sets at once.
+    """
+    m = (1 << p) - 1
+    if m > 22:
+        raise InvalidParameterError(f"syndrome table too large for m={m}")
+    table = np.zeros(1 << m, dtype=np.int64)
+    for j in range(1, m + 1):  # dimension j toggles syndrome by j
+        size = 1 << (j - 1)
+        table[size : 2 * size] = table[:size] ^ j
+    return table
+
+
+def syndrome_classes(p: int) -> list[list[int]]:
+    """The ``m + 1`` syndrome classes (cosets of the Hamming code) of
+    ``{0,1}^m``, ``m = 2^p − 1``, indexed by syndrome value."""
+    table = hamming_syndrome_table(p)
+    m = (1 << p) - 1
+    classes: list[list[int]] = [[] for _ in range(m + 1)]
+    for u, s in enumerate(table):
+        classes[int(s)].append(u)
+    return classes
+
+
+def is_perfect_code(codewords: set[int], m: int) -> bool:
+    """True iff radius-1 balls around ``codewords`` tile ``{0,1}^m``.
+
+    Checks the defining property of a perfect 1-error-correcting code used
+    in the Condition-A argument.
+    """
+    covered: set[int] = set()
+    for c in codewords:
+        ball = {c} | {c ^ (1 << j) for j in range(m)}
+        if covered & ball:
+            return False
+        covered |= ball
+    return len(covered) == (1 << m)
+
+
+@dataclass(frozen=True)
+class HammingCode:
+    """The binary Hamming code of length ``m = 2^p − 1``.
+
+    Provides codeword enumeration (via the nullspace of H), syndrome
+    computation/decoding, and the perfect-tiling property check.
+    """
+
+    p: int
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise InvalidParameterError(f"need p >= 1, got {self.p}")
+
+    @property
+    def length(self) -> int:
+        return (1 << self.p) - 1
+
+    @property
+    def dimension(self) -> int:
+        return self.length - self.p
+
+    def parity_check_matrix(self) -> np.ndarray:
+        return hamming_parity_check_matrix(self.p)
+
+    def syndrome(self, u: int) -> int:
+        return hamming_syndrome(u, self.p)
+
+    def syndrome_via_matrix(self, u: int) -> int:
+        """Syndrome computed by explicit H·u (cross-check path for tests)."""
+        H = self.parity_check_matrix()
+        vec = int_to_bits(u, self.length)
+        s = gf2_matvec(H, vec)
+        return int(sum(int(b) << r for r, b in enumerate(s)))
+
+    def is_codeword(self, u: int) -> bool:
+        return self.syndrome(u) == 0
+
+    def codewords(self) -> set[int]:
+        """All ``2^{m−p}`` codewords (nullspace span).  Exponential in the
+        dimension; intended for p ≤ 3 in tests (p=4 is 2^11 = 2048 words,
+        still fine)."""
+        if self.dimension > 16:
+            raise InvalidParameterError("codeword enumeration too large")
+        basis = gf2_nullspace(self.parity_check_matrix())
+        assert gf2_rank(self.parity_check_matrix()) == self.p
+        words = {0}
+        for row in basis:
+            as_int = int(sum(int(b) << j for j, b in enumerate(row)))
+            words |= {w ^ as_int for w in words}
+        return words
+
+    def decode(self, u: int) -> int:
+        """Nearest-codeword decode: flip the bit named by the syndrome."""
+        s = self.syndrome(u)
+        if s == 0:
+            return u
+        return u ^ (1 << (s - 1))
+
+    def minimum_distance_at_most(self, bound: int) -> bool:
+        """Cheap check that some codeword has weight ≤ bound (true for 3)."""
+        return any(
+            0 < popcount(w) <= bound for w in self.codewords() if w != 0
+        )

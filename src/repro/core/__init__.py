@@ -1,0 +1,67 @@
+"""The paper's primary contribution: sparse hypercubes and their schemes.
+
+Public surface:
+
+* :func:`construct_base` — Procedure ``Construct_BASE(n, m)`` (Section 3).
+* :func:`construct` — Procedure ``Construct(k, (n, n_{k-1}, …, n_1))``
+  (Section 4); ``construct_rec`` is the documented k = 3 special case.
+* :class:`SparseHypercube` — the constructed graph plus the recursion
+  metadata (labelings, dimension partitions) that the broadcast scheme
+  needs.
+* :func:`broadcast_2` / :func:`broadcast_k` — Schemes ``Broadcast_2`` and
+  ``Broadcast_k`` producing explicit validated :class:`repro.types.Schedule`s.
+* :mod:`repro.core.bounds` — Theorems 1, 2, 3, 5, 7 and Corollaries 1–2 as
+  checkable functions.
+* :mod:`repro.core.params` — the parameter selections used in the proofs
+  (m*, n_i*) and the improved k = 3 parameters from Section 4's closing
+  remark.
+* :mod:`repro.core.tree_mlbg` — Theorem 1's bounded-degree tree family.
+"""
+
+from repro.core.broadcast import broadcast_2, broadcast_k, broadcast_schedule
+from repro.core.bounds import (
+    degree_lower_bound,
+    lower_bound_theorem2,
+    lower_bound_theorem3,
+    moore_degree_lower_bound,
+    theorem1_minimum_k,
+    upper_bound_corollary1,
+    upper_bound_theorem5,
+    upper_bound_theorem7,
+)
+from repro.core.construct import construct, construct_base, construct_rec
+from repro.core.params import (
+    improved_params_k3,
+    optimized_params,
+    theorem5_m_star,
+    theorem7_params,
+)
+from repro.core.routing import reach_and_flip
+from repro.core.sparse_hypercube import Level, SparseHypercube
+from repro.core.tree_mlbg import theorem1_tree, theorem1_tree_broadcast
+
+__all__ = [
+    "SparseHypercube",
+    "Level",
+    "construct_base",
+    "construct_rec",
+    "construct",
+    "broadcast_2",
+    "broadcast_k",
+    "broadcast_schedule",
+    "reach_and_flip",
+    "theorem5_m_star",
+    "theorem7_params",
+    "improved_params_k3",
+    "optimized_params",
+    "degree_lower_bound",
+    "moore_degree_lower_bound",
+    "lower_bound_theorem2",
+    "lower_bound_theorem3",
+    "theorem1_minimum_k",
+    "upper_bound_theorem5",
+    "upper_bound_theorem7",
+    "upper_bound_corollary1",
+    "theorem1_tree",
+    "theorem1_tree_broadcast",
+]

@@ -1,0 +1,174 @@
+"""The paper's analytic bounds as checkable functions.
+
+Lower bounds (on Δ of any k-mlbg of order N = 2^n):
+
+* Theorem 2 (k = 2, 3, 4): ``Δ ≥ ⌈ᵏ√n⌉``.
+* Theorem 3 (k ≥ 5): ``Δ ≥ ⌈ᵏ√(n/3 + 1) + 1⌉`` (and Δ ≥ 3, via the
+  cycle argument ``2^{n-1} > kn``).
+* :func:`moore_degree_lower_bound` — the exact ball-counting bound both
+  theorems relax: the source must reach n distinct vertices within
+  distance k, and a degree-Δ graph has at most
+  ``Δ·Σ_{i=0}^{k-1}(Δ-1)^i`` vertices within distance k.
+
+Upper bounds (achieved by constructions in this repository):
+
+* Theorem 1 (trees, large k): Δ ≤ 3 once ``k ≥ 2⌈log₂((N+2)/3)⌉``.
+* Theorem 5 (k = 2): ``Δ ≤ 2⌈√(2n+4)⌉ − 4``.
+* Theorem 7 (k ≥ 3): ``Δ ≤ (2k−1)⌈ᵏ√(n−k)⌉``.
+* Corollary 1 (k ≥ ⌈log₂ n⌉): ``Δ ≤ 4⌈log₂ n⌉ − 2``.
+
+All roots are exact integer arithmetic; no floats anywhere near a fence.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.params import ceil_root_of_power
+from repro.types import InvalidParameterError
+
+__all__ = [
+    "ball_size_bound",
+    "moore_degree_lower_bound",
+    "lower_bound_theorem2",
+    "lower_bound_theorem3",
+    "cycle_exclusion_holds",
+    "degree_lower_bound",
+    "theorem1_minimum_k",
+    "upper_bound_theorem5",
+    "upper_bound_theorem7",
+    "upper_bound_corollary1",
+    "asymptotic_upper_coefficient",
+]
+
+
+def ball_size_bound(delta: int, k: int) -> int:
+    """``Δ·Σ_{i=0}^{k-1}(Δ−1)^i`` — the maximum number of vertices at
+    distance 1..k from a vertex in a graph of maximum degree Δ (the count
+    used in the proofs of Theorems 2 and 3)."""
+    if delta < 0 or k < 1:
+        raise InvalidParameterError(f"need Δ >= 0 and k >= 1, got ({delta}, {k})")
+    if delta == 0:
+        return 0
+    if delta == 1:
+        return 1
+    return delta * sum((delta - 1) ** i for i in range(k))
+
+
+def moore_degree_lower_bound(n: int, k: int) -> int:
+    """Exact ball-counting lower bound: the least Δ with
+    ``ball_size_bound(Δ, k) ≥ n``.
+
+    In any minimum-time broadcast of ``N = 2^n`` the informed count must
+    exactly double every round, so the source alone must call n distinct
+    vertices within distance k — hence Δ of any k-mlbg satisfies this.
+    """
+    if n < 1 or k < 1:
+        raise InvalidParameterError(f"need n, k >= 1, got ({n}, {k})")
+    delta = 1
+    while ball_size_bound(delta, k) < n:
+        delta += 1
+    return delta
+
+
+def lower_bound_theorem2(n: int, k: int) -> int:
+    """Theorem 2: ``Δ ≥ ⌈ᵏ√n⌉`` for k ∈ {2, 3, 4} (order N = 2^n)."""
+    if k not in (2, 3, 4):
+        raise InvalidParameterError(f"Theorem 2 covers k = 2, 3, 4, got {k}")
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    return ceil_root_of_power(n, 1, k)
+
+
+def cycle_exclusion_holds(n: int, k: int) -> bool:
+    """Theorem 3's cycle argument: ``2^{n-1} > k·n`` rules out Δ = 2.
+
+    True whenever a Δ=2 graph (a cycle) cannot be a k-mlbg of order 2^n.
+    The paper observes this holds for all n > k ≥ 5 (e.g. k=5, n=6:
+    32 > 30).
+    """
+    if n < 1 or k < 1:
+        raise InvalidParameterError(f"need n, k >= 1, got ({n}, {k})")
+    return (1 << (n - 1)) > k * n
+
+
+def lower_bound_theorem3(n: int, k: int) -> int:
+    """Theorem 3: for n > k ≥ 5, ``Δ ≥ ⌈ᵏ√(n/3 + 1) + 1⌉`` (with Δ ≥ 3).
+
+    Computed exactly: the least Δ ≥ 3 with ``3((Δ−1)^k − 1) ≥ n`` — the
+    inequality the closed form relaxes.
+    """
+    if k < 5:
+        raise InvalidParameterError(f"Theorem 3 covers k >= 5, got {k}")
+    if n <= k:
+        raise InvalidParameterError(f"Theorem 3 needs n > k, got n={n}, k={k}")
+    delta = 3
+    while 3 * ((delta - 1) ** k - 1) < n:
+        delta += 1
+    return delta
+
+
+def degree_lower_bound(n: int, k: int) -> int:
+    """The best lower bound the paper proves for each regime.
+
+    k = 1: Δ ≥ n (the source must call n distinct neighbours — this is
+    why Q_n is degree-optimal under store-and-forward).
+    k = 2..4: Theorem 2.  k ≥ 5 with n > k: Theorem 3.  Other (n, k):
+    the generic ball bound.
+    """
+    if k == 1:
+        return n
+    if k in (2, 3, 4):
+        return lower_bound_theorem2(n, k)
+    if k >= 5 and n > k:
+        return lower_bound_theorem3(n, k)
+    return moore_degree_lower_bound(n, k)
+
+
+def theorem1_minimum_k(n_vertices: int) -> int:
+    """Theorem 1's threshold ``2⌈log₂((N+2)/3)⌉``: for any k at least this,
+    a Δ ≤ 3 k-mlbg with N vertices exists (the ternary-core tree)."""
+    if n_vertices < 1:
+        raise InvalidParameterError(f"need N >= 1, got {n_vertices}")
+    # ⌈log2((N+2)/3)⌉ computed exactly: least h with 3·2^h >= N + 2
+    h = 0
+    while 3 * (1 << h) < n_vertices + 2:
+        h += 1
+    return 2 * h
+
+
+def upper_bound_theorem5(n: int) -> int:
+    """Theorem 5: a 2-mlbg of order 2^n exists with
+    ``Δ ≤ 2⌈√(2n+4)⌉ − 4`` (n ≥ 1)."""
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    r = math.isqrt(2 * n + 4)
+    if r * r != 2 * n + 4:
+        r += 1
+    return 2 * r - 4
+
+
+def upper_bound_theorem7(n: int, k: int) -> int:
+    """Theorem 7: for n > k ≥ 3, a k-mlbg of order 2^n exists with
+    ``Δ ≤ (2k−1)⌈ᵏ√(n−k)⌉``."""
+    if k < 3:
+        raise InvalidParameterError(f"Theorem 7 covers k >= 3, got {k}")
+    if n <= k:
+        raise InvalidParameterError(f"Theorem 7 needs n > k, got n={n}, k={k}")
+    return (2 * k - 1) * ceil_root_of_power(n - k, 1, k)
+
+
+def upper_bound_corollary1(n: int) -> int:
+    """Corollary 1: for k ≥ ⌈log₂ n⌉ (and n ≥ k), Δ ≤ 4⌈log₂ log₂ N⌉ − 2
+    — degree *doubly* logarithmic in the order."""
+    if n < 2:
+        raise InvalidParameterError(f"need n >= 2, got {n}")
+    return 4 * math.ceil(math.log2(n)) - 2
+
+
+def asymptotic_upper_coefficient(k: int) -> float:
+    """The improved asymptotic coefficient ``2k / ᵏ√2`` from Section 4's
+    closing remark (≈ 4.7623 for k = 3): Δ ≤ (2k/ᵏ√2)·ᵏ√n + o(ᵏ√n)."""
+    if k < 2:
+        raise InvalidParameterError(f"need k >= 2, got {k}")
+    return 2 * k / (2 ** (1 / k))

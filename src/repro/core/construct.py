@@ -1,0 +1,281 @@
+"""The construction procedures of Sections 3 and 4.
+
+``construct_base(n, m)``
+    Procedure ``Construct_BASE(n, m)``: 2^{n-m} copies of the complete
+    ``Q_m`` interconnected by Rule-2 edges according to a Condition-A
+    labeling of the m-suffix.  Produces a 2-mlbg (Theorem 4).
+
+``construct(k, n, thresholds)``
+    Procedure ``Construct(k, (n, n_{k-1}, …, n_1))``: the recursive
+    generalization.  Produces a k-mlbg (Theorem 6).  Implemented in the
+    flat form documented in :mod:`repro.core.sparse_hypercube`; the
+    recursive reference implementation
+    :func:`recursive_edge_set_reference` exists purely so tests can verify
+    flat == recursive.
+
+``construct_rec(n, a, b)``
+    Procedure ``Construct_REC(n, a, b)`` — the paper's pedagogical k = 3
+    case; exactly ``construct(3, n, (b, a))``.
+
+Determinism: nondeterministic steps of the paper (choice of optimal
+labeling f*, partition of S) default to the Hamming/Lemma-2 labeling and
+to *descending runs* (S_1 takes the largest dimensions, matching the
+paper's Examples 3 and 6).  Both can be overridden per level.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.domination.labeling import ConditionALabeling, best_available_labeling
+from repro.core.sparse_hypercube import Level, SparseHypercube
+from repro.types import ConstructionError, InvalidParameterError
+
+__all__ = [
+    "partition_dimensions",
+    "construct_base",
+    "construct_rec",
+    "construct",
+    "recursive_edge_set_reference",
+]
+
+
+def partition_dimensions(
+    high: int, low: int, parts: int, *, style: str = "descending"
+) -> tuple[tuple[int, ...], ...]:
+    """Partition ``S = {high, high-1, …, low+1}`` into ``parts`` subsets.
+
+    Sizes differ by at most one (Step 2 of the procedures).  Styles:
+
+    * ``"descending"`` (default): S_1 takes the largest dimensions —
+      matches the paper's Example 3 (S_1 = {15,14,13}) and Example 6
+      (S_1 = {7,6}).
+    * ``"ascending"``: S_1 takes the smallest dimensions — matches the
+      paper's Example 2 (S_1 = {3}, S_2 = {4}).
+
+    Some subsets may be empty when ``high - low < parts``.
+    """
+    if high <= low:
+        raise InvalidParameterError(f"need high > low, got {high} <= {low}")
+    if parts < 1:
+        raise InvalidParameterError(f"need parts >= 1, got {parts}")
+    if style == "descending":
+        dims = list(range(high, low, -1))
+    elif style == "ascending":
+        dims = list(range(low + 1, high + 1))
+    else:
+        raise InvalidParameterError(f"unknown partition style {style!r}")
+    q, r = divmod(len(dims), parts)
+    out: list[tuple[int, ...]] = []
+    pos = 0
+    for j in range(parts):
+        size = q + (1 if j < r else 0)
+        out.append(tuple(dims[pos : pos + size]))
+        pos += size
+    return tuple(out)
+
+
+def _normalize_partition(
+    high: int,
+    low: int,
+    parts: int,
+    partition: Sequence[Sequence[int]] | None,
+    style: str,
+) -> tuple[tuple[int, ...], ...]:
+    if partition is None:
+        return partition_dimensions(high, low, parts, style=style)
+    norm = tuple(tuple(int(d) for d in p) for p in partition)
+    if len(norm) != parts:
+        raise InvalidParameterError(
+            f"explicit partition has {len(norm)} parts, labeling has {parts} labels"
+        )
+    return norm
+
+
+def construct_base(
+    n: int,
+    m: int,
+    *,
+    labeling: ConditionALabeling | None = None,
+    partition: Sequence[Sequence[int]] | None = None,
+    partition_style: str = "descending",
+    verify_labeling: bool = True,
+) -> SparseHypercube:
+    """Procedure ``Construct_BASE(n, m)`` for ``n > m ≥ 1``.
+
+    Returns a :class:`SparseHypercube` with k = 2.  The default labeling
+    ``f*`` is :func:`repro.domination.labeling.best_available_labeling`;
+    any Condition-A labeling of ``Q_m`` may be supplied (it is verified
+    unless ``verify_labeling=False``).
+    """
+    if not (1 <= m < n):
+        raise InvalidParameterError(f"Construct_BASE needs 1 <= m < n, got m={m}, n={n}")
+    f_star = labeling if labeling is not None else best_available_labeling(m)
+    if f_star.m != m:
+        raise InvalidParameterError(
+            f"labeling is of Q_{f_star.m}, expected Q_{m}"
+        )
+    if verify_labeling and not f_star.verify():
+        raise ConstructionError(
+            "supplied labeling violates Condition A; Broadcast_2 would fail"
+        )
+    part = _normalize_partition(n, m, f_star.num_labels, partition, partition_style)
+    level = Level(
+        t=2, top=n, threshold=m, block_lo=0, labeling=f_star, partition=part
+    )
+    return SparseHypercube(n=n, k=2, thresholds=(m,), levels=[level])
+
+
+def construct(
+    k: int,
+    n: int,
+    thresholds: Sequence[int],
+    *,
+    labelings: Sequence[ConditionALabeling | None] | None = None,
+    partitions: Sequence[Sequence[Sequence[int]] | None] | None = None,
+    partition_style: str = "descending",
+    verify_labelings: bool = True,
+) -> SparseHypercube:
+    """Procedure ``Construct(k, (n, n_{k-1}, …, n_1))``.
+
+    Parameters
+    ----------
+    k:
+        Call-length parameter, ``k ≥ 2``.
+    n:
+        Cube dimension; the graph has ``2^n`` vertices; ``n > n_{k-1}``.
+    thresholds:
+        ``(n_1, n_2, …, n_{k-1})`` strictly increasing (ascending order —
+        note the paper writes the tuple in the opposite order).
+    labelings / partitions:
+        Optional per-level overrides, index 0 = level 2 (the base).  A
+        ``None`` entry means "use the default" for that level.
+
+    Returns a :class:`SparseHypercube`; its ``.graph`` materializes the
+    edge set on first use.
+    """
+    if k < 2:
+        raise InvalidParameterError(f"need k >= 2, got {k}")
+    thr = tuple(int(x) for x in thresholds)
+    if len(thr) != k - 1:
+        raise InvalidParameterError(
+            f"k={k} needs {k - 1} thresholds (n_1..n_{{k-1}}), got {thr}"
+        )
+    seq = (0,) + thr + (n,)
+    if any(a >= b for a, b in zip(seq, seq[1:])):
+        raise InvalidParameterError(
+            f"need 0 < n_1 < … < n_{{k-1}} < n, got thresholds={thr}, n={n}"
+        )
+    if labelings is not None and len(labelings) != k - 1:
+        raise InvalidParameterError(
+            f"labelings must have {k - 1} entries (level 2..k), got {len(labelings)}"
+        )
+    if partitions is not None and len(partitions) != k - 1:
+        raise InvalidParameterError(
+            f"partitions must have {k - 1} entries (level 2..k), got {len(partitions)}"
+        )
+
+    levels: list[Level] = []
+    for idx in range(k - 1):  # idx 0 -> level t=2, …, idx k-2 -> level t=k
+        t = idx + 2
+        block_lo = seq[idx]  # n_{t-2}
+        threshold = seq[idx + 1]  # n_{t-1}
+        top = seq[idx + 2]  # n_t
+        block_len = threshold - block_lo
+        f_star = None
+        if labelings is not None:
+            f_star = labelings[idx]
+        if f_star is None:
+            f_star = best_available_labeling(block_len)
+        if f_star.m != block_len:
+            raise InvalidParameterError(
+                f"level {t}: labeling is of Q_{f_star.m}, block length is {block_len}"
+            )
+        if verify_labelings and not f_star.verify():
+            raise ConstructionError(
+                f"level {t}: labeling violates Condition A; Broadcast_k would fail"
+            )
+        explicit = partitions[idx] if partitions is not None else None
+        part = _normalize_partition(
+            top, threshold, f_star.num_labels, explicit, partition_style
+        )
+        levels.append(
+            Level(
+                t=t,
+                top=top,
+                threshold=threshold,
+                block_lo=block_lo,
+                labeling=f_star,
+                partition=part,
+            )
+        )
+    return SparseHypercube(n=n, k=k, thresholds=thr, levels=levels)
+
+
+def construct_rec(
+    n: int,
+    a: int,
+    b: int,
+    *,
+    labelings: Sequence[ConditionALabeling | None] | None = None,
+    partitions: Sequence[Sequence[Sequence[int]] | None] | None = None,
+    partition_style: str = "descending",
+) -> SparseHypercube:
+    """Procedure ``Construct_REC(n, a, b)`` — the k = 3 case (Section 4.1).
+
+    ``n > a > b ≥ 1``.  Copies of ``G_{a,b}`` are interconnected using the
+    ``LABEL(n, a, b)`` labeling (a Condition-A labeling of the bit block
+    ``b+1 .. a``).
+    """
+    return construct(
+        3,
+        n,
+        (b, a),
+        labelings=labelings,
+        partitions=partitions,
+        partition_style=partition_style,
+    )
+
+
+def recursive_edge_set_reference(sh: SparseHypercube) -> set[tuple[int, int]]:
+    """The paper's *recursive* edge definition, computed literally.
+
+    Builds ``Construct(k)`` by Rule 1 (copy the recursively-built
+    ``Construct(k-1)`` graph into every suffix subcube) and Rule 2 (label
+    owned dimensions), following the procedure text.  Used only by tests to
+    certify that the flat edge rule of :class:`SparseHypercube` is the same
+    graph; quadratic-ish and unoptimized on purpose.
+    """
+    def edges_of(level_idx: int) -> set[tuple[int, int]]:
+        # level_idx = number of levels included; 0 = just the core Q_{n_1}
+        if level_idx == 0:
+            m = sh.base_dims
+            out: set[tuple[int, int]] = set()
+            for u in range(1 << m):
+                for i in range(1, m + 1):
+                    v = u ^ (1 << (i - 1))
+                    if u < v:
+                        out.add((u, v))
+            return out
+        level = sh.levels[level_idx - 1]
+        inner = edges_of(level_idx - 1)
+        size = 1 << level.top
+        inner_size = 1 << level.threshold
+        out = set()
+        # Rule 1: copy the inner graph into each suffix subcube
+        for base in range(0, size, inner_size):
+            for (u, v) in inner:
+                out.add((base + u, base + v))
+        # Rule 2: label-owned dimensions
+        for u in range(size):
+            for dim in level.rule2_dims:
+                if level.owns_edge(u, dim):
+                    v = u ^ (1 << (dim - 1))
+                    if u < v:
+                        out.add((u, v))
+        return out
+
+    full = edges_of(len(sh.levels))
+    # lift to the full 2^n vertex set (top level already spans it)
+    assert sh.levels[-1].top == sh.n
+    return full

@@ -1,0 +1,197 @@
+"""Parameter selections for the constructions (Theorems 5 and 7).
+
+The constructions are parameterized by the threshold vector
+``(n_1, …, n_{k-1})``; the theorems pick specific values:
+
+* Theorem 5 (k = 2): ``m* = ⌈√(2n+4)⌉ − 2`` yields
+  ``Δ ≤ 2⌈√(2n+4)⌉ − 4``.
+* Theorem 7 (k ≥ 3): ``n_i* = ⌈(n−k)^{i/k}⌉ + i − 1`` yields
+  ``Δ ≤ (2k−1)⌈ᵏ√(n−k)⌉``.
+* Section 4 closing remark (k = 3, improved constants):
+  ``n_1 = ⌈∛(4n)⌉, n_2 = ⌈∛(2n²)⌉`` gives
+  ``Δ ≤ 3·∛4·∛n + o(∛n) ≈ 4.762 ∛n``.
+
+All roots are computed with exact integer arithmetic
+(:func:`ceil_root_of_power`) to avoid floating-point fence-post errors.
+
+``optimized_params`` goes beyond the paper: it searches the threshold
+space for the vector minimizing the *exact* degree formula — experiment
+E13 uses it as an ablation showing how much the analytic choice leaves on
+the table.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+from repro.domination.labeling import best_available_labeling
+from repro.types import InvalidParameterError
+
+__all__ = [
+    "isqrt_ceil",
+    "ceil_root_of_power",
+    "theorem5_m_star",
+    "theorem7_params",
+    "improved_params_k3",
+    "degree_formula_for_thresholds",
+    "optimized_params",
+    "default_thresholds",
+]
+
+
+def isqrt_ceil(x: int) -> int:
+    """⌈√x⌉ with exact integer arithmetic."""
+    if x < 0:
+        raise InvalidParameterError(f"need x >= 0, got {x}")
+    r = math.isqrt(x)
+    return r if r * r == x else r + 1
+
+
+def ceil_root_of_power(base: int, num: int, den: int) -> int:
+    """``⌈base^(num/den)⌉`` exactly: smallest x ≥ 0 with x^den ≥ base^num."""
+    if base < 0 or num < 0 or den <= 0:
+        raise InvalidParameterError(f"bad root arguments ({base}, {num}, {den})")
+    if base == 0:
+        return 0
+    target = base**num
+    x = max(1, int(round(target ** (1.0 / den))))
+    while x**den >= target:
+        x -= 1
+    x += 1
+    while x**den < target:
+        x += 1
+    return x
+
+
+def theorem5_m_star(n: int) -> int:
+    """Theorem 5's choice ``m* = ⌈√(2n+4)⌉ − 2`` (valid: 1 ≤ m* < n for n ≥ 2)."""
+    if n < 2:
+        raise InvalidParameterError(f"Theorem 5's m* needs n >= 2, got {n}")
+    m = isqrt_ceil(2 * n + 4) - 2
+    if not (1 <= m < n):  # pragma: no cover - guaranteed by the theorem
+        raise AssertionError(f"m*={m} out of range for n={n}")
+    return m
+
+
+def theorem7_params(k: int, n: int) -> tuple[int, ...]:
+    """Theorem 7's thresholds ``n_i* = ⌈(n−k)^{i/k}⌉ + i − 1`` (ascending).
+
+    Valid for ``n > k ≥ 3``; returns ``(n_1*, …, n_{k-1}*)``.
+    """
+    if k < 3:
+        raise InvalidParameterError(f"Theorem 7 needs k >= 3, got {k}")
+    if n <= k:
+        raise InvalidParameterError(f"Theorem 7 needs n > k, got n={n}, k={k}")
+    m = n - k
+    out = tuple(ceil_root_of_power(m, i, k) + i - 1 for i in range(1, k))
+    seq = (0,) + out + (n,)
+    if any(a >= b for a, b in zip(seq, seq[1:])):  # pragma: no cover
+        raise AssertionError(f"theorem7 params not strictly increasing: {out}")
+    return out
+
+
+def improved_params_k3(n: int) -> tuple[int, int]:
+    """Section 4's improved k = 3 choice ``(n_1, n_2) = (⌈∛(4n)⌉, ⌈∛(2n²)⌉)``.
+
+    Asymptotically ``Δ ≤ 3·∛4·∛n + o(∛n)``.  For small n the two values
+    can collide or exceed n; we nudge them into validity (the asymptotic
+    claim is unaffected), raising only if no valid nudge exists.
+    """
+    if n < 4:
+        raise InvalidParameterError(f"improved k=3 params need n >= 4, got {n}")
+    n1 = ceil_root_of_power(4 * n, 1, 3)
+    n2 = ceil_root_of_power(2 * n * n, 1, 3)
+    n2 = min(max(n2, n1 + 1), n - 1)
+    n1 = min(n1, n2 - 1)
+    if not (1 <= n1 < n2 < n):
+        raise InvalidParameterError(
+            f"no valid improved k=3 parameters for n={n} (got n1={n1}, n2={n2})"
+        )
+    return (n1, n2)
+
+
+def _lambda_for_block(block_len: int) -> int:
+    """Label count of the library's default labeling of Q_{block_len}.
+
+    Closed form — the Hamming labeling gives ``m + 1`` when that is a
+    power of two, the Lemma-2 tiling gives ``2^⌊log₂(m+1)⌋`` otherwise
+    (both cases equal ``2^⌊log₂(m+1)⌋``).  Computing this analytically
+    matters: parameter search sweeps block lengths far beyond what a
+    materialized ``2^m`` labeling table could support.  The test-suite
+    pins this against :func:`best_available_labeling` for buildable m.
+    """
+    if block_len < 1:
+        raise InvalidParameterError(f"need block_len >= 1, got {block_len}")
+    return 1 << ((block_len + 1).bit_length() - 1)
+
+
+def degree_formula_for_thresholds(n: int, thresholds: tuple[int, ...]) -> int:
+    """Exact Δ of ``construct(k, n, thresholds)`` without building anything.
+
+    Δ = n_1 + Σ_t ⌈(n_t − n_{t-1}) / λ(n_{t-1} − n_{t-2})⌉ with the default
+    labelings (see :meth:`SparseHypercube.degree_formula`; the test-suite
+    checks formula == built graph).
+    """
+    seq = (0,) + tuple(thresholds) + (n,)
+    if any(a >= b for a, b in zip(seq, seq[1:])):
+        raise InvalidParameterError(
+            f"thresholds must be strictly increasing below n: {thresholds}, n={n}"
+        )
+    total = seq[1]
+    for idx in range(1, len(seq) - 1):
+        block_len = seq[idx] - seq[idx - 1]
+        q = seq[idx + 1] - seq[idx]
+        total += -(-q // _lambda_for_block(block_len))
+    return total
+
+
+def default_thresholds(k: int, n: int) -> tuple[int, ...]:
+    """The analytic parameter choice: Theorem 5's m* (k=2) / Theorem 7's n_i*."""
+    if k == 2:
+        return (theorem5_m_star(n),)
+    return theorem7_params(k, n)
+
+
+def optimized_params(
+    k: int, n: int, *, exhaustive_limit: int = 200_000
+) -> tuple[int, ...]:
+    """Threshold vector minimizing the exact degree formula.
+
+    Exhaustive over all ascending (k−1)-subsets of ``1..n−1`` when that
+    space is at most ``exhaustive_limit``; otherwise coordinate-descent
+    hill-climbing seeded from the analytic choice.  Deterministic.
+    """
+    if k < 2:
+        raise InvalidParameterError(f"need k >= 2, got {k}")
+    if n <= k:
+        raise InvalidParameterError(f"need n > k, got n={n}, k={k}")
+    space = math.comb(n - 1, k - 1)
+    if space <= exhaustive_limit:
+        best: tuple[int, ...] | None = None
+        best_deg = None
+        for combo in combinations(range(1, n), k - 1):
+            deg = degree_formula_for_thresholds(n, combo)
+            if best_deg is None or deg < best_deg or (deg == best_deg and combo < best):
+                best, best_deg = combo, deg
+        assert best is not None
+        return best
+    # hill climbing: move one threshold by ±1 while it improves
+    current = list(default_thresholds(k, n))
+    current_deg = degree_formula_for_thresholds(n, tuple(current))
+    improved = True
+    while improved:
+        improved = False
+        for i in range(k - 1):
+            for delta in (-1, 1):
+                cand = current[:]
+                cand[i] += delta
+                lo = cand[i - 1] if i > 0 else 0
+                hi = cand[i + 1] if i < k - 2 else n
+                if not (lo < cand[i] < hi):
+                    continue
+                deg = degree_formula_for_thresholds(n, tuple(cand))
+                if deg < current_deg:
+                    current, current_deg = cand, deg
+                    improved = True
+    return tuple(current)

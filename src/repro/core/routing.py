@@ -1,0 +1,84 @@
+"""Relay routing inside a sparse hypercube (the paper's Remark 1, made
+constructive and recursive).
+
+``reach_and_flip(sh, u, dim)`` returns the call path used by Phase 1 of
+``Broadcast_k`` when an informed vertex ``u`` must flip dimension ``dim``:
+
+* if the edge ``{u, ⊕_dim u}`` exists, the path is the direct call;
+* otherwise the label of ``u`` at the level owning ``dim`` is wrong, and
+  by Condition A some *single flip of a label-block bit* fixes it.  That
+  block bit belongs to the next level down, so the fix is computed by a
+  recursive ``reach_and_flip`` — bottoming out at the complete core cube,
+  where every flip is one Rule-1 edge.
+
+Guarantees (all verified by the test-suite):
+
+* the returned path starts at ``u`` and is a real path in ``sh.graph``;
+* its length is at most the level of ``dim`` (≤ k overall) — Remark 1's
+  "length at most k − 1, plus the final hop";
+* the endpoint equals the *second-to-last* vertex with ``dim`` flipped,
+  and agrees with ``u`` on every bit above the level's threshold except
+  ``dim`` itself (so Phase 1's prefix-doubling invariant holds).
+
+Determinism: when several block-bit flips would fix the label, we choose
+the one giving the **largest relay vertex id** (i.e. prefer setting a high
+bit to 1).  This is the tie-break that reproduces the calls of the paper's
+Example 4 / Fig. 4 verbatim (benchmark E08).
+"""
+
+from __future__ import annotations
+
+from repro.core.sparse_hypercube import SparseHypercube
+from repro.types import ConstructionError
+from repro.util.bits import flip_dim
+
+__all__ = ["reach_and_flip", "relay_candidates"]
+
+
+def relay_candidates(sh: SparseHypercube, u: int, dim: int) -> list[int]:
+    """Block dimensions whose flip gives ``u`` the label owning ``dim``.
+
+    Precondition: the edge ``{u, ⊕_dim u}`` does **not** exist, i.e. the
+    label of ``u`` at the owning level differs from the owner of ``dim``.
+    Condition A guarantees the result is non-empty; an empty result means
+    the labeling was corrupted and raises :class:`ConstructionError`.
+    """
+    level = sh.level_owning(dim)
+    if level is None:
+        raise ConstructionError(
+            f"dimension {dim} is a core dimension; no relay is ever needed"
+        )
+    needed = level.dim_owner[dim]
+    block = level.block_value(u)
+    cands = []
+    for e_local in range(level.block_len):
+        if level.labeling.label_of(block ^ (1 << e_local)) == needed:
+            cands.append(level.block_lo + e_local + 1)  # back to 1-indexed dims
+    if not cands:
+        raise ConstructionError(
+            f"Condition A violated: no single block-bit flip gives vertex "
+            f"{u} the label {needed} owning dimension {dim}"
+        )
+    return cands
+
+
+def reach_and_flip(sh: SparseHypercube, u: int, dim: int) -> tuple[int, ...]:
+    """The Phase-1 call path for informed vertex ``u`` and dimension ``dim``.
+
+    Returns a tuple of vertices ``(u, …, z)`` where ``z`` is the newly
+    informed vertex; every consecutive pair is an edge of ``sh``.
+    """
+    level = sh.level_owning(dim)
+    if level is None or level.owns_edge(u, dim):
+        return (u, flip_dim(u, dim))
+    cands = relay_candidates(sh, u, dim)
+    # deterministic tie-break: largest relay vertex id (see module docstring)
+    e = max(cands, key=lambda d: flip_dim(u, d))
+    sub_path = reach_and_flip(sh, u, e)
+    v = sub_path[-1]
+    if not level.owns_edge(v, dim):  # pragma: no cover - structural invariant
+        raise ConstructionError(
+            f"relay endpoint {v} does not own dimension {dim}; "
+            "level blocks are not nested as required"
+        )
+    return sub_path + (flip_dim(v, dim),)

@@ -1,0 +1,51 @@
+"""Condition-A labelings and domination machinery.
+
+The basic step of the paper's construction (Section 3) labels the vertices
+of ``Q_m`` with a set ``C`` of labels so that **Condition A** holds::
+
+    ∀u ∈ V(Q_m):  {f(u)} ∪ {f(v) | {u,v} ∈ E(Q_m)}  =  C
+
+i.e. every closed neighbourhood sees every label; equivalently, every label
+class is a dominating set of ``Q_m``.  The maximum possible number of
+labels, λ_m, is exactly the *domatic number* of ``Q_m``; Lemma 2 shows
+``⌊m/2⌋ + 1 ≤ λ_m ≤ m + 1`` with equality at the top for ``m = 2^p − 1``
+via Hamming codes.
+"""
+
+from repro.domination.dominating import (
+    greedy_dominating_set,
+    is_dominating_set,
+    minimum_dominating_set,
+)
+from repro.domination.domatic import (
+    condition_a_max_labels,
+    domatic_number_exact,
+    greedy_domatic_partition,
+)
+from repro.domination.labeling import (
+    ConditionALabeling,
+    best_available_labeling,
+    hamming_labeling,
+    lemma2_labeling,
+    lemma2_lower_bound,
+    paper_example_labeling_q2,
+    paper_example_labeling_q3,
+    trivial_labeling,
+)
+
+__all__ = [
+    "ConditionALabeling",
+    "trivial_labeling",
+    "hamming_labeling",
+    "lemma2_labeling",
+    "lemma2_lower_bound",
+    "best_available_labeling",
+    "paper_example_labeling_q2",
+    "paper_example_labeling_q3",
+    "is_dominating_set",
+    "greedy_dominating_set",
+    "minimum_dominating_set",
+    "domatic_number_exact",
+    "greedy_domatic_partition",
+    "condition_a_max_labels",
+]

@@ -1,0 +1,195 @@
+"""Domatic partitions — exact λ_m certification for small cubes.
+
+The paper's λ_m (maximum label count of a Condition-A labeling of Q_m) is
+the *domatic number* of Q_m: the maximum number of pairwise-disjoint
+dominating sets that partition V.  ``domatic_number_exact`` certifies λ_m
+for small graphs by backtracking over labelings with pruning on closed
+neighbourhoods; experiment E05 uses it to pin down λ_1..λ_4 exactly and to
+confirm the paper's λ_2 = 2, λ_3 = 4 (Example 1) and the remark that the
+Lemma-2 lower bound is tight at m = 2 (λ_2 = 2 = ⌊2/2⌋+1 < 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.base import Graph
+from repro.types import InvalidParameterError
+
+__all__ = [
+    "feasible_domatic_partition",
+    "domatic_number_exact",
+    "greedy_domatic_partition",
+    "condition_a_max_labels",
+]
+
+
+def feasible_domatic_partition(g: Graph, t: int, *, node_budget: int = 5_000_000) -> list[int] | None:
+    """Find a labeling of V(g) with labels 0..t-1 such that every closed
+    neighbourhood contains **all** t labels, or return None.
+
+    This is exactly a domatic partition into t dominating sets / a
+    Condition-A labeling with t labels.  Backtracking with:
+
+    * a closed-neighbourhood feasibility prune (missing labels must not
+      exceed unassigned neighbours), and
+    * label-symmetry breaking (a new label may be opened only in
+      first-use order).
+
+    ``node_budget`` bounds the search tree; exceeding it raises, so a None
+    return is always a *certified* infeasibility.
+    """
+    n = g.n_vertices
+    if t < 1:
+        raise InvalidParameterError(f"need t >= 1, got {t}")
+    if t == 1:
+        return [0] * n
+    if g.min_degree() + 1 < t:
+        return None  # classic bound: domatic number <= min degree + 1
+    closed: list[list[int]] = [sorted({u} | g.neighbors(u)) for u in range(n)]
+    membership: list[list[int]] = [[] for _ in range(n)]  # u -> list of w with u in N[w]
+    for w in range(n):
+        for u in closed[w]:
+            membership[u].append(w)
+
+    labels = [-1] * n
+    # per closed neighbourhood: bitmask of labels present, count unassigned
+    present = [0] * n
+    unassigned = [len(c) for c in closed]
+    full_mask = (1 << t) - 1
+    nodes_visited = 0
+
+    # order vertices by BFS from 0 for locality of constraints
+    order = []
+    seen = [False] * n
+    from collections import deque
+
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = True
+        dq = deque([start])
+        while dq:
+            x = dq.popleft()
+            order.append(x)
+            for y in sorted(g.neighbors(x)):
+                if not seen[y]:
+                    seen[y] = True
+                    dq.append(y)
+    pos_in_order = {v: i for i, v in enumerate(order)}
+
+    def assign(u: int, c: int) -> bool:
+        """Apply assignment; return False if some neighbourhood goes dead."""
+        labels[u] = c
+        ok = True
+        for w in membership[u]:
+            present[w] |= 1 << c
+            unassigned[w] -= 1
+            missing = t - int(present[w]).bit_count()
+            if missing > unassigned[w]:
+                ok = False
+        return ok
+
+    def unassign(u: int, c: int) -> None:
+        labels[u] = -1
+        for w in membership[u]:
+            unassigned[w] += 1
+        # recompute present masks touched by u (cheap: recompute from scratch)
+        for w in membership[u]:
+            mask = 0
+            for x in closed[w]:
+                if labels[x] != -1:
+                    mask |= 1 << labels[x]
+            present[w] = mask
+
+    def backtrack(idx: int, max_label_used: int) -> bool:
+        nonlocal nodes_visited
+        nodes_visited += 1
+        if nodes_visited > node_budget:
+            raise InvalidParameterError(
+                f"domatic search exceeded node budget {node_budget}"
+            )
+        if idx == n:
+            return all(present[w] == full_mask for w in range(n))
+        u = order[idx]
+        # symmetry breaking: allow opening at most one new label
+        limit = min(t - 1, max_label_used + 1)
+        for c in range(limit + 1):
+            ok = assign(u, c)
+            if ok and backtrack(idx + 1, max(max_label_used, c)):
+                return True
+            unassign(u, c)
+        return False
+
+    if backtrack(0, -1):
+        return labels[:]
+    return None
+
+
+def domatic_number_exact(g: Graph, *, node_budget: int = 5_000_000) -> int:
+    """The exact domatic number, searching downward from min-degree + 1."""
+    if g.n_vertices == 0:
+        raise InvalidParameterError("empty graph has no domatic number")
+    upper = g.min_degree() + 1
+    for t in range(upper, 0, -1):
+        if feasible_domatic_partition(g, t, node_budget=node_budget) is not None:
+            return t
+    raise AssertionError("t = 1 is always feasible")  # pragma: no cover
+
+
+def greedy_domatic_partition(g: Graph) -> list[set[int]]:
+    """Heuristic: peel greedy dominating sets while the rest still dominates.
+
+    Returns a list of pairwise-disjoint dominating sets (not necessarily
+    covering all of V; leftover vertices are appended to the first class so
+    the result is a partition).  A cheap lower-bound witness for λ.
+    """
+    from repro.domination.dominating import is_dominating_set
+
+    remaining = set(g.vertices())
+    classes: list[set[int]] = []
+    while True:
+        sub = _induced_availability_greedy(g, remaining)
+        if sub is None:
+            break
+        classes.append(sub)
+        remaining -= sub
+    if not classes:
+        return [set(g.vertices())]
+    if remaining:
+        classes[0] |= remaining
+        if not is_dominating_set(g, classes[0]):  # pragma: no cover - defensive
+            raise AssertionError("augmented class stopped dominating")
+    return classes
+
+
+def _induced_availability_greedy(g: Graph, available: set[int]) -> set[int] | None:
+    """Greedy dominating set of g using only ``available`` vertices, or None."""
+    uncovered = set(g.vertices())
+    chosen: set[int] = set()
+    pool = set(available)
+    while uncovered:
+        best, best_gain = -1, 0
+        for u in pool:
+            gain = len(({u} | g.neighbors(u)) & uncovered)
+            if gain > best_gain or (gain == best_gain and gain > 0 and u < best):
+                best, best_gain = u, gain
+        if best_gain == 0:
+            return None
+        chosen.add(best)
+        pool.discard(best)
+        uncovered -= {best} | g.neighbors(best)
+    return chosen
+
+
+def condition_a_max_labels(m: int, *, node_budget: int = 5_000_000) -> int:
+    """Exact λ_m (the domatic number of Q_m) for small m (≤ 4 is fast)."""
+    from repro.graphs.hypercube import hypercube
+
+    if m < 1:
+        raise InvalidParameterError(f"need m >= 1, got {m}")
+    if m > 5:
+        raise InvalidParameterError(
+            f"exact λ_m search supported for m <= 5, got {m}"
+        )
+    return domatic_number_exact(hypercube(m), node_budget=node_budget)

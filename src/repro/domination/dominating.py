@@ -1,0 +1,86 @@
+"""Dominating sets: verification, greedy cover, exact minimum for small graphs.
+
+A set ``U ⊆ V(G)`` *dominates* G when every vertex is in U or adjacent to a
+member of U (the paper's footnote 2).  Condition A says every label class
+of the labeling dominates ``Q_m``; these helpers let tests state that
+directly and let the analysis compare label classes against minimum
+dominating sets.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.graphs.base import Graph
+from repro.types import InvalidParameterError
+
+__all__ = [
+    "is_dominating_set",
+    "greedy_dominating_set",
+    "minimum_dominating_set",
+    "domination_number",
+]
+
+
+def is_dominating_set(g: Graph, candidate: set[int]) -> bool:
+    """True iff every vertex of ``g`` is in ``candidate`` or adjacent to it."""
+    for u in candidate:
+        if not (0 <= u < g.n_vertices):
+            raise InvalidParameterError(f"vertex {u} not in graph")
+    dominated = set(candidate)
+    for u in candidate:
+        dominated |= g.neighbors(u)
+    return len(dominated) == g.n_vertices
+
+
+def greedy_dominating_set(g: Graph) -> set[int]:
+    """Classic greedy: repeatedly take the vertex covering the most
+    uncovered vertices (ln-approximation).  Deterministic tie-break by id."""
+    uncovered = set(g.vertices())
+    chosen: set[int] = set()
+    while uncovered:
+        best, best_gain = -1, -1
+        for u in g.vertices():
+            closed = {u} | g.neighbors(u)
+            gain = len(closed & uncovered)
+            if gain > best_gain:
+                best, best_gain = u, gain
+        chosen.add(best)
+        uncovered -= {best} | g.neighbors(best)
+    return chosen
+
+
+def minimum_dominating_set(g: Graph, *, max_vertices: int = 24) -> set[int]:
+    """Exact minimum dominating set by size-increasing exhaustive search.
+
+    Exponential; guarded by ``max_vertices``.  Small cubes (Q_4 = 16
+    vertices) are comfortably in range.
+    """
+    n = g.n_vertices
+    if n > max_vertices:
+        raise InvalidParameterError(
+            f"exact search capped at {max_vertices} vertices, graph has {n}"
+        )
+    if n == 0:
+        return set()
+    greedy = greedy_dominating_set(g)
+    closed_masks = []
+    for u in range(n):
+        mask = 1 << u
+        for w in g.neighbors(u):
+            mask |= 1 << w
+        closed_masks.append(mask)
+    full = (1 << n) - 1
+    for size in range(1, len(greedy) + 1):
+        for combo in combinations(range(n), size):
+            mask = 0
+            for u in combo:
+                mask |= closed_masks[u]
+            if mask == full:
+                return set(combo)
+    return greedy  # unreachable: greedy itself is a certificate
+
+
+def domination_number(g: Graph, *, max_vertices: int = 24) -> int:
+    """γ(G): size of a minimum dominating set (exact, small graphs only)."""
+    return len(minimum_dominating_set(g, max_vertices=max_vertices))

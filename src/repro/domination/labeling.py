@@ -1,0 +1,216 @@
+"""Condition-A labelings of the cube ``Q_m`` (paper, Section 3).
+
+A labeling is a map ``f : V(Q_m) → C``.  Condition A requires each closed
+neighbourhood to contain every label.  The key constructions:
+
+``trivial_labeling``
+    One label everywhere — always satisfies Condition A (the paper's
+    remark that at least one labeling exists for every m).
+
+``hamming_labeling``
+    For ``m = 2^p − 1``: label = Hamming syndrome, giving the maximum
+    possible ``m + 1`` labels (optimal; see :mod:`repro.coding.hamming`).
+
+``lemma2_labeling``
+    General ``m``: tile ``Q_m`` by subcubes ``Q_{m'}`` where ``m'`` is the
+    largest integer ≤ m with ``m' + 1`` a power of two, and label each tile
+    by the Hamming labeling of its m'-suffix.  Yields ``m' + 1 ≥ (m+1)/2``
+    labels (the Lemma 2 lower bound ⌊m/2⌋+1 — the floor form; the paper
+    prints ⌊m/2⌋ + 1 as "m/2 + 1" with floor brackets).
+
+Labels are integers ``0 .. num_labels - 1``; the paper's ``c_j`` is label
+``j - 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.coding.hamming import hamming_syndrome_table
+from repro.types import InvalidParameterError
+from repro.util.bits import suffix_value
+
+__all__ = [
+    "ConditionALabeling",
+    "trivial_labeling",
+    "hamming_labeling",
+    "lemma2_labeling",
+    "lemma2_lower_bound",
+    "largest_hamming_length_at_most",
+    "best_available_labeling",
+    "paper_example_labeling_q2",
+    "paper_example_labeling_q3",
+    "labeling_from_array",
+]
+
+
+@dataclass(frozen=True)
+class ConditionALabeling:
+    """A labeling of ``V(Q_m) = {0,1}^m`` by labels ``0..num_labels-1``.
+
+    ``labels[u]`` is the label of vertex ``u``.  ``verify()`` checks
+    Condition A from the definition (used pervasively in tests; the
+    constructions also self-check at build time via ``verify=True``).
+    """
+
+    m: int
+    num_labels: int
+    labels: np.ndarray = field(repr=False)
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise InvalidParameterError(f"need m >= 1, got {self.m}")
+        if self.labels.shape != (1 << self.m,):
+            raise InvalidParameterError(
+                f"labels must have shape ({1 << self.m},), got {self.labels.shape}"
+            )
+        if self.num_labels < 1:
+            raise InvalidParameterError("need at least one label")
+        lo, hi = int(self.labels.min()), int(self.labels.max())
+        if lo < 0 or hi >= self.num_labels:
+            raise InvalidParameterError(
+                f"label values [{lo}, {hi}] out of range [0, {self.num_labels})"
+            )
+
+    def label_of(self, u: int) -> int:
+        return int(self.labels[u])
+
+    def class_of(self, label: int) -> list[int]:
+        """All vertices carrying ``label`` (a dominating set if Condition A)."""
+        return [int(v) for v in np.nonzero(self.labels == label)[0]]
+
+    def classes(self) -> list[list[int]]:
+        return [self.class_of(c) for c in range(self.num_labels)]
+
+    def verify(self) -> bool:
+        """Check Condition A: every closed neighbourhood sees every label."""
+        n_verts = 1 << self.m
+        if set(np.unique(self.labels)) != set(range(self.num_labels)):
+            return False  # labeling must be onto C
+        # closed-neighbourhood label sets, vectorized one dimension at a time
+        seen = np.zeros((n_verts, self.num_labels), dtype=bool)
+        seen[np.arange(n_verts), self.labels] = True
+        verts = np.arange(n_verts, dtype=np.int64)
+        for j in range(self.m):
+            nbr = verts ^ (1 << j)
+            seen[verts, self.labels[nbr]] = True
+        return bool(seen.all())
+
+    def missing_label_report(self) -> list[tuple[int, set[int]]]:
+        """Vertices whose closed neighbourhood misses labels (diagnostics)."""
+        report = []
+        full = set(range(self.num_labels))
+        for u in range(1 << self.m):
+            got = {self.label_of(u)}
+            for j in range(self.m):
+                got.add(self.label_of(u ^ (1 << j)))
+            if got != full:
+                report.append((u, full - got))
+        return report
+
+
+def trivial_labeling(m: int) -> ConditionALabeling:
+    """All vertices get label 0 (always satisfies Condition A)."""
+    return ConditionALabeling(
+        m=m, num_labels=1, labels=np.zeros(1 << m, dtype=np.int64), name="trivial"
+    )
+
+
+def hamming_labeling(m: int) -> ConditionALabeling:
+    """Optimal labeling for ``m = 2^p − 1``: label = Hamming syndrome.
+
+    Raises unless ``m + 1`` is a power of two.
+    """
+    if m < 1 or (m + 1) & m != 0:
+        raise InvalidParameterError(
+            f"hamming labeling needs m = 2^p - 1, got m={m}"
+        )
+    p = (m + 1).bit_length() - 1
+    table = hamming_syndrome_table(p)
+    return ConditionALabeling(m=m, num_labels=m + 1, labels=table, name="hamming")
+
+
+def largest_hamming_length_at_most(m: int) -> int:
+    """Largest ``m' ≤ m`` with ``m' + 1`` a power of two (Lemma 2's m')."""
+    if m < 1:
+        raise InvalidParameterError(f"need m >= 1, got {m}")
+    p = (m + 1).bit_length()
+    if (1 << p) - 1 <= m:
+        return (1 << p) - 1
+    return (1 << (p - 1)) - 1
+
+
+def lemma2_lower_bound(m: int) -> int:
+    """The Lemma 2 guarantee ``⌊m/2⌋ + 1 ≤ λ_m`` (achieved by
+    :func:`lemma2_labeling`, which actually attains ``m' + 1 ≥ (m+1)/2``)."""
+    return m // 2 + 1
+
+
+def lemma2_labeling(m: int) -> ConditionALabeling:
+    """Lemma 2's labeling for general ``m``: Hamming-label the m'-suffix.
+
+    Partitions ``Q_m`` into ``2^{m−m'}`` copies of ``Q_{m'}`` (fix the top
+    ``m − m'`` bits) and labels each copy by the syndrome of its suffix.
+    Because Condition A holds *within each subcube*, it holds in ``Q_m``.
+    Label count: ``m' + 1``, a power of two ≥ (m+1)/2.
+    """
+    mp = largest_hamming_length_at_most(m)
+    if mp == m:
+        return hamming_labeling(m)
+    p = (mp + 1).bit_length() - 1
+    sub = hamming_syndrome_table(p)  # length 2^mp
+    reps = 1 << (m - mp)
+    labels = np.tile(sub, reps)
+    lab = ConditionALabeling(m=m, num_labels=mp + 1, labels=labels, name="lemma2")
+    return lab
+
+
+def best_available_labeling(m: int) -> ConditionALabeling:
+    """The labeling with the most labels this library can construct for Q_m.
+
+    Hamming when ``m + 1`` is a power of two (optimal, ``λ_m = m + 1``),
+    otherwise the Lemma-2 tiling.  This is the ``f*`` used by the default
+    parameters of ``Construct_BASE`` / ``Construct``; the construction
+    procedures accept any verified Condition-A labeling if callers want to
+    plug in something better (e.g. an exhaustively-found optimum from
+    :mod:`repro.domination.domatic`).
+    """
+    if (m + 1) & m == 0:
+        return hamming_labeling(m)
+    return lemma2_labeling(m)
+
+
+def labeling_from_array(m: int, labels: np.ndarray, *, name: str = "custom") -> ConditionALabeling:
+    """Wrap a raw label array, inferring the label count (must be onto)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    uniq = np.unique(labels)
+    if not np.array_equal(uniq, np.arange(uniq.size)):
+        raise InvalidParameterError(
+            "labels must be exactly 0..t-1 (onto, zero-based)"
+        )
+    return ConditionALabeling(m=m, num_labels=int(uniq.size), labels=labels, name=name)
+
+
+def paper_example_labeling_q2() -> ConditionALabeling:
+    """Example 1, first labeling: f(00)=f(11)=c1, f(01)=f(10)=c2.
+
+    Label = parity of the two bits, i.e. c1 ↦ 0 for even parity.
+    """
+    labels = np.array([0, 1, 1, 0], dtype=np.int64)  # u = 00,01,10,11
+    return ConditionALabeling(m=2, num_labels=2, labels=labels, name="example1-q2")
+
+
+def paper_example_labeling_q3() -> ConditionALabeling:
+    """Example 1, second labeling of Q_3 with four labels.
+
+    f(000)=f(111)=c1, f(001)=f(110)=c2, f(010)=f(101)=c3, f(011)=f(100)=c4.
+    (Identical to the Hamming syndrome labeling up to renaming of labels —
+    the test-suite checks this equivalence.)
+    """
+    labels = np.zeros(8, dtype=np.int64)
+    for u in range(8):
+        labels[u] = u if u < 4 else (u ^ 7)
+    return ConditionALabeling(m=3, num_labels=4, labels=labels, name="example1-q3")

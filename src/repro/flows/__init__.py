@@ -1,0 +1,14 @@
+"""Max-flow substrate (written from scratch; no external solver).
+
+Used by the generic broadcast schedulers: the number of vertices that can
+be informed in one round is upper-bounded by a maximum flow from the
+informed set to the uninformed set where every graph edge has unit
+capacity (calls must be edge-disjoint) and every vertex may source/sink at
+most one call.  :mod:`repro.schedulers.greedy` uses this as a per-round
+packing oracle and for retry decisions.
+"""
+
+from repro.flows.maxflow import FlowNetwork, max_flow_value
+from repro.flows.paths import decompose_paths, round_packing_bound
+
+__all__ = ["FlowNetwork", "max_flow_value", "decompose_paths", "round_packing_bound"]

@@ -1,0 +1,113 @@
+"""Dinic's maximum-flow algorithm on an explicit residual network.
+
+Small, dependency-free, integer capacities.  Complexity O(V²E) generally
+and O(E√V) on unit-capacity networks — more than enough for the round
+packing instances here (hundreds of nodes).
+
+The network is directed; undirected unit-capacity graph edges are modelled
+as a pair of opposing arcs (standard construction: a unit of flow may
+cross an undirected edge in either direction, and opposing units cancel,
+so any integral flow decomposes into paths using each undirected edge at
+most once — the edge-disjointness the k-line model needs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.types import InvalidParameterError
+
+__all__ = ["FlowNetwork", "max_flow_value"]
+
+
+@dataclass
+class _Arc:
+    to: int
+    cap: int
+    rev: int  # index of the reverse arc in adj[to]
+    init_cap: int = 0  # capacity at creation (for flow read-back)
+
+
+@dataclass
+class FlowNetwork:
+    """A directed flow network over nodes ``0 .. n_nodes-1``."""
+
+    n_nodes: int
+    adj: list[list[_Arc]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 0:
+            raise InvalidParameterError(f"need n_nodes >= 0, got {self.n_nodes}")
+        if not self.adj:
+            self.adj = [[] for _ in range(self.n_nodes)]
+
+    def add_arc(self, u: int, v: int, cap: int) -> None:
+        """Add a directed arc u→v of the given capacity (plus the residual)."""
+        if not (0 <= u < self.n_nodes and 0 <= v < self.n_nodes):
+            raise InvalidParameterError(f"arc ({u}, {v}) out of range")
+        if cap < 0:
+            raise InvalidParameterError(f"capacity must be >= 0, got {cap}")
+        self.adj[u].append(_Arc(v, cap, len(self.adj[v]), cap))
+        self.adj[v].append(_Arc(u, 0, len(self.adj[u]) - 1, 0))
+
+    def add_undirected_unit_edge(self, u: int, v: int) -> None:
+        """Model an undirected unit-capacity edge (one call may cross it,
+        in either direction)."""
+        # two opposing unit arcs; flow cancellation keeps net use <= 1
+        self.add_arc(u, v, 1)
+        self.add_arc(v, u, 1)
+
+    # -- Dinic ------------------------------------------------------------
+
+    def _bfs_levels(self, s: int, t: int) -> list[int] | None:
+        level = [-1] * self.n_nodes
+        level[s] = 0
+        dq: deque[int] = deque([s])
+        while dq:
+            u = dq.popleft()
+            for arc in self.adj[u]:
+                if arc.cap > 0 and level[arc.to] == -1:
+                    level[arc.to] = level[u] + 1
+                    dq.append(arc.to)
+        return level if level[t] != -1 else None
+
+    def _dfs_block(self, u: int, t: int, pushed: int, level: list[int], it: list[int]) -> int:
+        if u == t:
+            return pushed
+        while it[u] < len(self.adj[u]):
+            arc = self.adj[u][it[u]]
+            if arc.cap > 0 and level[arc.to] == level[u] + 1:
+                d = self._dfs_block(arc.to, t, min(pushed, arc.cap), level, it)
+                if d > 0:
+                    arc.cap -= d
+                    self.adj[arc.to][arc.rev].cap += d
+                    return d
+            it[u] += 1
+        return 0
+
+    def max_flow(self, s: int, t: int) -> int:
+        """Run Dinic from s to t; mutates the residual capacities."""
+        if s == t:
+            raise InvalidParameterError("source equals sink")
+        flow = 0
+        while True:
+            level = self._bfs_levels(s, t)
+            if level is None:
+                return flow
+            it = [0] * self.n_nodes
+            while True:
+                pushed = self._dfs_block(s, t, 1 << 60, level, it)
+                if pushed == 0:
+                    break
+                flow += pushed
+
+    def flow_on(self, u: int, arc_index: int) -> int:
+        """Units of flow currently on the arc_index-th arc out of ``u``."""
+        arc = self.adj[u][arc_index]
+        return arc.init_cap - arc.cap
+
+
+def max_flow_value(network: FlowNetwork, s: int, t: int) -> int:
+    """Convenience wrapper (mutates the network's residual capacities)."""
+    return network.max_flow(s, t)

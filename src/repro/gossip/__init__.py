@@ -1,0 +1,43 @@
+"""Gossip (all-to-all exchange) under the k-line model — §5 future work.
+
+The paper closes by proposing minimum-time *gossip* graphs under k-line
+communication as a research direction (citing Fraigniaud & Peters'
+minimum linear gossip graphs [17]).  This package implements the natural
+model: a round is a set of pairwise edge-disjoint *exchanges*; an exchange
+establishes a circuit (a path of length ≤ k) between two endpoints which
+then swap their full token sets; a vertex can be an endpoint of at most
+one exchange per round but may switch any number of circuits through it.
+
+Since each vertex's token set can at most double per round, gossip takes
+at least ⌈log₂N⌉ rounds.  Provided here:
+
+* :func:`hypercube_gossip` — the classic dimension sweep on Q_n
+  (n rounds at k = 1, optimal for N = 2^n);
+* :func:`sparse_hypercube_gossip` — a dimension sweep on
+  ``Construct_BASE`` graphs where missing dimension edges are replaced by
+  length-3 relay circuits, grouped into conflict-free sub-rounds;
+* a validator that replays token sets and enforces the exchange model.
+
+The measured result (experiment E17): the sparse hypercube still gossips,
+at k = 3, but pays a ~λ× round-count factor — sparseness is much more
+expensive for gossip than for broadcast, quantifying why the paper flags
+gossip as a separate open problem.
+"""
+
+from repro.gossip.exchange import Exchange, GossipSchedule
+from repro.gossip.schemes import hypercube_gossip, sparse_hypercube_gossip
+from repro.gossip.validator import (
+    GossipReport,
+    minimum_gossip_rounds,
+    validate_gossip,
+)
+
+__all__ = [
+    "Exchange",
+    "GossipSchedule",
+    "hypercube_gossip",
+    "sparse_hypercube_gossip",
+    "validate_gossip",
+    "GossipReport",
+    "minimum_gossip_rounds",
+]

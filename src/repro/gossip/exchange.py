@@ -1,0 +1,81 @@
+"""Datatypes for k-line gossip: exchanges and gossip schedules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.types import Edge, InvalidScheduleError, canonical_edge
+
+__all__ = ["Exchange", "GossipRound", "GossipSchedule"]
+
+
+@dataclass(frozen=True)
+class Exchange:
+    """A bidirectional token exchange along an established circuit.
+
+    Both endpoints send their full token set to the other; intermediate
+    vertices only switch the circuit (they learn nothing).
+    """
+
+    path: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 2:
+            raise InvalidScheduleError(
+                f"an exchange needs two distinct endpoints, got {self.path!r}"
+            )
+        if self.path[0] == self.path[-1]:
+            raise InvalidScheduleError("exchange endpoints must differ")
+
+    @property
+    def a(self) -> int:
+        return self.path[0]
+
+    @property
+    def b(self) -> int:
+        return self.path[-1]
+
+    @property
+    def length(self) -> int:
+        return len(self.path) - 1
+
+    def edges(self) -> list[Edge]:
+        return [canonical_edge(x, y) for x, y in zip(self.path, self.path[1:])]
+
+    def endpoints(self) -> tuple[int, int]:
+        return (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class GossipRound:
+    exchanges: tuple[Exchange, ...]
+
+    def __iter__(self) -> Iterator[Exchange]:
+        return iter(self.exchanges)
+
+    def __len__(self) -> int:
+        return len(self.exchanges)
+
+
+@dataclass
+class GossipSchedule:
+    """An ordered list of gossip rounds (no distinguished source)."""
+
+    rounds: list[GossipRound] = field(default_factory=list)
+
+    def append_round(self, exchanges: Sequence[Exchange]) -> None:
+        self.rounds.append(GossipRound(tuple(exchanges)))
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def num_exchanges(self) -> int:
+        return sum(len(r) for r in self.rounds)
+
+    def max_exchange_length(self) -> int:
+        return max(
+            (e.length for r in self.rounds for e in r), default=0
+        )

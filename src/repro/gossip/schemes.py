@@ -1,0 +1,97 @@
+"""Gossip schemes: the hypercube dimension sweep and its sparse variant.
+
+The classic result: on ``Q_n``, pairing every vertex with its neighbour
+across dimension i and exchanging, for i = 1..n, completes gossip in
+n = log₂N rounds — optimal — with length-1 calls.
+
+On a sparse hypercube (``Construct_BASE(n, m)``) the dimension-i edges for
+i > m exist only at vertices whose label owns i.  The pairs that lost
+their edge exchange over the **relay circuit**
+
+    u → ⊕_j u → ⊕_i ⊕_j u → ⊕_i u          (length 3)
+
+where j is a core dimension giving ``⊕_j u`` the owning label (Condition
+A).  Relay circuits can collide on their middle (dimension-i) edge, so a
+dimension's exchanges are grouped into conflict-free sub-rounds:
+
+* one sub-round for the direct pairs, and
+* one sub-round per distinct relay dimension j — within one group the
+  middle edges ``{⊕_j u, ⊕_i ⊕_j u}`` are distinct because ``u ↦ ⊕_j u``
+  is injective, and a first/last edge of one circuit cannot equal the
+  last/first of another in the same group (that would force the other
+  endpoint to carry the owning label, i.e. be a direct pair).
+
+The round-count cost is measured in experiment E17.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.sparse_hypercube import SparseHypercube
+from repro.core.routing import relay_candidates
+from repro.gossip.exchange import Exchange, GossipSchedule
+from repro.types import InvalidParameterError
+from repro.util.bits import flip_dim
+
+__all__ = ["hypercube_gossip", "sparse_hypercube_gossip"]
+
+
+def hypercube_gossip(n: int) -> GossipSchedule:
+    """The dimension-sweep gossip on ``Q_n``: n rounds of perfect matchings."""
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    schedule = GossipSchedule()
+    for i in range(1, n + 1):
+        bit = 1 << (i - 1)
+        exchanges = [
+            Exchange((u, u | bit)) for u in range(1 << n) if not (u & bit)
+        ]
+        schedule.append_round(exchanges)
+    return schedule
+
+
+def sparse_hypercube_gossip(sh: SparseHypercube) -> GossipSchedule:
+    """Dimension-sweep gossip on a ``Construct_BASE`` sparse hypercube.
+
+    Only base constructions (k = 2) are supported: their relay circuits
+    have the closed length-3 form above.  (Recursive constructions would
+    need nested relays; the open-problem flavour of §5 starts exactly
+    here.)
+    """
+    if sh.k != 2:
+        raise InvalidParameterError(
+            "sparse gossip is implemented for Construct_BASE graphs (k=2)"
+        )
+    level = sh.levels[0]
+    schedule = GossipSchedule()
+    # high dimensions: direct sub-round + one sub-round per relay dim j
+    for i in range(sh.n, sh.base_dims, -1):
+        bit = 1 << (i - 1)
+        direct: list[Exchange] = []
+        relay_groups: dict[int, list[Exchange]] = defaultdict(list)
+        for u in range(sh.n_vertices):
+            if u & bit:
+                continue  # enumerate each pair once, from its low endpoint
+            if level.owns_edge(u, i):
+                direct.append(Exchange((u, u | bit)))
+            else:
+                # deterministic relay dim (largest relay vertex id, as in
+                # reach_and_flip)
+                cands = relay_candidates(sh, u, i)
+                j = max(cands, key=lambda d: flip_dim(u, d))
+                mid1 = flip_dim(u, j)
+                mid2 = flip_dim(mid1, i)
+                partner = flip_dim(mid2, j)
+                assert partner == flip_dim(u, i)
+                relay_groups[j].append(Exchange((u, mid1, mid2, partner)))
+        schedule.append_round(direct)
+        for j in sorted(relay_groups):
+            schedule.append_round(relay_groups[j])
+    # core dimensions: complete matchings, one round each
+    for i in range(sh.base_dims, 0, -1):
+        bit = 1 << (i - 1)
+        schedule.append_round(
+            [Exchange((u, u | bit)) for u in range(sh.n_vertices) if not (u & bit)]
+        )
+    return schedule

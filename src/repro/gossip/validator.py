@@ -1,0 +1,87 @@
+"""Validation and token replay for k-line gossip schedules."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.gossip.exchange import GossipSchedule
+from repro.graphs.base import Graph
+from repro.types import Edge
+
+__all__ = ["GossipReport", "validate_gossip", "minimum_gossip_rounds"]
+
+
+def minimum_gossip_rounds(n_vertices: int) -> int:
+    """⌈log₂N⌉ — token sets at most double per round."""
+    return math.ceil(math.log2(n_vertices)) if n_vertices > 1 else 0
+
+
+@dataclass
+class GossipReport:
+    ok: bool
+    errors: list[str] = field(default_factory=list)
+    rounds: int = 0
+    complete: bool = False
+    min_tokens_per_round: list[int] = field(default_factory=list)
+
+    def raise_if_invalid(self) -> None:
+        if not self.ok:
+            raise AssertionError("; ".join(self.errors[:10]))
+
+
+def validate_gossip(
+    graph: Graph,
+    schedule: GossipSchedule,
+    k: int,
+    *,
+    require_minimum_time: bool = False,
+) -> GossipReport:
+    """Check a gossip schedule against the k-line exchange model.
+
+    Per round: every exchange path is a path of the graph with length ≤ k;
+    exchanges are pairwise edge-disjoint; every vertex is an endpoint of at
+    most one exchange.  Globally: after the last round every vertex holds
+    every token (tracked by exact replay with bitmask token sets).
+    """
+    report = GossipReport(ok=True, rounds=schedule.num_rounds)
+    n = graph.n_vertices
+    tokens = [1 << v for v in range(n)]
+    full = (1 << n) - 1
+    for idx, rnd in enumerate(schedule.rounds, start=1):
+        used_edges: set[Edge] = set()
+        endpoints: set[int] = set()
+        updates: list[tuple[int, int, int]] = []
+        for ex in rnd:
+            tag = f"round {idx}, exchange {ex.a}<->{ex.b}"
+            if not graph.path_is_valid(ex.path):
+                report.errors.append(f"{tag}: not a path of the graph")
+                continue
+            if ex.length > k:
+                report.errors.append(f"{tag}: length {ex.length} exceeds k={k}")
+            for v in ex.endpoints():
+                if v in endpoints:
+                    report.errors.append(f"{tag}: endpoint {v} already busy")
+                endpoints.add(v)
+            for e in ex.edges():
+                if e in used_edges:
+                    report.errors.append(f"{tag}: edge {e} already in use")
+                used_edges.add(e)
+            merged = tokens[ex.a] | tokens[ex.b]
+            updates.append((ex.a, ex.b, merged))
+        for a, b, merged in updates:  # simultaneous semantics
+            tokens[a] = merged
+            tokens[b] = merged
+        report.min_tokens_per_round.append(
+            min(int(t).bit_count() for t in tokens)
+        )
+    report.complete = all(t == full for t in tokens)
+    if not report.complete:
+        missing = sum(1 for t in tokens if t != full)
+        report.errors.append(f"gossip incomplete: {missing} vertices lack tokens")
+    if require_minimum_time and schedule.num_rounds != minimum_gossip_rounds(n):
+        report.errors.append(
+            f"{schedule.num_rounds} rounds vs minimum {minimum_gossip_rounds(n)}"
+        )
+    report.ok = not report.errors
+    return report

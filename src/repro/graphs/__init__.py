@@ -1,0 +1,44 @@
+"""Graph substrate: integer-vertex graphs, hypercubes, variants, trees.
+
+This package deliberately implements its own small graph kernel
+(:class:`repro.graphs.base.Graph`) instead of building on networkx: the
+constructions in the paper are defined over vertex sets ``{0,1}^n`` that we
+encode as integers, the hot loops (edge generation, BFS sweeps) are
+vectorized with NumPy, and keeping the kernel minimal makes the validator's
+checks auditable.  ``to_networkx``/``from_networkx`` converters are provided
+for cross-checking and interop.
+"""
+
+from repro.graphs.base import Graph
+from repro.graphs.hypercube import hypercube
+from repro.graphs.trees import (
+    balanced_ternary_core_tree,
+    complete_binary_tree,
+    path_graph,
+    spider,
+    star,
+)
+from repro.graphs.variants import (
+    cube_connected_cycles,
+    cycle_graph,
+    de_bruijn,
+    folded_hypercube,
+    star_graph_permutation,
+    torus,
+)
+
+__all__ = [
+    "Graph",
+    "hypercube",
+    "folded_hypercube",
+    "cube_connected_cycles",
+    "de_bruijn",
+    "star_graph_permutation",
+    "torus",
+    "cycle_graph",
+    "complete_binary_tree",
+    "balanced_ternary_core_tree",
+    "path_graph",
+    "star",
+    "spider",
+]

@@ -1,0 +1,106 @@
+"""JSON serialization: graphs, schedules, and k-mlbg certificates.
+
+A *certificate* is a machine-readable proof of Definition-3 membership:
+the graph's edge list, the claimed k, and one minimum-time schedule per
+source.  ``verify_certificate`` re-validates everything from the JSON
+alone — so a certificate produced here can be checked by a third party
+with no trust in the construction code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.graphs.base import Graph
+from repro.model.validator import validate_broadcast
+from repro.types import Call, InvalidParameterError, Schedule
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "certificate_for",
+    "verify_certificate",
+    "dump_certificate",
+    "load_certificate",
+]
+
+
+def graph_to_dict(graph: Graph) -> dict[str, Any]:
+    return {
+        "n_vertices": graph.n_vertices,
+        "edges": [list(e) for e in graph.edges()],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> Graph:
+    try:
+        n = int(data["n_vertices"])
+        edges = [(int(u), int(v)) for u, v in data["edges"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"malformed graph payload: {exc}") from exc
+    return Graph(n, edges).freeze()
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    return {
+        "source": schedule.source,
+        "rounds": [
+            [list(call.path) for call in rnd] for rnd in schedule.rounds
+        ],
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    try:
+        schedule = Schedule(source=int(data["source"]))
+        for rnd in data["rounds"]:
+            schedule.append_round([Call.via([int(v) for v in path]) for path in rnd])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"malformed schedule payload: {exc}") from exc
+    return schedule
+
+
+def certificate_for(
+    sh, sources: list[int] | None = None
+) -> dict[str, Any]:
+    """A k-mlbg certificate for a sparse hypercube (all sources by
+    default; pass a sample for large instances)."""
+    from repro.core.broadcast import broadcast_schedule
+
+    srcs = sources if sources is not None else list(range(sh.n_vertices))
+    return {
+        "format": "repro-kmlbg-certificate/1",
+        "k": sh.k,
+        "n": sh.n,
+        "thresholds": list(sh.thresholds),
+        "graph": graph_to_dict(sh.graph),
+        "schedules": [
+            schedule_to_dict(broadcast_schedule(sh, s)) for s in srcs
+        ],
+    }
+
+
+def verify_certificate(payload: dict[str, Any]) -> bool:
+    """Re-validate a certificate from its JSON-compatible payload alone."""
+    if payload.get("format") != "repro-kmlbg-certificate/1":
+        raise InvalidParameterError("unknown certificate format")
+    graph = graph_from_dict(payload["graph"])
+    k = int(payload["k"])
+    for sched_data in payload["schedules"]:
+        schedule = schedule_from_dict(sched_data)
+        if not validate_broadcast(graph, schedule, k).ok:
+            return False
+    return True
+
+
+def dump_certificate(payload: dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, separators=(",", ":"))
+
+
+def load_certificate(path: str) -> dict[str, Any]:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)

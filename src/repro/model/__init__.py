@@ -1,0 +1,45 @@
+"""The k-line communication model (paper, Definition 1) as executable code.
+
+``validator``
+    Pure checks: does a schedule obey Definition 1 on a given graph with
+    call-length bound k, and does it complete a broadcast in minimum time
+    (Definitions 2–3)?
+
+``simulator``
+    A stateful round-by-round executor with statistics (informed counts,
+    edge loads, call-length histogram) and the Section-5 *bandwidth-m*
+    extension (each edge may carry up to ``bandwidth`` simultaneous calls;
+    ``bandwidth=1`` is exactly Definition 1).
+
+``congestion``
+    Cross-round edge-load accounting for experiment E15.
+"""
+
+from repro.model.congestion import (
+    CongestionProfile,
+    congestion_profile,
+    min_feasible_bandwidth,
+)
+from repro.model.simulator import LineNetworkSimulator, SimulationResult
+from repro.model.validator import (
+    ValidationReport,
+    assert_valid_broadcast,
+    minimum_broadcast_rounds,
+    validate_broadcast,
+    validate_round,
+    verify_k_mlbg_via_scheme,
+)
+
+__all__ = [
+    "ValidationReport",
+    "validate_round",
+    "validate_broadcast",
+    "assert_valid_broadcast",
+    "minimum_broadcast_rounds",
+    "verify_k_mlbg_via_scheme",
+    "LineNetworkSimulator",
+    "SimulationResult",
+    "CongestionProfile",
+    "congestion_profile",
+    "min_feasible_bandwidth",
+]

@@ -1,0 +1,96 @@
+"""Edge-congestion accounting (paper, Section 5 / experiment E15).
+
+The paper closes by observing that sparseness concentrates traffic: fewer
+edges must carry the same ⌈log₂N⌉-round broadcast, and longer calls occupy
+more edges per round.  These helpers quantify that for any schedule:
+
+* per-edge total load (how many calls traverse each edge over the run),
+* per-round maximum concurrent load (1 by Definition 1 for valid
+  schedules; > 1 measures how much *bandwidth* a relaxed schedule needs),
+* the minimum per-edge bandwidth making a given (possibly conflicting)
+  schedule feasible — the dilated-network question the paper poses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.graphs.base import Graph
+from repro.types import Edge, Schedule
+
+__all__ = ["CongestionProfile", "congestion_profile", "min_feasible_bandwidth"]
+
+
+@dataclass
+class CongestionProfile:
+    """Summary of a schedule's edge usage."""
+
+    total_load: dict[Edge, int]
+    per_round_peak: list[int]
+    used_edges: int
+    graph_edges: int
+    total_edge_occupancy: int
+
+    @property
+    def peak_concurrency(self) -> int:
+        """Maximum simultaneous calls on one edge over all rounds."""
+        return max(self.per_round_peak, default=0)
+
+    @property
+    def max_total_load(self) -> int:
+        return max(self.total_load.values(), default=0)
+
+    @property
+    def edge_utilization(self) -> float:
+        """Fraction of graph edges carrying at least one call."""
+        return self.used_edges / self.graph_edges if self.graph_edges else 0.0
+
+    def load_histogram(self) -> dict[int, int]:
+        hist: Counter = Counter(self.total_load.values())
+        return dict(sorted(hist.items()))
+
+
+def congestion_profile(graph: Graph, schedule: Schedule) -> CongestionProfile:
+    """Edge-load statistics of ``schedule`` on ``graph``.
+
+    Does not validate feasibility; pair with the validator when the
+    schedule must also be legal.
+    """
+    total: Counter = Counter()
+    per_round_peak: list[int] = []
+    occupancy = 0
+    for rnd in schedule.rounds:
+        this_round: Counter = Counter()
+        for call in rnd:
+            for e in call.edges():
+                total[e] += 1
+                this_round[e] += 1
+                occupancy += 1
+        per_round_peak.append(max(this_round.values(), default=0))
+    return CongestionProfile(
+        total_load=dict(total),
+        per_round_peak=per_round_peak,
+        used_edges=len(total),
+        graph_edges=graph.n_edges,
+        total_edge_occupancy=occupancy,
+    )
+
+
+def min_feasible_bandwidth(graph: Graph, schedule: Schedule) -> int:
+    """Smallest per-edge bandwidth under which every call of the schedule
+    is admitted (receiver constraints unchanged).
+
+    For a Definition-1-valid schedule this is 1.  For deliberately
+    conflicting schedules (e.g. merging two broadcasts into shared rounds)
+    it measures the dilation the paper's Section 5 asks about.
+    """
+    peak = 0
+    for rnd in schedule.rounds:
+        this_round: Counter = Counter()
+        for call in rnd:
+            for e in call.edges():
+                this_round[e] += 1
+        if this_round:
+            peak = max(peak, max(this_round.values()))
+    return max(1, peak)

@@ -1,0 +1,34 @@
+"""Broadcast schedulers beyond the paper's closed-form schemes.
+
+``search``
+    Exact branch-and-bound: finds a minimum-time k-line broadcast schedule
+    or certifies none exists (small graphs).  Used to machine-check
+    Definition-3 membership *independently* of the constructions' schemes,
+    and to verify Theorem 1 trees exactly for small h.
+
+``greedy``
+    Randomized capacity-aware heuristic for larger instances (Theorem-1
+    trees at larger h, baseline topologies).  Sound but incomplete: a
+    returned schedule is always validated; a None return means "not
+    found", never "impossible".
+
+``store_forward``
+    The k = 1 baseline: classic binomial-tree broadcast on the hypercube
+    (the store-and-forward model the paper generalizes away from).
+"""
+
+from repro.schedulers.greedy import heuristic_line_broadcast
+from repro.schedulers.search import (
+    find_minimum_time_schedule,
+    is_k_mlbg_exact,
+    minimum_kline_rounds,
+)
+from repro.schedulers.store_forward import binomial_hypercube_broadcast
+
+__all__ = [
+    "find_minimum_time_schedule",
+    "is_k_mlbg_exact",
+    "minimum_kline_rounds",
+    "heuristic_line_broadcast",
+    "binomial_hypercube_broadcast",
+]

@@ -1,0 +1,274 @@
+"""Exact multi-message broadcast search (the [24] Kwon–Chwa question).
+
+M messages start at a common source; a call now carries a *message id*,
+its caller must already hold that message, and Definition 1's physical
+constraints apply per round across all messages (one call placed per
+vertex, one reception per vertex, edge-disjoint paths, length ≤ k).
+
+``find_multimessage_schedule`` finds a schedule delivering all M messages
+to all vertices within a round budget, or proves none exists (complete
+search with capacity pruning).  Small graphs only — the state space is
+the product of per-message informed sets.
+
+Headline facts established in tests/E22:
+
+* pipelining the paper's own minimum-time schedule is impossible
+  (every vertex calls every round — no slack), so the serial baseline is
+  ``M·⌈log₂N⌉``;
+* genuine multi-message schedules beat it: e.g. 2 messages on Q₃ finish
+  in 4 rounds versus 6 serial (found and certified by this module);
+* the trivial lower bound is ``⌈log₂N⌉ + (M − 1)`` (the source emits one
+  message per round at best, and the last-emitted message still needs to
+  reach everyone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.base import Graph
+from repro.model.validator import minimum_broadcast_rounds
+from repro.types import (
+    Call,
+    InvalidParameterError,
+    ReproError,
+    canonical_edge,
+)
+
+__all__ = [
+    "MultiMessageCall",
+    "MultiMessageSchedule",
+    "find_multimessage_schedule",
+    "multimessage_lower_bound",
+    "validate_multimessage",
+]
+
+
+@dataclass(frozen=True)
+class MultiMessageCall:
+    message: int
+    call: Call
+
+
+@dataclass
+class MultiMessageSchedule:
+    source: int
+    n_messages: int
+    rounds: list[list[MultiMessageCall]]
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+
+def multimessage_lower_bound(n_vertices: int, n_messages: int) -> int:
+    """Best of two arguments:
+
+    * emission: ⌈log₂N⌉ + M − 1 (the source releases one message per
+      round; the last released still needs a doubling phase);
+    * reception counting: M(N−1) receptions are needed; round t admits at
+      most ``min(2^{t-1}, ⌊N/2⌋)`` receptions (only vertices that already
+      hold something can call, holders at most double per round, and a
+      round is a caller→receiver matching).
+
+    For (Q₃, M = 2) this gives 5 — and the exact search certifies 5 is
+    achievable, so the bound is tight there (test-suite).
+    """
+    emission = minimum_broadcast_rounds(n_vertices) + n_messages - 1
+    needed = n_messages * (n_vertices - 1)
+    total = 0
+    rounds = 0
+    while total < needed:
+        rounds += 1
+        total += min(1 << (rounds - 1), n_vertices // 2)
+    return max(emission, rounds)
+
+
+def validate_multimessage(
+    graph: Graph, schedule: MultiMessageSchedule, k: int
+) -> list[str]:
+    """Independent validator for multi-message schedules."""
+    errors: list[str] = []
+    holders = [
+        {schedule.source} for _ in range(schedule.n_messages)
+    ]
+    for idx, rnd in enumerate(schedule.rounds, start=1):
+        used: set[tuple[int, int]] = set()
+        callers: set[int] = set()
+        receivers: set[int] = set()
+        for mc in rnd:
+            call, msg = mc.call, mc.message
+            tag = f"round {idx}, msg {msg}, {call.source}->{call.receiver}"
+            if not graph.path_is_valid(call.path):
+                errors.append(f"{tag}: invalid path")
+                continue
+            if call.length > k:
+                errors.append(f"{tag}: length {call.length} > k")
+            if call.source not in holders[msg]:
+                errors.append(f"{tag}: caller lacks the message")
+            if call.source in callers:
+                errors.append(f"{tag}: caller busy")
+            if call.receiver in receivers:
+                errors.append(f"{tag}: receiver busy")
+            if call.receiver in holders[msg]:
+                errors.append(f"{tag}: receiver already has message")
+            callers.add(call.source)
+            receivers.add(call.receiver)
+            for e in call.edges():
+                if e in used:
+                    errors.append(f"{tag}: edge {e} reused")
+                used.add(e)
+        for mc in rnd:
+            holders[mc.message].add(mc.call.receiver)
+    for msg, h in enumerate(holders):
+        if len(h) != graph.n_vertices:
+            errors.append(f"message {msg} incomplete: {len(h)}/{graph.n_vertices}")
+    return errors
+
+
+def find_multimessage_schedule(
+    graph: Graph,
+    source: int,
+    k: int,
+    n_messages: int,
+    rounds: int,
+    *,
+    node_budget: int = 3_000_000,
+) -> MultiMessageSchedule | None:
+    """Complete search for an M-message broadcast within ``rounds``.
+
+    Returns None only after exhausting the space (budget overrun raises).
+    """
+    if not graph.is_connected():
+        raise InvalidParameterError("graph must be connected")
+    n = graph.n_vertices
+    nodes = 0
+    failed: set[tuple[tuple[frozenset[int], ...], int]] = set()
+
+    def capacity_ok(holders: tuple[frozenset[int], ...], rounds_left: int) -> bool:
+        cap = (1 << rounds_left) if rounds_left >= 0 else 1
+        for h in holders:
+            if len(h) * cap < n:
+                return False
+        # source-emission bound: messages still held only by the source
+        virgin = sum(1 for h in holders if h == frozenset({source}))
+        if virgin > rounds_left:
+            return False
+        return True
+
+    def solve(
+        holders: tuple[frozenset[int], ...], r: int
+    ) -> list[list[MultiMessageCall]] | None:
+        nonlocal nodes
+        nodes += 1
+        if nodes > node_budget:
+            raise ReproError(
+                f"multi-message search exceeded {node_budget} nodes"
+            )
+        if all(len(h) == n for h in holders):
+            return []
+        if r == rounds or not capacity_ok(holders, rounds - r):
+            return None
+        key = (holders, r)
+        if key in failed:
+            return None
+        # candidate (caller, message) units: caller holds msg, msg not done
+        units: list[tuple[int, int]] = []
+        for msg, h in enumerate(holders):
+            if len(h) == n:
+                continue
+            units.extend((v, msg) for v in sorted(h))
+        result: list[list[MultiMessageCall]] | None = None
+
+        def assign(
+            idx: int,
+            used: set[tuple[int, int]],
+            callers: set[int],
+            receivers: set[int],
+            calls: list[MultiMessageCall],
+        ) -> bool:
+            nonlocal result, nodes
+            nodes += 1
+            if nodes > node_budget:
+                raise ReproError("multi-message search budget exceeded")
+            if idx == len(units):
+                if not calls:
+                    return False
+                new_holders = list(holders)
+                for mc in calls:
+                    new_holders[mc.message] = new_holders[mc.message] | {
+                        mc.call.receiver
+                    }
+                rest = solve(tuple(new_holders), r + 1)
+                if rest is not None:
+                    result = [calls[:]] + rest
+                    return True
+                return False
+            caller, msg = units[idx]
+            if caller not in callers:
+                targets = set(range(n)) - set(holders[msg]) - receivers
+                paths = _paths_from(graph, caller, k, used, targets)
+                for path in paths:
+                    edges = [
+                        canonical_edge(a, b) for a, b in zip(path, path[1:])
+                    ]
+                    used.update(edges)
+                    callers.add(caller)
+                    receivers.add(path[-1])
+                    calls.append(MultiMessageCall(msg, Call.via(path)))
+                    if assign(idx + 1, used, callers, receivers, calls):
+                        return True
+                    calls.pop()
+                    receivers.discard(path[-1])
+                    callers.discard(caller)
+                    used.difference_update(edges)
+            return assign(idx + 1, used, callers, receivers, calls)
+
+        if assign(0, set(), set(), set(), []):
+            assert result is not None
+            return result
+        failed.add(key)
+        return None
+
+    initial = tuple(frozenset({source}) for _ in range(n_messages))
+    rounds_calls = solve(initial, 0)
+    if rounds_calls is None:
+        return None
+    return MultiMessageSchedule(
+        source=source, n_messages=n_messages, rounds=rounds_calls
+    )
+
+
+def _paths_from(
+    graph: Graph,
+    caller: int,
+    k: int,
+    used: set[tuple[int, int]],
+    targets: set[int],
+) -> list[tuple[int, ...]]:
+    """Simple paths of length ≤ k over unused edges ending at a target."""
+    out: list[tuple[int, ...]] = []
+
+    def dfs(path: list[int], visited: set[int]) -> None:
+        u = path[-1]
+        if len(path) > 1 and u in targets:
+            out.append(tuple(path))
+        if len(path) - 1 == k:
+            return
+        for v in graph.sorted_neighbors(u):
+            if v in visited:
+                continue
+            e = canonical_edge(u, v)
+            if e in used:
+                continue
+            used.add(e)
+            visited.add(v)
+            path.append(v)
+            dfs(path, visited)
+            path.pop()
+            visited.discard(v)
+            used.discard(e)
+
+    dfs([caller], {caller})
+    out.sort(key=lambda p: (len(p), p))
+    return out

@@ -1,0 +1,244 @@
+"""Exact minimum-time k-line broadcast search (small graphs).
+
+A complete branch-and-bound over round-by-round call assignments under
+Definition 1.  Capable of both:
+
+* **finding** a schedule meeting a round budget (used to reproduce the
+  existence claims — Theorem 1 for small trees, spot-checks that specific
+  sparse hypercubes really are k-mlbgs without trusting the schemes), and
+* **refuting**: a ``None`` return with the default exhaustive settings is
+  a proof that no schedule within the round budget exists — this is what
+  lets tests show, e.g., that ``Q_4`` minus too many edges stops being a
+  2-mlbg, or that the star is *not* a 1-mlbg.
+
+Pruning:
+
+* global doubling: with r rounds left, ``|U| ≤ |I|·(2^r − 1)`` must hold;
+* per-component capacity: a connected component C of the uninformed
+  subgraph with boundary b(C) informed neighbours satisfies
+  ``|C| ≤ b(C)·(2^r − 1)`` (each round at most b(C) calls enter C, and
+  the informed inside at most double);
+* memoized failed states (informed-set × round);
+* a global node budget (exceeding it raises — so ``None`` is always a
+  certificate, never a timeout in disguise).
+
+Complexity is exponential; intended for N ≲ 24 and small k.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.base import Graph
+from repro.types import Call, InvalidParameterError, ReproError, Schedule, canonical_edge
+from repro.model.validator import minimum_broadcast_rounds
+
+__all__ = [
+    "SearchBudgetExceeded",
+    "find_minimum_time_schedule",
+    "minimum_kline_rounds",
+    "is_k_mlbg_exact",
+]
+
+
+class SearchBudgetExceeded(ReproError):
+    """The exact search ran out of its node budget (result unknown)."""
+
+
+def _enumerate_paths(
+    graph: Graph,
+    caller: int,
+    k: int,
+    used: set[tuple[int, int]],
+    available_targets: set[int],
+) -> list[tuple[int, ...]]:
+    """All simple paths of length ≤ k from ``caller`` over unused edges,
+    ending at an available target.  Deterministic order (shorter first,
+    then lexicographic)."""
+    out: list[tuple[int, ...]] = []
+
+    def dfs(path: list[int], visited: set[int]) -> None:
+        u = path[-1]
+        if len(path) > 1 and u in available_targets:
+            out.append(tuple(path))
+        if len(path) - 1 == k:
+            return
+        for v in graph.sorted_neighbors(u):
+            if v in visited:
+                continue
+            e = canonical_edge(u, v)
+            if e in used:
+                continue
+            used.add(e)
+            visited.add(v)
+            path.append(v)
+            dfs(path, visited)
+            path.pop()
+            visited.discard(v)
+            used.discard(e)
+
+    dfs([caller], {caller})
+    out.sort(key=lambda p: (len(p), p))
+    return out
+
+
+def _capacity_ok(graph: Graph, informed: frozenset[int], rounds_left: int) -> bool:
+    """The two capacity prunes (sound: necessary conditions)."""
+    n = graph.n_vertices
+    u_count = n - len(informed)
+    if u_count == 0:
+        return True
+    if rounds_left <= 0:
+        return False
+    cap = (1 << rounds_left) - 1
+    if u_count > len(informed) * cap:
+        return False
+    # per-component bound
+    seen: set[int] = set()
+    for v in range(n):
+        if v in informed or v in seen:
+            continue
+        comp: list[int] = [v]
+        seen.add(v)
+        boundary: set[int] = set()
+        stack = [v]
+        while stack:
+            x = stack.pop()
+            for y in graph.neighbors(x):
+                if y in informed:
+                    boundary.add(y)
+                elif y not in seen:
+                    seen.add(y)
+                    comp.append(y)
+                    stack.append(y)
+        if len(comp) > len(boundary) * cap:
+            return False
+    return True
+
+
+def find_minimum_time_schedule(
+    graph: Graph,
+    source: int,
+    k: int,
+    *,
+    rounds: int | None = None,
+    node_budget: int = 2_000_000,
+) -> Schedule | None:
+    """A k-line broadcast schedule from ``source`` within ``rounds`` rounds
+    (default: the minimum ⌈log₂N⌉), or ``None`` if provably none exists.
+
+    Raises :class:`SearchBudgetExceeded` if the search tree outgrows
+    ``node_budget`` — so a ``None`` return is always a certificate.
+    """
+    if not graph.is_connected():
+        raise InvalidParameterError("graph must be connected")
+    if not (0 <= source < graph.n_vertices):
+        raise InvalidParameterError(f"source {source} not a vertex")
+    if k < 1:
+        raise InvalidParameterError(f"need k >= 1, got {k}")
+    budget = rounds if rounds is not None else minimum_broadcast_rounds(graph.n_vertices)
+    n = graph.n_vertices
+    failed: set[tuple[frozenset[int], int]] = set()
+    nodes = 0
+
+    def solve(informed: frozenset[int], r: int) -> list[list[Call]] | None:
+        nonlocal nodes
+        nodes += 1
+        if nodes > node_budget:
+            raise SearchBudgetExceeded(
+                f"exact search exceeded {node_budget} nodes "
+                f"(graph N={n}, k={k}, rounds={budget})"
+            )
+        if len(informed) == n:
+            return []
+        if r == budget or not _capacity_ok(graph, informed, budget - r):
+            return None
+        key = (informed, r)
+        if key in failed:
+            return None
+        callers = sorted(informed)
+        targets_all = set(range(n)) - informed
+        result: list[list[Call]] | None = None
+
+        def assign(
+            idx: int,
+            used: set[tuple[int, int]],
+            claimed: set[int],
+            calls: list[Call],
+        ) -> bool:
+            nonlocal result
+            nonlocal nodes
+            nodes += 1
+            if nodes > node_budget:
+                raise SearchBudgetExceeded(
+                    f"exact search exceeded {node_budget} nodes"
+                )
+            if idx == len(callers):
+                if not calls:
+                    return False  # no progress: dead round
+                new_informed = informed | {c.receiver for c in calls}
+                rest = solve(frozenset(new_informed), r + 1)
+                if rest is not None:
+                    result = [calls[:]] + rest
+                    return True
+                return False
+            caller = callers[idx]
+            available = targets_all - claimed
+            for path in _enumerate_paths(graph, caller, k, used, available):
+                edges = [canonical_edge(a, b) for a, b in zip(path, path[1:])]
+                used.update(edges)
+                claimed.add(path[-1])
+                calls.append(Call.via(path))
+                if assign(idx + 1, used, claimed, calls):
+                    return True
+                calls.pop()
+                claimed.discard(path[-1])
+                used.difference_update(edges)
+            # caller idles
+            return assign(idx + 1, used, claimed, calls)
+
+        if assign(0, set(), set(), []):
+            assert result is not None
+            return result
+        failed.add(key)
+        return None
+
+    rounds_calls = solve(frozenset({source}), 0)
+    if rounds_calls is None:
+        return None
+    schedule = Schedule(source=source)
+    for calls in rounds_calls:
+        schedule.append_round(calls)
+    return schedule
+
+
+def minimum_kline_rounds(
+    graph: Graph, source: int, k: int, *, max_rounds: int | None = None, node_budget: int = 2_000_000
+) -> int:
+    """The exact minimum number of rounds to broadcast from ``source``
+    under k-line communication (small graphs)."""
+    lo = minimum_broadcast_rounds(graph.n_vertices)
+    hi = max_rounds if max_rounds is not None else graph.n_vertices
+    for r in range(lo, hi + 1):
+        if (
+            find_minimum_time_schedule(
+                graph, source, k, rounds=r, node_budget=node_budget
+            )
+            is not None
+        ):
+            return r
+    raise InvalidParameterError(
+        f"no broadcast within {hi} rounds — graph disconnected?"
+    )
+
+
+def is_k_mlbg_exact(
+    graph: Graph, k: int, *, node_budget: int = 2_000_000
+) -> bool:
+    """Definition 3, checked exhaustively: every vertex admits a
+    minimum-time k-line broadcast scheme.  Exponential; small graphs only."""
+    for source in range(graph.n_vertices):
+        if (
+            find_minimum_time_schedule(graph, source, k, node_budget=node_budget)
+            is None
+        ):
+            return False
+    return True

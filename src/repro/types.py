@@ -1,0 +1,205 @@
+"""Core datatypes shared across the library.
+
+The paper's communication model (Definition 1) is about *calls*: during a
+synchronous time unit a vertex may call one other vertex at distance at most
+``k``, and simultaneous calls must be pairwise edge-disjoint and must not
+share a receiver.  Everything in this library that produces or consumes a
+broadcast schedule speaks in terms of the three small immutable records
+defined here:
+
+``Call``
+    One call: the originating vertex, the full edge path used by the call
+    (as a vertex sequence), and the receiving vertex.
+
+``Round``
+    The set of calls placed during one time unit.
+
+``Schedule``
+    An ordered list of rounds, together with the source vertex, modelling a
+    complete broadcast.
+
+Vertices are plain Python ``int``s throughout the library.  For hypercube
+derived graphs the integer encodes the bit string: *dimension i* of the
+paper (1-indexed, dimension 1 = least significant bit) corresponds to bit
+``i - 1`` of the integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+Vertex = int
+Edge = tuple[int, int]
+
+__all__ = [
+    "Vertex",
+    "Edge",
+    "Call",
+    "Round",
+    "Schedule",
+    "ReproError",
+    "InvalidParameterError",
+    "InvalidScheduleError",
+    "ConstructionError",
+    "canonical_edge",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A construction or scheme was invoked with out-of-range parameters."""
+
+
+class InvalidScheduleError(ReproError):
+    """A schedule violates the k-line communication model (Definition 1)."""
+
+
+class ConstructionError(ReproError):
+    """An internal invariant of a construction failed.
+
+    Raised when a procedure from the paper cannot complete, e.g. when a
+    labeling does not satisfy Condition A and therefore ``Broadcast_2``
+    cannot find a relay neighbour.  Seeing this exception always indicates
+    a bug (or a deliberately corrupted input in a test).
+    """
+
+
+def canonical_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical (sorted) form of the undirected edge ``{u, v}``.
+
+    Used as a dictionary/set key wherever undirected edges must be compared,
+    e.g. edge-disjointness checks in the validator.
+    """
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class Call:
+    """A single call under the k-line communication model.
+
+    Parameters
+    ----------
+    source:
+        The vertex placing the call.  Must equal ``path[0]``.
+    path:
+        The full vertex sequence traversed by the call, including both
+        endpoints.  ``len(path) - 1`` is the *length* of the call, which
+        Definition 1 bounds by ``k``.
+    receiver:
+        The called vertex.  Must equal ``path[-1]``.
+    """
+
+    source: Vertex
+    path: tuple[Vertex, ...]
+    receiver: Vertex
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 2:
+            raise InvalidScheduleError(
+                f"a call must traverse at least one edge, got path {self.path!r}"
+            )
+        if self.path[0] != self.source:
+            raise InvalidScheduleError(
+                f"path {self.path!r} does not start at source {self.source}"
+            )
+        if self.path[-1] != self.receiver:
+            raise InvalidScheduleError(
+                f"path {self.path!r} does not end at receiver {self.receiver}"
+            )
+
+    @staticmethod
+    def direct(u: Vertex, v: Vertex) -> "Call":
+        """A length-1 call along the single edge ``{u, v}``."""
+        return Call(source=u, path=(u, v), receiver=v)
+
+    @staticmethod
+    def via(path: Sequence[Vertex]) -> "Call":
+        """A call along the explicit ``path`` (first element calls last)."""
+        path = tuple(path)
+        return Call(source=path[0], path=path, receiver=path[-1])
+
+    @property
+    def length(self) -> int:
+        """Number of edges occupied by this call."""
+        return len(self.path) - 1
+
+    def edges(self) -> list[Edge]:
+        """Canonical undirected edges traversed by the call, in order."""
+        return [canonical_edge(a, b) for a, b in zip(self.path, self.path[1:])]
+
+
+@dataclass(frozen=True)
+class Round:
+    """All calls placed during one time unit."""
+
+    calls: tuple[Call, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "calls", tuple(self.calls))
+
+    def __iter__(self) -> Iterator[Call]:
+        return iter(self.calls)
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+    def sources(self) -> list[Vertex]:
+        return [c.source for c in self.calls]
+
+    def receivers(self) -> list[Vertex]:
+        return [c.receiver for c in self.calls]
+
+    def max_call_length(self) -> int:
+        return max((c.length for c in self.calls), default=0)
+
+
+@dataclass
+class Schedule:
+    """A complete broadcast schedule: the source plus an ordered round list.
+
+    A schedule makes **no** claims about its own validity; use
+    :func:`repro.model.validator.validate_broadcast` (or the simulator) to
+    check it against a graph and a call-length bound ``k``.
+    """
+
+    source: Vertex
+    rounds: list[Round] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Round]:
+        return iter(self.rounds)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def num_calls(self) -> int:
+        return sum(len(r) for r in self.rounds)
+
+    def max_call_length(self) -> int:
+        """The longest call in the schedule (the schedule's effective ``k``)."""
+        return max((r.max_call_length() for r in self.rounds), default=0)
+
+    def informed_after(self, t: int) -> set[Vertex]:
+        """Vertices informed after the first ``t`` rounds (source included).
+
+        This replays receivers without checking feasibility; it is a
+        convenience for inspection, not a validator.
+        """
+        informed = {self.source}
+        for r in self.rounds[:t]:
+            informed.update(r.receivers())
+        return informed
+
+    def all_informed(self) -> set[Vertex]:
+        return self.informed_after(len(self.rounds))
+
+    def append_round(self, calls: Sequence[Call]) -> None:
+        self.rounds.append(Round(tuple(calls)))

@@ -1,0 +1,29 @@
+"""Shared low-level utilities (bit manipulation, validation helpers)."""
+
+from repro.util.bits import (
+    bit,
+    bit_positions,
+    bits_to_int,
+    flip,
+    flip_dim,
+    hamming_distance,
+    int_to_bits,
+    popcount,
+    prefix_value,
+    suffix_value,
+    to_bitstring,
+)
+
+__all__ = [
+    "bit",
+    "bit_positions",
+    "bits_to_int",
+    "flip",
+    "flip_dim",
+    "hamming_distance",
+    "int_to_bits",
+    "popcount",
+    "prefix_value",
+    "suffix_value",
+    "to_bitstring",
+]

@@ -1,0 +1,167 @@
+"""Bit-string helpers used throughout the sparse-hypercube constructions.
+
+Conventions
+-----------
+A vertex of the binary n-cube is an integer in ``[0, 2**n)``.  The paper
+writes a vertex as the string ``u_n u_{n-1} ... u_1`` and indexes
+*dimensions* from 1 (least significant bit) to n (most significant bit).
+Throughout this library:
+
+* *dimension* ``i`` (1-indexed, as in the paper) maps to *bit position*
+  ``i - 1`` of the integer;
+* ``flip_dim(u, i)`` implements the paper's ``⊕_i u`` operator;
+* the *suffix of length m* is ``u mod 2**m`` (``suffix_value``), the
+  *prefix of length n-m* is ``u >> m`` (``prefix_value``).
+
+Scalar helpers operate on Python ints (arbitrary precision); vectorized
+helpers operate on NumPy integer arrays and are used on the hot paths of
+graph construction, per the profiling-first guidance of the HPC coding
+guides (vectorize the O(N·n) loops, keep everything else legible).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "bit",
+    "flip",
+    "flip_dim",
+    "popcount",
+    "hamming_distance",
+    "suffix_value",
+    "prefix_value",
+    "to_bitstring",
+    "from_bitstring",
+    "int_to_bits",
+    "bits_to_int",
+    "bit_positions",
+    "iter_neighbors",
+    "popcount_array",
+    "flip_dim_array",
+    "all_vertices",
+]
+
+
+def bit(u: int, i: int) -> int:
+    """Value (0 or 1) of dimension ``i`` (1-indexed) of vertex ``u``."""
+    if i < 1:
+        raise ValueError(f"dimensions are 1-indexed, got {i}")
+    return (u >> (i - 1)) & 1
+
+
+def flip(u: int, bit_pos: int) -> int:
+    """Flip the 0-indexed ``bit_pos`` of ``u``."""
+    return u ^ (1 << bit_pos)
+
+
+def flip_dim(u: int, i: int) -> int:
+    """The paper's ``⊕_i u``: flip dimension ``i`` (1-indexed) of ``u``."""
+    if i < 1:
+        raise ValueError(f"dimensions are 1-indexed, got {i}")
+    return u ^ (1 << (i - 1))
+
+
+def popcount(u: int) -> int:
+    """Number of set bits of ``u`` (Hamming weight)."""
+    return int(u).bit_count()
+
+
+def hamming_distance(u: int, v: int) -> int:
+    """Hamming distance between bit strings ``u`` and ``v``.
+
+    This equals the graph distance between ``u`` and ``v`` in the complete
+    binary n-cube ``Q_n`` (but *not* in a sparse hypercube, which is a
+    proper subgraph).
+    """
+    return int(u ^ v).bit_count()
+
+
+def suffix_value(u: int, m: int) -> int:
+    """The suffix ``u_m ... u_1`` of ``u``, as an integer in ``[0, 2**m)``."""
+    if m < 0:
+        raise ValueError(f"suffix length must be non-negative, got {m}")
+    return u & ((1 << m) - 1)
+
+
+def prefix_value(u: int, m: int) -> int:
+    """The prefix ``u_n ... u_{m+1}`` of ``u``: everything above the m-suffix."""
+    if m < 0:
+        raise ValueError(f"suffix length must be non-negative, got {m}")
+    return u >> m
+
+
+def to_bitstring(u: int, n: int) -> str:
+    """Render ``u`` as the paper's ``u_n u_{n-1} ... u_1`` string of length n."""
+    if u < 0 or u >= (1 << n):
+        raise ValueError(f"vertex {u} does not fit in {n} bits")
+    return format(u, f"0{n}b")
+
+
+def from_bitstring(s: str) -> int:
+    """Parse a ``u_n ... u_1`` bit string (as printed in the paper)."""
+    if not s or any(c not in "01" for c in s):
+        raise ValueError(f"not a bit string: {s!r}")
+    return int(s, 2)
+
+
+def int_to_bits(u: int, n: int) -> np.ndarray:
+    """Vector of the n bits of ``u``; index ``j`` holds dimension ``j+1``.
+
+    (i.e. index 0 is the least significant bit, matching the dimension
+    convention shifted down by one.)
+    """
+    if u < 0 or u >= (1 << n):
+        raise ValueError(f"vertex {u} does not fit in {n} bits")
+    return np.array([(u >> j) & 1 for j in range(n)], dtype=np.uint8)
+
+
+def bits_to_int(bits: Iterable[int]) -> int:
+    """Inverse of :func:`int_to_bits`."""
+    value = 0
+    for j, b in enumerate(bits):
+        if b not in (0, 1):
+            raise ValueError(f"bit values must be 0/1, got {b}")
+        value |= int(b) << j
+    return value
+
+
+def bit_positions(u: int) -> list[int]:
+    """Sorted list of set 0-indexed bit positions of ``u``."""
+    positions = []
+    j = 0
+    while u:
+        if u & 1:
+            positions.append(j)
+        u >>= 1
+        j += 1
+    return positions
+
+
+def iter_neighbors(u: int, n: int) -> Iterator[int]:
+    """All n neighbours of ``u`` in the complete cube ``Q_n``."""
+    for j in range(n):
+        yield u ^ (1 << j)
+
+
+def all_vertices(n: int) -> np.ndarray:
+    """All ``2**n`` vertices of ``Q_n`` as a uint64 array (hot-path helper)."""
+    if n < 0 or n > 62:
+        raise ValueError(f"n out of supported range [0, 62]: {n}")
+    return np.arange(1 << n, dtype=np.uint64)
+
+
+def popcount_array(a: np.ndarray) -> np.ndarray:
+    """Vectorized popcount of an unsigned integer array."""
+    a = np.asarray(a, dtype=np.uint64)
+    return np.bitwise_count(a).astype(np.int64)
+
+
+def flip_dim_array(a: np.ndarray, i: int) -> np.ndarray:
+    """Vectorized ``⊕_i`` over an array of vertices (dimension 1-indexed)."""
+    if i < 1:
+        raise ValueError(f"dimensions are 1-indexed, got {i}")
+    a = np.asarray(a, dtype=np.uint64)
+    return a ^ np.uint64(1 << (i - 1))

@@ -1,0 +1,62 @@
+"""Tests for the sweep/series CSV artifacts."""
+
+import csv
+import os
+
+import pytest
+
+from repro.analysis.sweeps import (
+    asymptotic_ratio_series,
+    degree_series,
+    export_all_series,
+    write_csv,
+)
+from repro.types import InvalidParameterError
+
+
+class TestSeries:
+    def test_degree_series_sandwich(self):
+        for k in (2, 3, 4):
+            for row in degree_series(k, range(6, 60, 6)):
+                assert row["lower_bound"] <= row["delta_analytic"] <= row["upper_bound"]
+                assert row["delta_optimized"] <= row["delta_analytic"]
+                assert row["delta_analytic"] <= row["hypercube_degree"]
+
+    def test_ratio_series_bounded_by_paper_coefficient(self):
+        """Corollary 2: Δ = Θ(ᵏ√n) — the measured ratio never exceeds the
+        (2k−1) coefficient of Theorem 7 (k ≥ 3) and stays bounded."""
+        for k in (3, 4, 5):
+            rows = asymptotic_ratio_series(k, range(8, 128, 8))
+            assert rows
+            for row in rows:
+                assert row["ratio"] <= row["paper_coefficient"] + 1e-9
+
+    def test_improved_k3_column_present(self):
+        rows = degree_series(3, [32, 64])
+        assert all("delta_improved_k3" in r for r in rows)
+
+    def test_small_n_skipped(self):
+        assert degree_series(4, [3, 4]) == []
+
+
+class TestCsv:
+    def test_write_and_readback(self, tmp_path):
+        rows = degree_series(2, [8, 16, 24])
+        path = str(tmp_path / "series.csv")
+        count = write_csv(rows, path)
+        assert count == 3
+        with open(path) as fh:
+            back = list(csv.DictReader(fh))
+        assert len(back) == 3
+        assert int(back[0]["n"]) == 8
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            write_csv([], str(tmp_path / "x.csv"))
+
+    def test_export_all(self, tmp_path):
+        written = export_all_series(str(tmp_path), max_n=32)
+        assert len(written) == 8  # 2 files × 4 k values
+        for name, count in written.items():
+            assert count > 0
+            assert os.path.exists(tmp_path / name)

@@ -1,0 +1,37 @@
+"""Unit tests for the table formatter."""
+
+from repro.analysis.tables import format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(empty)" in format_table([])
+        assert format_table([], title="T").startswith("T")
+
+    def test_alignment_and_header(self):
+        rows = [{"a": 1, "bb": "x"}, {"a": 22, "bb": "yyy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert "bb" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 4
+
+    def test_explicit_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b", "a"])
+        assert text.splitlines()[0].startswith("b")
+
+    def test_float_and_bool_formatting(self):
+        rows = [{"x": 0.123456789, "ok": True}, {"x": 2.0, "ok": False}]
+        text = format_table(rows)
+        assert "0.1235" in text
+        assert "yes" in text and "no" in text
+
+    def test_missing_keys_blank(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text  # renders without KeyError
+
+    def test_title(self):
+        assert format_table([{"a": 1}], title="Hello").startswith("Hello")

@@ -1,0 +1,100 @@
+"""Unit tests for GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+
+from repro.coding.gf2 import (
+    gf2_matmul,
+    gf2_matvec,
+    gf2_nullspace,
+    gf2_rank,
+    gf2_rref,
+    gf2_solve,
+)
+
+
+class TestMatvec:
+    def test_simple(self):
+        m = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        v = np.array([1, 1, 1], dtype=np.uint8)
+        assert list(gf2_matvec(m, v)) == [0, 0]
+
+    def test_identity(self):
+        eye = np.eye(4, dtype=np.uint8)
+        v = np.array([1, 0, 1, 1], dtype=np.uint8)
+        assert list(gf2_matvec(eye, v)) == [1, 0, 1, 1]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gf2_matvec(np.eye(2, dtype=np.uint8), np.zeros(3, dtype=np.uint8))
+
+    def test_values_reduced_mod_2(self):
+        m = np.array([[3, 2]], dtype=np.uint8)  # == [[1, 0]] over GF(2)
+        v = np.array([1, 1], dtype=np.uint8)
+        assert list(gf2_matvec(m, v)) == [1]
+
+
+class TestRref:
+    def test_rank_full(self):
+        m = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        assert gf2_rank(m) == 2
+
+    def test_rank_deficient(self):
+        m = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        assert gf2_rank(m) == 1
+
+    def test_rref_pivots(self):
+        m = np.array([[0, 1, 1], [1, 1, 0]], dtype=np.uint8)
+        rref, pivots = gf2_rref(m)
+        assert pivots == [0, 1]
+        # reduced: each pivot column has a single 1
+        for r, c in enumerate(pivots):
+            col = rref[:, c]
+            assert col[r] == 1 and col.sum() == 1
+
+    def test_input_not_mutated(self):
+        m = np.array([[1, 1], [1, 0]], dtype=np.uint8)
+        orig = m.copy()
+        gf2_rref(m)
+        assert np.array_equal(m, orig)
+
+
+class TestNullspace:
+    def test_dimension(self):
+        m = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        ns = gf2_nullspace(m)
+        assert ns.shape == (1, 3)
+
+    def test_vectors_in_kernel(self):
+        rng = np.random.default_rng(0)
+        m = (rng.integers(0, 2, size=(3, 7))).astype(np.uint8)
+        ns = gf2_nullspace(m)
+        for row in ns:
+            assert not gf2_matvec(m, row).any()
+
+    def test_rank_nullity(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            m = (rng.integers(0, 2, size=(4, 9))).astype(np.uint8)
+            assert gf2_rank(m) + gf2_nullspace(m).shape[0] == 9
+
+    def test_full_rank_trivial_kernel(self):
+        assert gf2_nullspace(np.eye(3, dtype=np.uint8)).shape == (0, 3)
+
+
+class TestSolve:
+    def test_solves_consistent(self):
+        m = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        rhs = np.array([1, 0], dtype=np.uint8)
+        x = gf2_solve(m, rhs)
+        assert x is not None
+        assert np.array_equal(gf2_matvec(m, x), rhs)
+
+    def test_inconsistent_returns_none(self):
+        m = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        rhs = np.array([0, 1], dtype=np.uint8)
+        assert gf2_solve(m, rhs) is None
+
+    def test_matmul(self):
+        a = np.array([[1, 1], [0, 1]], dtype=np.uint8)
+        assert np.array_equal(gf2_matmul(a, a), np.array([[1, 0], [0, 1]], dtype=np.uint8))

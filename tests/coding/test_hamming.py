@@ -1,0 +1,126 @@
+"""Unit tests for the Hamming code machinery behind the optimal labeling."""
+
+import pytest
+
+from repro.coding.hamming import (
+    HammingCode,
+    hamming_parity_check_matrix,
+    hamming_syndrome,
+    hamming_syndrome_table,
+    is_perfect_code,
+    syndrome_classes,
+)
+from repro.types import InvalidParameterError
+from repro.util.bits import popcount
+
+
+class TestParityCheck:
+    def test_columns_are_binary_indices(self):
+        H = hamming_parity_check_matrix(3)
+        assert H.shape == (3, 7)
+        for j in range(1, 8):
+            col = H[:, j - 1]
+            value = sum(int(b) << r for r, b in enumerate(col))
+            assert value == j
+
+    def test_rejects_p0(self):
+        with pytest.raises(InvalidParameterError):
+            hamming_parity_check_matrix(0)
+
+
+class TestSyndrome:
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_direct_matches_matrix(self, p):
+        code = HammingCode(p)
+        for u in range(1 << code.length):
+            assert code.syndrome(u) == code.syndrome_via_matrix(u)
+
+    def test_syndrome_is_xor_of_positions(self):
+        # bits at positions 1,2,3 (1-indexed): syndrome = 1^2^3 = 0
+        assert hamming_syndrome(0b111, 2) == 0
+        assert hamming_syndrome(0b001, 2) == 1
+        assert hamming_syndrome(0b100, 2) == 3
+
+    def test_neighbour_changes_syndrome_by_dimension(self):
+        p = 3
+        for u in (0, 37, 100):
+            s = hamming_syndrome(u, p)
+            for j in range(1, 8):
+                assert hamming_syndrome(u ^ (1 << (j - 1)), p) == s ^ j
+
+    def test_table_matches_scalar(self):
+        p = 2
+        table = hamming_syndrome_table(p)
+        for u in range(8):
+            assert int(table[u]) == hamming_syndrome(u, p)
+
+    def test_word_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            hamming_syndrome(1 << 7, 2)  # m = 3
+
+
+class TestCosets:
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_classes_partition_space(self, p):
+        m = (1 << p) - 1
+        classes = syndrome_classes(p)
+        assert len(classes) == m + 1
+        all_words = sorted(w for cls in classes for w in cls)
+        assert all_words == list(range(1 << m))
+
+    @pytest.mark.parametrize("p", [2, 3])
+    def test_each_class_is_perfect_dominating_set(self, p):
+        """The heart of the optimal labeling: every coset tiles the cube
+        with radius-1 balls."""
+        m = (1 << p) - 1
+        for cls in syndrome_classes(p):
+            assert is_perfect_code(set(cls), m)
+
+    def test_classes_equal_size(self):
+        classes = syndrome_classes(3)
+        sizes = {len(c) for c in classes}
+        assert sizes == {2**7 // 8}
+
+
+class TestHammingCode:
+    def test_parameters(self):
+        code = HammingCode(3)
+        assert code.length == 7
+        assert code.dimension == 4
+
+    def test_codewords_count_and_membership(self):
+        code = HammingCode(3)
+        words = code.codewords()
+        assert len(words) == 16
+        assert all(code.is_codeword(w) for w in words)
+
+    def test_codewords_form_linear_space(self):
+        code = HammingCode(2)
+        words = code.codewords()
+        for a in words:
+            for b in words:
+                assert (a ^ b) in words
+
+    def test_minimum_distance_three(self):
+        code = HammingCode(3)
+        nonzero_weights = {popcount(w) for w in code.codewords() if w}
+        assert min(nonzero_weights) == 3
+        assert code.minimum_distance_at_most(3)
+
+    def test_decode_corrects_single_error(self):
+        code = HammingCode(3)
+        for w in list(code.codewords())[:8]:
+            for j in range(7):
+                assert code.decode(w ^ (1 << j)) == w
+
+    def test_decode_identity_on_codewords(self):
+        code = HammingCode(2)
+        for w in code.codewords():
+            assert code.decode(w) == w
+
+    def test_perfect_code_rejects_overlap(self):
+        # {0, 1} in m=3: balls overlap
+        assert not is_perfect_code({0b000, 0b001}, 3)
+
+    def test_perfect_code_rejects_undercover(self):
+        assert not is_perfect_code({0}, 3)

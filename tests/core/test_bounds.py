@@ -1,0 +1,156 @@
+"""Unit tests for the paper's bounds (Theorems 1, 2, 3, 5, 7; corollaries)."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    asymptotic_upper_coefficient,
+    ball_size_bound,
+    cycle_exclusion_holds,
+    degree_lower_bound,
+    lower_bound_theorem2,
+    lower_bound_theorem3,
+    moore_degree_lower_bound,
+    theorem1_minimum_k,
+    upper_bound_corollary1,
+    upper_bound_theorem5,
+    upper_bound_theorem7,
+)
+from repro.core.params import (
+    default_thresholds,
+    degree_formula_for_thresholds,
+    theorem5_m_star,
+    theorem7_params,
+)
+from repro.types import InvalidParameterError
+
+
+class TestBallBound:
+    def test_small_cases(self):
+        assert ball_size_bound(0, 2) == 0
+        assert ball_size_bound(1, 3) == 1
+        # Δ=3, k=2: 3 + 3·2 = 9
+        assert ball_size_bound(3, 2) == 9
+
+    def test_matches_theorem2_expansions(self):
+        # k=3: Δ³ − Δ² + Δ (paper's expansion)
+        for d in range(2, 8):
+            assert ball_size_bound(d, 3) == d**3 - d**2 + d
+        # k=4: Δ⁴ − 2Δ³ + 2Δ²
+        for d in range(2, 8):
+            assert ball_size_bound(d, 4) == d**4 - 2 * d**3 + 2 * d**2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(InvalidParameterError):
+            ball_size_bound(3, 0)
+
+
+class TestLowerBounds:
+    def test_theorem2_closed_form(self):
+        assert lower_bound_theorem2(16, 2) == 4
+        assert lower_bound_theorem2(17, 2) == 5
+        assert lower_bound_theorem2(27, 3) == 3
+        assert lower_bound_theorem2(16, 4) == 2
+
+    def test_theorem2_wrong_k(self):
+        with pytest.raises(InvalidParameterError):
+            lower_bound_theorem2(16, 5)
+
+    def test_moore_at_least_closed_form(self):
+        """The exact ball bound dominates the Theorem-2 relaxation."""
+        for n in range(2, 80, 3):
+            for k in (2, 3, 4):
+                assert moore_degree_lower_bound(n, k) >= lower_bound_theorem2(n, k)
+
+    def test_moore_is_tight_definition(self):
+        for n in range(2, 40):
+            for k in (2, 3):
+                d = moore_degree_lower_bound(n, k)
+                assert ball_size_bound(d, k) >= n
+                if d > 1:
+                    assert ball_size_bound(d - 1, k) < n
+
+    def test_theorem3_cycle_case_from_paper(self):
+        """Paper: k=5, n=6 gives 2^{n-1}=32 > kn=30."""
+        assert cycle_exclusion_holds(6, 5)
+        assert not cycle_exclusion_holds(5, 5)  # 16 < 25
+
+    def test_theorem3_at_least_three(self):
+        for n in range(6, 64, 7):
+            for k in (5, 6):
+                if n > k:
+                    assert lower_bound_theorem3(n, k) >= 3
+
+    def test_theorem3_rejects_bad_regime(self):
+        with pytest.raises(InvalidParameterError):
+            lower_bound_theorem3(10, 4)
+        with pytest.raises(InvalidParameterError):
+            lower_bound_theorem3(5, 5)
+
+    def test_dispatcher(self):
+        assert degree_lower_bound(10, 1) == 10
+        assert degree_lower_bound(16, 2) == 4
+        assert degree_lower_bound(20, 5) == 3
+        # fallback regime n <= k
+        assert degree_lower_bound(4, 6) == moore_degree_lower_bound(4, 6)
+
+
+class TestUpperBounds:
+    def test_theorem1_threshold(self):
+        # N = 22 = 3·2^3 − 2 → h = 3 → k = 6
+        assert theorem1_minimum_k(22) == 6
+        assert theorem1_minimum_k(4) == 2
+        # one more vertex forces the next h
+        assert theorem1_minimum_k(23) == 8
+
+    def test_theorem5_formula(self):
+        # n=10: 2⌈√24⌉−4 = 2·5−4 = 6
+        assert upper_bound_theorem5(10) == 6
+        assert upper_bound_theorem5(1) == 2
+
+    def test_theorem5_bound_holds_for_construction(self):
+        """The headline claim of Theorem 5 — machine-checked via the
+        degree formula for every n up to 200."""
+        for n in range(2, 201):
+            d = degree_formula_for_thresholds(n, (theorem5_m_star(n),))
+            assert d <= upper_bound_theorem5(n), n
+
+    def test_theorem7_bound_holds_for_construction(self):
+        """The headline claim of Theorem 7, k = 3..6, n up to 128."""
+        for k in (3, 4, 5, 6):
+            for n in range(k + 1, 129):
+                d = degree_formula_for_thresholds(n, theorem7_params(k, n))
+                assert d <= upper_bound_theorem7(n, k), (k, n)
+
+    def test_construction_beats_hypercube(self):
+        """Δ(G) < Δ(Q_n) = n for all n where the construction applies."""
+        for n in range(6, 129):
+            d = degree_formula_for_thresholds(n, (theorem5_m_star(n),))
+            assert d < n
+
+    def test_lower_le_measured_le_upper(self):
+        """Sandwich: Theorem 2 ≤ measured Δ ≤ Theorem 5/7 for a sweep."""
+        for k in (2, 3, 4):
+            for n in range(k + 2, 100, 3):
+                thr = default_thresholds(k, n)
+                d = degree_formula_for_thresholds(n, thr)
+                lo = degree_lower_bound(n, k)
+                hi = upper_bound_theorem5(n) if k == 2 else upper_bound_theorem7(n, k)
+                assert lo <= d <= hi, (k, n, lo, d, hi)
+
+    def test_corollary1(self):
+        assert upper_bound_corollary1(16) == 4 * 4 - 2
+        with pytest.raises(InvalidParameterError):
+            upper_bound_corollary1(1)
+
+    def test_asymptotic_coefficient_k3(self):
+        """Section 4: 3·∛4 = 2·3/∛2 ≈ 4.7623."""
+        assert math.isclose(asymptotic_upper_coefficient(3), 3 * 4 ** (1 / 3))
+        assert abs(asymptotic_upper_coefficient(3) - 4.7623) < 1e-3
+
+    def test_theorem7_rejects_bad_regime(self):
+        with pytest.raises(InvalidParameterError):
+            upper_bound_theorem7(10, 2)
+        with pytest.raises(InvalidParameterError):
+            upper_bound_theorem7(3, 3)

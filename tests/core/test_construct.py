@@ -1,0 +1,168 @@
+"""Unit tests for the construction procedures (Sections 3 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.construct import (
+    construct,
+    construct_base,
+    construct_rec,
+    partition_dimensions,
+    recursive_edge_set_reference,
+)
+from repro.domination.labeling import (
+    ConditionALabeling,
+    paper_example_labeling_q2,
+)
+from repro.types import ConstructionError, InvalidParameterError
+
+
+class TestPartitionDimensions:
+    def test_descending_matches_example3(self):
+        """Example 3: S = {15..4} into 4 parts, S1 = {15,14,13}, …"""
+        parts = partition_dimensions(15, 3, 4)
+        assert parts == ((15, 14, 13), (12, 11, 10), (9, 8, 7), (6, 5, 4))
+
+    def test_descending_matches_example6(self):
+        """Example 6: S = {7,6,5} into 2 parts, S1 = {7,6}, S2 = {5}."""
+        assert partition_dimensions(7, 4, 2) == ((7, 6), (5,))
+
+    def test_ascending_matches_example2(self):
+        """Example 2: S = {4,3} with S1 = {3}, S2 = {4}."""
+        assert partition_dimensions(4, 2, 2, style="ascending") == ((3,), (4,))
+
+    def test_sizes_differ_by_at_most_one(self):
+        for high, low, parts in [(20, 3, 4), (10, 2, 5), (7, 6, 3)]:
+            sizes = [len(p) for p in partition_dimensions(high, low, parts)]
+            assert max(sizes) - min(sizes) <= 1
+            assert sum(sizes) == high - low
+
+    def test_empty_subsets_allowed(self):
+        parts = partition_dimensions(4, 2, 4)
+        assert sum(len(p) for p in parts) == 2
+        assert len(parts) == 4
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(InvalidParameterError):
+            partition_dimensions(3, 3, 2)
+        with pytest.raises(InvalidParameterError):
+            partition_dimensions(4, 2, 0)
+        with pytest.raises(InvalidParameterError):
+            partition_dimensions(4, 2, 2, style="sideways")
+
+
+class TestConstructBase:
+    def test_g42_paper_instance(self):
+        """Example 2 / Fig. 3: the exact instance."""
+        sh = construct_base(
+            4, 2, labeling=paper_example_labeling_q2(), partition=[(3,), (4,)]
+        )
+        g = sh.graph
+        assert g.n_vertices == 16
+        assert g.n_edges == 24
+        assert g.max_degree() == 3
+        # specific edges from Example 2
+        assert g.has_edge(0b0011, 0b0111)  # dim 3 at label c1
+        assert not g.has_edge(0b0000, 0b1000)  # dim 4 not owned by c1
+
+    def test_g153_degree(self):
+        """Example 3: Δ(G_{15,3}) = 6."""
+        assert construct_base(15, 3).degree_formula() == 6
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            construct_base(4, 4)
+        with pytest.raises(InvalidParameterError):
+            construct_base(4, 0)
+        with pytest.raises(InvalidParameterError):
+            construct_base(3, 4)
+
+    def test_rejects_labeling_of_wrong_cube(self):
+        with pytest.raises(InvalidParameterError):
+            construct_base(5, 3, labeling=paper_example_labeling_q2())
+
+    def test_rejects_condition_a_violation(self):
+        bad = ConditionALabeling(
+            m=2, num_labels=2, labels=np.array([0, 1, 1, 1], dtype=np.int64)
+        )
+        with pytest.raises(ConstructionError):
+            construct_base(4, 2, labeling=bad)
+
+    def test_verify_can_be_skipped(self):
+        bad = ConditionALabeling(
+            m=2, num_labels=2, labels=np.array([0, 1, 1, 1], dtype=np.int64)
+        )
+        sh = construct_base(4, 2, labeling=bad, verify_labeling=False)
+        assert sh.graph.n_vertices == 16  # builds, even though not a 2-mlbg
+
+    def test_explicit_partition_must_match_label_count(self):
+        with pytest.raises(InvalidParameterError):
+            construct_base(
+                4, 2, labeling=paper_example_labeling_q2(), partition=[(3, 4)]
+            )
+
+    def test_default_partition_is_descending(self):
+        sh = construct_base(15, 3)
+        assert sh.levels[0].partition == (
+            (15, 14, 13), (12, 11, 10), (9, 8, 7), (6, 5, 4)
+        )
+
+
+class TestConstructGeneral:
+    def test_rec_equals_construct3(self):
+        a = construct_rec(7, 4, 2)
+        b = construct(3, 7, (2, 4))
+        assert a.graph == b.graph
+
+    def test_flat_equals_recursive_reference_k3(self):
+        sh = construct(3, 7, (2, 4))
+        ref = recursive_edge_set_reference(sh)
+        assert ref == sh.graph.edge_set()
+
+    def test_flat_equals_recursive_reference_k4(self):
+        sh = construct(4, 8, (2, 4, 6))
+        ref = recursive_edge_set_reference(sh)
+        assert ref == sh.graph.edge_set()
+
+    def test_level_count(self):
+        sh = construct(4, 9, (2, 4, 6))
+        assert len(sh.levels) == 3
+        assert [lvl.t for lvl in sh.levels] == [2, 3, 4]
+
+    def test_threshold_count_validation(self):
+        with pytest.raises(InvalidParameterError):
+            construct(3, 7, (2,))
+        with pytest.raises(InvalidParameterError):
+            construct(1, 7, ())
+
+    def test_per_level_overrides(self):
+        sh = construct(
+            3,
+            7,
+            (2, 4),
+            labelings=[paper_example_labeling_q2(), None],
+            partitions=[[(3,), (4,)], None],
+        )
+        assert sh.levels[0].partition == ((3,), (4,))
+        assert sh.levels[1].partition == ((7, 6), (5,))
+
+    def test_override_length_validation(self):
+        with pytest.raises(InvalidParameterError):
+            construct(3, 7, (2, 4), labelings=[None])
+
+    def test_subgraph_of_cube_all_k(self):
+        from repro.graphs.hypercube import hypercube
+
+        q = hypercube(8)
+        for k, thr in [(2, (3,)), (3, (2, 5)), (4, (2, 4, 6))]:
+            sh = construct(k, 8, thr)
+            assert sh.graph.is_subgraph_of(q)
+
+    def test_degree_decreases_with_k(self):
+        """More relay freedom → sparser graphs (on the default params)."""
+        from repro.core.params import default_thresholds, degree_formula_for_thresholds
+
+        n = 32
+        d2 = degree_formula_for_thresholds(n, default_thresholds(2, n))
+        d3 = degree_formula_for_thresholds(n, default_thresholds(3, n))
+        assert d3 <= d2 <= n

@@ -1,0 +1,146 @@
+"""Unit tests for parameter selection (Theorems 5, 7; Section 4 remark)."""
+
+import math
+
+import pytest
+
+from repro.core.params import (
+    ceil_root_of_power,
+    default_thresholds,
+    degree_formula_for_thresholds,
+    improved_params_k3,
+    isqrt_ceil,
+    optimized_params,
+    theorem5_m_star,
+    theorem7_params,
+)
+from repro.types import InvalidParameterError
+
+
+class TestIntegerRoots:
+    def test_isqrt_ceil(self):
+        assert isqrt_ceil(0) == 0
+        assert isqrt_ceil(1) == 1
+        assert isqrt_ceil(2) == 2
+        assert isqrt_ceil(4) == 2
+        assert isqrt_ceil(5) == 3
+        assert isqrt_ceil(10**12) == 10**6
+
+    def test_ceil_root_of_power_exact_cubes(self):
+        assert ceil_root_of_power(27, 1, 3) == 3
+        assert ceil_root_of_power(27, 2, 3) == 9
+        assert ceil_root_of_power(28, 1, 3) == 4
+
+    def test_ceil_root_matches_float_when_safe(self):
+        for base in range(1, 60):
+            for num, den in [(1, 2), (1, 3), (2, 3), (3, 4)]:
+                exact = ceil_root_of_power(base, num, den)
+                assert (exact - 1) ** den < base**num <= exact**den
+
+    def test_zero_base(self):
+        assert ceil_root_of_power(0, 1, 3) == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(InvalidParameterError):
+            ceil_root_of_power(4, 1, 0)
+        with pytest.raises(InvalidParameterError):
+            isqrt_ceil(-1)
+
+
+class TestTheorem5MStar:
+    @pytest.mark.parametrize("n", list(range(2, 100)))
+    def test_in_valid_range(self, n):
+        m = theorem5_m_star(n)
+        assert 1 <= m < n
+
+    def test_formula(self):
+        # m* = ⌈√(2n+4)⌉ − 2
+        assert theorem5_m_star(10) == math.ceil(math.sqrt(24)) - 2
+        assert theorem5_m_star(2) == isqrt_ceil(8) - 2 == 1
+
+    def test_rejects_n1(self):
+        with pytest.raises(InvalidParameterError):
+            theorem5_m_star(1)
+
+
+class TestTheorem7Params:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_strictly_increasing_below_n(self, k):
+        for n in range(k + 1, 70, 3):
+            thr = theorem7_params(k, n)
+            assert len(thr) == k - 1
+            seq = (0,) + thr + (n,)
+            assert all(a < b for a, b in zip(seq, seq[1:]))
+
+    def test_formula_k3(self):
+        # n_i* = ⌈(n-k)^{i/k}⌉ + i - 1
+        n, k = 12, 3
+        m = n - k
+        assert theorem7_params(k, n) == (
+            ceil_root_of_power(m, 1, 3),
+            ceil_root_of_power(m, 2, 3) + 1,
+        )
+
+    def test_rejects_bad_regimes(self):
+        with pytest.raises(InvalidParameterError):
+            theorem7_params(2, 10)
+        with pytest.raises(InvalidParameterError):
+            theorem7_params(3, 3)
+
+
+class TestImprovedK3:
+    @pytest.mark.parametrize("n", list(range(4, 80, 5)))
+    def test_valid_thresholds(self, n):
+        n1, n2 = improved_params_k3(n)
+        assert 1 <= n1 < n2 < n
+
+    def test_asymptotic_wins_eventually(self):
+        """The improved parameters beat the analytic n_i* for large n
+        (coefficient 3·∛4 ≈ 4.76 vs Theorem 7's 5 ᵏ√·-ish)."""
+        n = 512
+        d_improved = degree_formula_for_thresholds(n, improved_params_k3(n))
+        d_analytic = degree_formula_for_thresholds(n, theorem7_params(3, n))
+        assert d_improved <= d_analytic
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(InvalidParameterError):
+            improved_params_k3(3)
+
+
+class TestDegreeFormula:
+    def test_matches_paper_g153(self):
+        assert degree_formula_for_thresholds(15, (3,)) == 6
+
+    def test_matches_built_graphs(self):
+        from repro.core.construct import construct
+
+        for k, n, thr in [(2, 6, (2,)), (3, 8, (2, 5)), (4, 9, (2, 4, 6))]:
+            sh = construct(k, n, thr)
+            assert degree_formula_for_thresholds(n, thr) == sh.graph.max_degree()
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(InvalidParameterError):
+            degree_formula_for_thresholds(10, (4, 4))
+
+
+class TestOptimizedParams:
+    def test_never_worse_than_analytic(self):
+        for k, n in [(2, 20), (3, 20), (3, 33), (4, 25)]:
+            d_opt = degree_formula_for_thresholds(n, optimized_params(k, n))
+            d_ana = degree_formula_for_thresholds(n, default_thresholds(k, n))
+            assert d_opt <= d_ana
+
+    def test_hill_climb_path(self):
+        # force the hill-climbing branch with a tiny exhaustive limit
+        thr = optimized_params(3, 30, exhaustive_limit=1)
+        d = degree_formula_for_thresholds(30, thr)
+        assert d <= degree_formula_for_thresholds(30, default_thresholds(3, 30))
+
+    def test_deterministic(self):
+        assert optimized_params(3, 24) == optimized_params(3, 24)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(InvalidParameterError):
+            optimized_params(1, 10)
+        with pytest.raises(InvalidParameterError):
+            optimized_params(3, 3)

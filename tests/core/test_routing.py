@@ -1,0 +1,107 @@
+"""Unit tests for reach_and_flip (Remark 1 routing)."""
+
+import pytest
+
+from repro.core.construct import construct, construct_base
+from repro.core.routing import reach_and_flip, relay_candidates
+from repro.domination.labeling import paper_example_labeling_q2
+from repro.types import ConstructionError
+from repro.util.bits import flip_dim
+
+
+def paper_g42():
+    return construct_base(
+        4, 2, labeling=paper_example_labeling_q2(), partition=[(3,), (4,)]
+    )
+
+
+class TestBaseRouting:
+    def test_direct_edge_when_owned(self):
+        sh = paper_g42()
+        # 0000 (label c1) owns dim 3
+        assert reach_and_flip(sh, 0b0000, 3) == (0b0000, 0b0100)
+
+    def test_relay_when_not_owned(self):
+        sh = paper_g42()
+        # 0000 does not own dim 4; paper's Example 4 relays through 0010
+        path = reach_and_flip(sh, 0b0000, 4)
+        assert path == (0b0000, 0b0010, 0b1010)
+
+    def test_core_dims_always_direct(self):
+        sh = paper_g42()
+        for u in (0b0000, 0b0111, 0b1010):
+            for dim in (1, 2):
+                assert reach_and_flip(sh, u, dim) == (u, flip_dim(u, dim))
+
+    def test_path_is_valid_in_graph(self):
+        sh = paper_g42()
+        g = sh.graph
+        for u in range(16):
+            for dim in range(1, 5):
+                path = reach_and_flip(sh, u, dim)
+                assert g.path_is_valid(path)
+
+    def test_length_at_most_two_for_base(self):
+        sh = construct_base(10, 3)
+        for u in range(0, 1024, 13):
+            for dim in range(4, 11):
+                assert len(reach_and_flip(sh, u, dim)) - 1 <= 2
+
+    def test_endpoint_flips_dim_and_preserves_upper_bits(self):
+        sh = construct_base(10, 3)
+        for u in (0, 517, 1023):
+            for dim in range(4, 11):
+                path = reach_and_flip(sh, u, dim)
+                z = path[-1]
+                # bits >= dim agree with u except bit dim flipped
+                assert (z >> dim) == (u >> dim)
+                assert (z >> (dim - 1)) & 1 == 1 - ((u >> (dim - 1)) & 1)
+
+
+class TestRecursiveRouting:
+    @pytest.mark.parametrize("k,n,thr", [(3, 7, (2, 4)), (4, 9, (2, 4, 6)), (5, 11, (2, 4, 6, 8))])
+    def test_length_at_most_level(self, k, n, thr):
+        sh = construct(k, n, thr)
+        for u in range(0, sh.n_vertices, max(1, sh.n_vertices // 64)):
+            for dim in range(sh.base_dims + 1, n + 1):
+                level = sh.level_owning(dim)
+                path = reach_and_flip(sh, u, dim)
+                assert len(path) - 1 <= level.t
+
+    @pytest.mark.parametrize("k,n,thr", [(3, 7, (2, 4)), (4, 9, (2, 4, 6))])
+    def test_paths_valid_and_flip_semantics(self, k, n, thr):
+        sh = construct(k, n, thr)
+        g = sh.graph
+        for u in range(0, sh.n_vertices, 17):
+            for dim in range(1, n + 1):
+                path = reach_and_flip(sh, u, dim)
+                assert g.path_is_valid(path)
+                z = path[-1]
+                assert (z >> dim) == (u >> dim)
+                assert (z >> (dim - 1)) & 1 == 1 - ((u >> (dim - 1)) & 1)
+                # all intermediate motion is below the owning threshold
+                level = sh.level_owning(dim)
+                if level is not None:
+                    for v in path[:-1]:
+                        assert (v >> level.threshold) == (u >> level.threshold)
+
+
+class TestRelayCandidates:
+    def test_candidates_fix_label(self):
+        sh = paper_g42()
+        level = sh.levels[0]
+        cands = relay_candidates(sh, 0b0000, 4)
+        needed = level.dim_owner[4]
+        for e in cands:
+            assert level.label_of(flip_dim(0b0000, e)) == needed
+
+    def test_core_dim_rejected(self):
+        sh = paper_g42()
+        with pytest.raises(ConstructionError):
+            relay_candidates(sh, 0, 1)
+
+    def test_deterministic_tie_break_matches_fig4(self):
+        """The largest-relay rule reproduces both Example 4 relays."""
+        sh = paper_g42()
+        assert reach_and_flip(sh, 0b0000, 4)[1] == 0b0010  # not 0001
+        assert reach_and_flip(sh, 0b1010, 3)[1] == 0b1011  # not 1000

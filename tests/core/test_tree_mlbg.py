@@ -1,0 +1,61 @@
+"""Tests for Theorem 1's tree k-mlbg wrapper."""
+
+import pytest
+
+from repro.core.bounds import theorem1_minimum_k
+from repro.core.tree_mlbg import (
+    theorem1_k,
+    theorem1_tree,
+    theorem1_tree_broadcast,
+    verify_theorem1_instance,
+)
+from repro.graphs.trees import ternary_core_tree_order
+from repro.model.validator import minimum_broadcast_rounds
+from repro.types import InvalidParameterError
+
+
+class TestStructure:
+    @pytest.mark.parametrize("h", [1, 2, 3, 4, 5])
+    def test_k_equals_2h(self, h):
+        assert theorem1_k(h) == 2 * h
+
+    def test_theorem1_threshold_consistent_with_tree(self):
+        """Theorem 1: for N = 3·2^h − 2 the threshold k = 2⌈log₂((N+2)/3)⌉
+        equals 2h — the tree family exactly realizes the bound."""
+        for h in range(1, 10):
+            assert theorem1_minimum_k(ternary_core_tree_order(h)) == 2 * h
+
+    def test_rejects_h0(self):
+        with pytest.raises(InvalidParameterError):
+            theorem1_k(0)
+
+
+class TestBroadcast:
+    def test_constructive_path(self):
+        tree = theorem1_tree(3)
+        sched = theorem1_tree_broadcast(tree, 5, h=3, k=6)
+        assert len(sched.rounds) == minimum_broadcast_rounds(tree.n_vertices)
+
+    def test_search_path_small(self):
+        tree = theorem1_tree(1)
+        sched = theorem1_tree_broadcast(tree, 1, k=2)
+        assert len(sched.rounds) == 2
+
+    def test_heuristic_path(self):
+        tree = theorem1_tree(3)
+        sched = theorem1_tree_broadcast(tree, 0, exact_limit=4, restarts=200)
+        assert len(sched.rounds) == minimum_broadcast_rounds(tree.n_vertices)
+
+
+class TestVerifyInstance:
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_reports(self, h):
+        rep = verify_theorem1_instance(h, sources=[0, 1, 2])
+        assert rep["h"] == h
+        assert rep["max_degree"] <= 3
+        assert rep["diameter"] <= 2 * h
+        assert rep["n_vertices"] == ternary_core_tree_order(h)
+
+    def test_full_source_coverage_small(self):
+        rep = verify_theorem1_instance(2)
+        assert rep["sources_checked"] == 10

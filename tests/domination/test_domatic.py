@@ -1,0 +1,86 @@
+"""Unit tests for domatic partitions / exact λ_m (Lemma 2, Example 1)."""
+
+import pytest
+
+from repro.domination.domatic import (
+    condition_a_max_labels,
+    domatic_number_exact,
+    feasible_domatic_partition,
+    greedy_domatic_partition,
+)
+from repro.domination.dominating import is_dominating_set
+from repro.graphs.hypercube import hypercube
+from repro.graphs.trees import path_graph, star
+from repro.graphs.variants import cycle_graph
+from repro.types import InvalidParameterError
+
+
+class TestFeasibility:
+    def test_t1_always_feasible(self):
+        assert feasible_domatic_partition(path_graph(5), 1) == [0] * 5
+
+    def test_star_domatic_two(self):
+        g = star(5)
+        assert feasible_domatic_partition(g, 2) is not None
+        assert feasible_domatic_partition(g, 3) is None  # min degree 1 → ≤ 2
+
+    def test_partition_classes_dominate(self):
+        g = hypercube(3)
+        labels = feasible_domatic_partition(g, 4)
+        assert labels is not None
+        for c in range(4):
+            cls = {v for v, l in enumerate(labels) if l == c}
+            assert is_dominating_set(g, cls)
+
+    def test_rejects_bad_t(self):
+        with pytest.raises(InvalidParameterError):
+            feasible_domatic_partition(path_graph(3), 0)
+
+
+class TestExactNumbers:
+    def test_cycle_domatic(self):
+        # domatic number of C_n: 3 if 3 | n else 2
+        assert domatic_number_exact(cycle_graph(6)) == 3
+        assert domatic_number_exact(cycle_graph(5)) == 2
+
+    def test_complete_ish(self):
+        # K_2 = path of 2: both vertices dominate alone
+        assert domatic_number_exact(path_graph(2)) == 2
+
+    def test_lambda_1(self):
+        assert condition_a_max_labels(1) == 2
+
+    def test_lambda_2_matches_paper(self):
+        """Example 1 + the Lemma-2 remark: λ_2 = 2 (< m + 1 = 3)."""
+        assert condition_a_max_labels(2) == 2
+
+    def test_lambda_3_matches_paper(self):
+        """Example 1: λ_3 = 4 (Hamming, perfect)."""
+        assert condition_a_max_labels(3) == 4
+
+    def test_lambda_4(self):
+        """λ_4 = 4: Lemma 2's tiling (m'=3) is optimal for m = 4, because
+        5 disjoint dominating sets would need γ(Q_4)·5 ≤ 16 with γ = 4
+        — certified by exhaustive search."""
+        assert condition_a_max_labels(4) == 4
+
+    def test_rejects_large_m(self):
+        with pytest.raises(InvalidParameterError):
+            condition_a_max_labels(7)
+
+
+class TestGreedyPartition:
+    def test_classes_disjoint_and_dominating(self):
+        g = hypercube(3)
+        classes = greedy_domatic_partition(g)
+        seen: set[int] = set()
+        for cls in classes:
+            assert not (cls & seen)
+            seen |= cls
+            assert is_dominating_set(g, cls)
+        assert seen == set(range(8))
+
+    def test_covers_all_vertices_on_star(self):
+        g = star(6)
+        classes = greedy_domatic_partition(g)
+        assert set().union(*classes) == set(range(6))

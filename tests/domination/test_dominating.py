@@ -1,0 +1,61 @@
+"""Unit tests for dominating-set helpers."""
+
+import pytest
+
+from repro.domination.dominating import (
+    domination_number,
+    greedy_dominating_set,
+    is_dominating_set,
+    minimum_dominating_set,
+)
+from repro.graphs.hypercube import hypercube
+from repro.graphs.trees import path_graph, star
+from repro.types import InvalidParameterError
+
+
+class TestIsDominating:
+    def test_star_centre(self):
+        g = star(6)
+        assert is_dominating_set(g, {0})
+        assert not is_dominating_set(g, {1})
+        assert is_dominating_set(g, {1, 2, 3, 4, 5})
+
+    def test_empty_set(self):
+        assert not is_dominating_set(path_graph(3), set())
+        assert is_dominating_set(path_graph(1), {0})
+
+    def test_rejects_foreign_vertex(self):
+        with pytest.raises(InvalidParameterError):
+            is_dominating_set(path_graph(3), {5})
+
+
+class TestGreedy:
+    def test_greedy_is_dominating(self):
+        for g in (star(8), path_graph(10), hypercube(4)):
+            assert is_dominating_set(g, greedy_dominating_set(g))
+
+    def test_greedy_star_picks_centre(self):
+        assert greedy_dominating_set(star(9)) == {0}
+
+
+class TestExact:
+    def test_path_domination_number(self):
+        # γ(P_n) = ⌈n/3⌉
+        for n in range(1, 10):
+            assert domination_number(path_graph(n)) == -(-n // 3)
+
+    def test_q3_domination_number(self):
+        # Q_3 has a perfect code of size 2 ({000, 111})
+        assert domination_number(hypercube(3)) == 2
+
+    def test_q4_domination_number(self):
+        assert domination_number(hypercube(4)) == 4
+
+    def test_exact_result_is_dominating(self):
+        g = hypercube(3)
+        s = minimum_dominating_set(g)
+        assert is_dominating_set(g, s)
+
+    def test_size_cap(self):
+        with pytest.raises(InvalidParameterError):
+            minimum_dominating_set(hypercube(5), max_vertices=16)

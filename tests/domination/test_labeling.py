@@ -1,0 +1,149 @@
+"""Unit tests for Condition-A labelings (paper, Section 3 + Lemma 2)."""
+
+import numpy as np
+import pytest
+
+from repro.domination.labeling import (
+    ConditionALabeling,
+    best_available_labeling,
+    hamming_labeling,
+    labeling_from_array,
+    largest_hamming_length_at_most,
+    lemma2_labeling,
+    lemma2_lower_bound,
+    paper_example_labeling_q2,
+    paper_example_labeling_q3,
+    trivial_labeling,
+)
+from repro.graphs.hypercube import hypercube
+from repro.domination.dominating import is_dominating_set
+from repro.types import InvalidParameterError
+
+
+class TestConditionA:
+    def test_trivial_always_satisfies(self):
+        for m in range(1, 6):
+            assert trivial_labeling(m).verify()
+
+    def test_paper_q2(self):
+        lab = paper_example_labeling_q2()
+        # f(00) = f(11) = c1, f(01) = f(10) = c2
+        assert lab.label_of(0b00) == lab.label_of(0b11)
+        assert lab.label_of(0b01) == lab.label_of(0b10)
+        assert lab.label_of(0b00) != lab.label_of(0b01)
+        assert lab.verify()
+
+    def test_paper_q3(self):
+        lab = paper_example_labeling_q3()
+        pairs = [(0b000, 0b111), (0b001, 0b110), (0b010, 0b101), (0b011, 0b100)]
+        labels = set()
+        for a, b in pairs:
+            assert lab.label_of(a) == lab.label_of(b)
+            labels.add(lab.label_of(a))
+        assert len(labels) == 4
+        assert lab.verify()
+
+    def test_paper_q3_equals_hamming_up_to_renaming(self):
+        q3 = paper_example_labeling_q3()
+        ham = hamming_labeling(3)
+        mapping = {}
+        for u in range(8):
+            mapping.setdefault(q3.label_of(u), ham.label_of(u))
+            assert mapping[q3.label_of(u)] == ham.label_of(u)
+        assert len(set(mapping.values())) == 4
+
+    def test_verify_catches_bad_labeling(self):
+        labels = np.array([0, 1, 1, 1], dtype=np.int64)  # Q_2, label 0 only at 00
+        bad = ConditionALabeling(m=2, num_labels=2, labels=labels)
+        # vertex 11's closed neighbourhood is {11, 01, 10} — all label 1
+        assert not bad.verify()
+        report = bad.missing_label_report()
+        assert (0b11, {0}) in report
+
+    def test_verify_requires_onto(self):
+        labels = np.zeros(4, dtype=np.int64)
+        lab = ConditionALabeling(m=2, num_labels=2, labels=labels)
+        assert not lab.verify()
+
+    def test_classes_are_dominating_sets(self):
+        """Condition A ⟺ every label class dominates Q_m."""
+        for lab in (paper_example_labeling_q2(), hamming_labeling(3), lemma2_labeling(5)):
+            g = hypercube(lab.m)
+            for c in range(lab.num_labels):
+                assert is_dominating_set(g, set(lab.class_of(c)))
+
+    def test_shape_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ConditionALabeling(m=2, num_labels=2, labels=np.zeros(3, dtype=np.int64))
+        with pytest.raises(InvalidParameterError):
+            ConditionALabeling(m=2, num_labels=1, labels=np.array([0, 1, 0, 1]))
+
+
+class TestHammingLabeling:
+    @pytest.mark.parametrize("m", [1, 3, 7])
+    def test_label_count_m_plus_one(self, m):
+        lab = hamming_labeling(m)
+        assert lab.num_labels == m + 1
+        assert lab.verify()
+
+    def test_rejects_non_hamming_length(self):
+        with pytest.raises(InvalidParameterError):
+            hamming_labeling(4)
+
+    @pytest.mark.parametrize("m", [3, 7])
+    def test_every_closed_neighbourhood_rainbow(self, m):
+        """For perfect labelings each closed neighbourhood sees every label
+        exactly once."""
+        lab = hamming_labeling(m)
+        for u in range(1 << m):
+            seen = [lab.label_of(u)] + [
+                lab.label_of(u ^ (1 << j)) for j in range(m)
+            ]
+            assert sorted(seen) == list(range(m + 1))
+
+
+class TestLemma2:
+    def test_largest_hamming_length(self):
+        assert largest_hamming_length_at_most(1) == 1
+        assert largest_hamming_length_at_most(2) == 1
+        assert largest_hamming_length_at_most(3) == 3
+        assert largest_hamming_length_at_most(6) == 3
+        assert largest_hamming_length_at_most(7) == 7
+        assert largest_hamming_length_at_most(14) == 7
+        assert largest_hamming_length_at_most(15) == 15
+
+    @pytest.mark.parametrize("m", list(range(1, 11)))
+    def test_lemma2_labeling_satisfies_condition_a(self, m):
+        lab = lemma2_labeling(m)
+        assert lab.verify()
+
+    @pytest.mark.parametrize("m", list(range(1, 11)))
+    def test_lemma2_label_count_meets_lower_bound(self, m):
+        lab = lemma2_labeling(m)
+        assert lab.num_labels >= lemma2_lower_bound(m)
+        assert lab.num_labels <= m + 1
+
+    def test_lemma2_tight_at_m2(self):
+        """Paper remark: λ_2 = 2 = ⌊2/2⌋ + 1 < m + 1 — the lower bound is
+        not improvable in general."""
+        assert lemma2_labeling(2).num_labels == 2
+
+    @pytest.mark.parametrize("m", [3, 7])
+    def test_best_available_prefers_hamming(self, m):
+        assert best_available_labeling(m).name == "hamming"
+        assert best_available_labeling(m).num_labels == m + 1
+
+    def test_best_available_fallback(self):
+        lab = best_available_labeling(5)
+        assert lab.num_labels == 4
+        assert lab.verify()
+
+
+class TestFromArray:
+    def test_accepts_onto_labels(self):
+        lab = labeling_from_array(2, np.array([0, 1, 1, 0]))
+        assert lab.num_labels == 2
+
+    def test_rejects_gap_labels(self):
+        with pytest.raises(InvalidParameterError):
+            labeling_from_array(2, np.array([0, 2, 2, 0]))

@@ -1,0 +1,99 @@
+"""Unit tests for the Dinic max-flow substrate."""
+
+import pytest
+
+from repro.flows.maxflow import FlowNetwork
+from repro.types import InvalidParameterError
+
+
+class TestBasicFlows:
+    def test_single_arc(self):
+        net = FlowNetwork(2)
+        net.add_arc(0, 1, 5)
+        assert net.max_flow(0, 1) == 5
+
+    def test_series_bottleneck(self):
+        net = FlowNetwork(3)
+        net.add_arc(0, 1, 5)
+        net.add_arc(1, 2, 3)
+        assert net.max_flow(0, 2) == 3
+
+    def test_parallel_paths(self):
+        net = FlowNetwork(4)
+        net.add_arc(0, 1, 2)
+        net.add_arc(1, 3, 2)
+        net.add_arc(0, 2, 3)
+        net.add_arc(2, 3, 3)
+        assert net.max_flow(0, 3) == 5
+
+    def test_classic_diamond_with_cross_edge(self):
+        # needs augmenting through the cross edge
+        net = FlowNetwork(4)
+        net.add_arc(0, 1, 1)
+        net.add_arc(0, 2, 1)
+        net.add_arc(1, 2, 1)
+        net.add_arc(1, 3, 1)
+        net.add_arc(2, 3, 1)
+        assert net.max_flow(0, 3) == 2
+
+    def test_disconnected_zero(self):
+        net = FlowNetwork(3)
+        net.add_arc(0, 1, 4)
+        assert net.max_flow(0, 2) == 0
+
+    def test_source_equals_sink(self):
+        net = FlowNetwork(2)
+        with pytest.raises(InvalidParameterError):
+            net.max_flow(1, 1)
+
+    def test_arc_validation(self):
+        net = FlowNetwork(2)
+        with pytest.raises(InvalidParameterError):
+            net.add_arc(0, 5, 1)
+        with pytest.raises(InvalidParameterError):
+            net.add_arc(0, 1, -1)
+
+
+class TestUndirectedEdges:
+    def test_undirected_capacity_one_each_way(self):
+        net = FlowNetwork(2)
+        net.add_undirected_unit_edge(0, 1)
+        assert net.max_flow(0, 1) == 1
+
+    def test_undirected_path(self):
+        net = FlowNetwork(4)
+        for u, v in [(0, 1), (1, 2), (2, 3)]:
+            net.add_undirected_unit_edge(u, v)
+        assert net.max_flow(0, 3) == 1
+
+    def test_flow_readback(self):
+        net = FlowNetwork(2)
+        net.add_arc(0, 1, 3)
+        net.max_flow(0, 1)
+        assert net.flow_on(0, 0) == 3
+
+
+class TestAgainstNetworkx:
+    def test_random_networks_match_networkx(self):
+        import random
+
+        import networkx as nx
+
+        rng = random.Random(7)
+        for trial in range(10):
+            n = 8
+            nxg = nx.DiGraph()
+            nxg.add_nodes_from(range(n))
+            net = FlowNetwork(n)
+            for _ in range(20):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v:
+                    continue
+                cap = rng.randint(1, 5)
+                net.add_arc(u, v, cap)
+                if nxg.has_edge(u, v):
+                    nxg[u][v]["capacity"] += cap
+                else:
+                    nxg.add_edge(u, v, capacity=cap)
+            expected = nx.maximum_flow_value(nxg, 0, n - 1) if nxg.has_node(0) else 0
+            assert net.max_flow(0, n - 1) == expected

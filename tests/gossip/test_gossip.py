@@ -1,0 +1,127 @@
+"""Tests for k-line gossip (§5 future work, experiment E17)."""
+
+import pytest
+
+from repro.core.construct import construct, construct_base
+from repro.gossip import (
+    Exchange,
+    GossipSchedule,
+    hypercube_gossip,
+    minimum_gossip_rounds,
+    sparse_hypercube_gossip,
+    validate_gossip,
+)
+from repro.graphs.hypercube import hypercube
+from repro.graphs.trees import path_graph
+from repro.types import InvalidParameterError, InvalidScheduleError
+
+
+class TestExchange:
+    def test_endpoints_and_edges(self):
+        ex = Exchange((0, 1, 3))
+        assert ex.endpoints() == (0, 3)
+        assert ex.length == 2
+        assert ex.edges() == [(0, 1), (1, 3)]
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(InvalidScheduleError):
+            Exchange((5,))
+        with pytest.raises(InvalidScheduleError):
+            Exchange((5, 3, 5))
+
+
+class TestValidator:
+    def test_minimum_rounds(self):
+        assert minimum_gossip_rounds(1) == 0
+        assert minimum_gossip_rounds(16) == 4
+        assert minimum_gossip_rounds(17) == 5
+
+    def test_complete_gossip_on_path2(self):
+        g = path_graph(2)
+        sched = GossipSchedule()
+        sched.append_round([Exchange((0, 1))])
+        rep = validate_gossip(g, sched, 1)
+        assert rep.ok and rep.complete
+
+    def test_incomplete_detected(self):
+        g = path_graph(3)
+        sched = GossipSchedule()
+        sched.append_round([Exchange((0, 1))])
+        rep = validate_gossip(g, sched, 1)
+        assert not rep.ok and not rep.complete
+
+    def test_busy_endpoint_detected(self):
+        g = path_graph(3)
+        sched = GossipSchedule()
+        sched.append_round([Exchange((0, 1)), Exchange((1, 2))])
+        rep = validate_gossip(g, sched, 1)
+        assert any("busy" in e for e in rep.errors)
+
+    def test_edge_conflict_detected(self):
+        g = path_graph(4)
+        sched = GossipSchedule()
+        sched.append_round([Exchange((0, 1, 2)), Exchange((1, 2, 3))])
+        rep = validate_gossip(g, sched, 2)
+        assert any("edge" in e for e in rep.errors)
+
+    def test_length_bound(self):
+        g = path_graph(4)
+        sched = GossipSchedule()
+        sched.append_round([Exchange((0, 1, 2, 3))])
+        rep = validate_gossip(g, sched, 2)
+        assert any("exceeds" in e for e in rep.errors)
+
+    def test_token_replay_and_progress_tracking(self):
+        """P4 gossip in 3 rounds; the per-round minimum token counts
+        reflect exact (simultaneous) replay."""
+        g = path_graph(4)
+        sched = GossipSchedule()
+        sched.append_round([Exchange((0, 1)), Exchange((2, 3))])
+        sched.append_round([Exchange((1, 2))])
+        sched.append_round([Exchange((0, 1)), Exchange((2, 3))])
+        rep = validate_gossip(g, sched, 1)
+        assert rep.ok and rep.complete
+        # after r1 everyone has 2 tokens; after r2 the ends still have 2
+        assert rep.min_tokens_per_round == [2, 2, 4]
+
+
+class TestHypercubeGossip:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6])
+    def test_dimension_sweep_optimal(self, n):
+        g = hypercube(n)
+        sched = hypercube_gossip(n)
+        rep = validate_gossip(g, sched, 1, require_minimum_time=True)
+        assert rep.ok, rep.errors[:3]
+        assert rep.complete
+        assert sched.num_rounds == n
+
+    def test_exchange_count(self):
+        sched = hypercube_gossip(4)
+        assert sched.num_exchanges == 4 * 8  # n · 2^{n-1} — every edge once
+
+
+class TestSparseGossip:
+    @pytest.mark.parametrize("n,m", [(3, 1), (4, 2), (5, 2), (6, 3), (8, 3)])
+    def test_valid_and_complete(self, n, m):
+        sh = construct_base(n, m)
+        sched = sparse_hypercube_gossip(sh)
+        rep = validate_gossip(sh.graph, sched, 3)
+        assert rep.ok, rep.errors[:3]
+        assert rep.complete
+
+    def test_round_count_formula(self):
+        """rounds = m + Σ_{i>m} (1 + #relay-dim groups)."""
+        sh = construct_base(6, 3)
+        sched = sparse_hypercube_gossip(sh)
+        lam = sh.levels[0].num_labels
+        # hamming labeling on m=3: relay dims are distinct per class → λ-1 groups
+        assert sched.num_rounds == 3 + (6 - 3) * (1 + (lam - 1))
+
+    def test_max_exchange_length_three(self):
+        sh = construct_base(6, 2)
+        assert sparse_hypercube_gossip(sh).max_exchange_length() == 3
+
+    def test_rejects_recursive_constructions(self):
+        sh = construct(3, 7, (2, 4))
+        with pytest.raises(InvalidParameterError):
+            sparse_hypercube_gossip(sh)

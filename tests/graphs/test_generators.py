@@ -1,0 +1,52 @@
+"""Unit tests for the seeded random graph generators."""
+
+from repro.graphs.generators import (
+    random_connected_graph,
+    random_spanning_tree_of,
+    random_tree,
+)
+from repro.graphs.hypercube import hypercube
+from repro.graphs.trees import is_tree
+
+
+class TestRandomTree:
+    def test_is_tree_various_sizes(self):
+        for n in (1, 2, 3, 7, 20, 50):
+            g = random_tree(n, seed=n)
+            assert g.n_vertices == n
+            assert is_tree(g) or n == 1
+
+    def test_deterministic_given_seed(self):
+        a = random_tree(20, seed=42)
+        b = random_tree(20, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_tree(20, seed=1)
+        b = random_tree(20, seed=2)
+        assert a != b  # overwhelmingly likely for n=20
+
+
+class TestRandomConnected:
+    def test_connected_with_extra_edges(self):
+        g = random_connected_graph(15, extra_edges=10, seed=7)
+        assert g.is_connected()
+        assert g.n_edges == 14 + 10
+
+    def test_extra_edges_capped_at_complete(self):
+        g = random_connected_graph(4, extra_edges=100, seed=3)
+        assert g.n_edges <= 6
+
+    def test_deterministic(self):
+        assert random_connected_graph(12, 5, seed=9) == random_connected_graph(
+            12, 5, seed=9
+        )
+
+
+class TestSpanningTree:
+    def test_spanning_tree_of_hypercube(self):
+        g = hypercube(4)
+        t = random_spanning_tree_of(g, seed=11)
+        assert is_tree(t)
+        assert t.is_subgraph_of(g)
+        assert t.n_vertices == g.n_vertices

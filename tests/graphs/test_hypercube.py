@@ -1,0 +1,96 @@
+"""Unit tests for the hypercube family (paper, Section 3 preliminaries)."""
+
+import pytest
+
+from repro.graphs.hypercube import (
+    dimension_of_edge,
+    hypercube,
+    hypercube_edge_array,
+    subcube_vertices,
+)
+from repro.types import InvalidParameterError
+from repro.util.bits import hamming_distance
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6])
+    def test_order_and_size(self, n):
+        g = hypercube(n)
+        assert g.n_vertices == 2**n
+        # paper: |E(Q_n)| = n · 2^{n-1}
+        assert g.n_edges == n * 2 ** (n - 1)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6])
+    def test_regular_degree_n(self, n):
+        g = hypercube(n)
+        assert g.max_degree() == n == g.min_degree()
+
+    def test_adjacency_iff_hamming_distance_one(self):
+        g = hypercube(4)
+        for u in range(16):
+            for v in range(u + 1, 16):
+                assert g.has_edge(u, v) == (hamming_distance(u, v) == 1)
+
+    def test_graph_distance_is_hamming_distance(self):
+        g = hypercube(4)
+        for u in (0, 5, 15):
+            d = g.bfs_distances(u)
+            assert all(d[v] == hamming_distance(u, v) for v in range(16))
+
+    def test_diameter(self):
+        assert hypercube(5).diameter() == 5
+
+    def test_q0_single_vertex(self):
+        g = hypercube(0)
+        assert g.n_vertices == 1 and g.n_edges == 0
+
+    def test_dimension_bound(self):
+        with pytest.raises(InvalidParameterError):
+            hypercube(-1)
+        with pytest.raises(InvalidParameterError):
+            hypercube(25)
+
+
+class TestEdgeArray:
+    def test_matches_graph(self):
+        arr = hypercube_edge_array(4)
+        g = hypercube(4)
+        assert arr.shape == (4 * 8, 2)
+        assert {(int(u), int(v)) for u, v in arr} == g.edge_set()
+
+    def test_rows_are_lower_upper(self):
+        arr = hypercube_edge_array(3)
+        assert all(int(u) < int(v) for u, v in arr)
+
+
+class TestDimensionOfEdge:
+    def test_identifies_dimension(self):
+        assert dimension_of_edge(0b0000, 0b0001) == 1
+        assert dimension_of_edge(0b1010, 0b0010) == 4
+
+    def test_symmetry(self):
+        assert dimension_of_edge(3, 7) == dimension_of_edge(7, 3)
+
+    def test_rejects_non_edge(self):
+        with pytest.raises(InvalidParameterError):
+            dimension_of_edge(0, 3)
+        with pytest.raises(InvalidParameterError):
+            dimension_of_edge(5, 5)
+
+
+class TestSubcube:
+    def test_subcube_vertices(self):
+        vs = subcube_vertices(4, 0b10, 2)
+        assert sorted(int(v) for v in vs) == [0b1000, 0b1001, 0b1010, 0b1011]
+
+    def test_subcubes_partition_cube(self):
+        seen = set()
+        for prefix in range(4):
+            seen |= {int(v) for v in subcube_vertices(4, prefix, 2)}
+        assert seen == set(range(16))
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            subcube_vertices(4, 4, 2)
+        with pytest.raises(InvalidParameterError):
+            subcube_vertices(4, 0, 5)

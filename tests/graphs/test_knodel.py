@@ -1,0 +1,87 @@
+"""Tests for Knödel graphs (the §2 minimum-broadcast-graph family)."""
+
+import math
+
+import pytest
+
+from repro.graphs.knodel import (
+    knodel_broadcast,
+    knodel_dimension_neighbor,
+    knodel_graph,
+)
+from repro.model.validator import validate_broadcast
+from repro.schedulers.search import is_k_mlbg_exact
+from repro.types import InvalidParameterError
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [8, 16, 32, 64])
+    def test_regular_log_degree(self, n):
+        delta = n.bit_length() - 1
+        g = knodel_graph(delta, n)
+        assert g.max_degree() == delta == g.min_degree()
+        assert g.n_edges == delta * n // 2
+
+    def test_bipartite_halves(self):
+        g = knodel_graph(3, 8)
+        # all edges cross between the halves
+        for u, v in g.edges():
+            assert (u < 4) != (v < 4)
+
+    def test_dimension_neighbor_involution(self):
+        n = 16
+        for v in range(n):
+            for d in range(4):
+                w = knodel_dimension_neighbor(v, d, n)
+                assert knodel_dimension_neighbor(w, d, n) == v
+                assert g_has_edge_check(n, v, w)
+
+    def test_rejects_odd_or_bad_delta(self):
+        with pytest.raises(InvalidParameterError):
+            knodel_graph(2, 7)
+        with pytest.raises(InvalidParameterError):
+            knodel_graph(5, 16)
+        with pytest.raises(InvalidParameterError):
+            knodel_graph(0, 8)
+
+
+def g_has_edge_check(n: int, v: int, w: int) -> bool:
+    return knodel_graph(n.bit_length() - 1, n).has_edge(v, w)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_power_of_two_all_sources(self, n):
+        delta = n.bit_length() - 1
+        g = knodel_graph(delta, n)
+        for s in range(n):
+            sched = knodel_broadcast(delta, n, s)
+            rep = validate_broadcast(g, sched, 1)
+            assert rep.ok, (n, s, rep.errors[:2])
+            assert len(sched.rounds) == int(math.log2(n))
+
+    @pytest.mark.parametrize("n", [6, 10, 12, 20, 24])
+    def test_non_power_of_two_all_sources(self, n):
+        """Unlike Q_n, Knödel graphs are 1-mlbgs at every even order —
+        the scheme still completes in ⌈log₂N⌉ rounds."""
+        delta = n.bit_length() - 1
+        g = knodel_graph(delta, n)
+        for s in range(n):
+            sched = knodel_broadcast(delta, n, s)
+            rep = validate_broadcast(g, sched, 1)
+            assert rep.ok, (n, s, rep.errors[:2])
+
+    def test_exact_search_confirms_w38(self):
+        """Independent certification: W_{3,8} is a 1-mlbg by exhaustive
+        search, matching the scheme-based proof."""
+        assert is_k_mlbg_exact(knodel_graph(3, 8), 1)
+
+    def test_fewer_labels_than_hypercube_same_degree(self):
+        """Context row: W_{n, 2^n} matches Q_n's degree and edges but also
+        covers even non-powers-of-two (tested above)."""
+        from repro.graphs.hypercube import hypercube
+
+        g = knodel_graph(4, 16)
+        q = hypercube(4)
+        assert g.max_degree() == q.max_degree()
+        assert g.n_edges == q.n_edges

@@ -1,0 +1,48 @@
+"""Unit tests for graph statistics used in the experiment tables."""
+
+from repro.graphs.hypercube import hypercube
+from repro.graphs.properties import (
+    graph_stats,
+    is_regular,
+    is_vertex_transitive_sample,
+)
+from repro.graphs.trees import path_graph, star
+
+
+class TestGraphStats:
+    def test_hypercube_stats(self):
+        st = graph_stats(hypercube(4))
+        assert st.n_vertices == 16
+        assert st.n_edges == 32
+        assert st.max_degree == st.min_degree == 4
+        assert st.diameter == 4
+        assert st.connected
+        assert st.mean_degree == 4.0
+
+    def test_diameter_skipped_above_cap(self):
+        st = graph_stats(hypercube(4), diameter_cap=8)
+        assert st.diameter is None
+
+    def test_diameter_opt_out(self):
+        st = graph_stats(hypercube(3), with_diameter=False)
+        assert st.diameter is None
+
+    def test_as_row_shape(self):
+        row = graph_stats(star(5)).as_row()
+        assert row["N"] == 5
+        assert row["Δ"] == 4
+        assert row["diam"] == 2
+
+
+class TestRegularity:
+    def test_hypercube_regular(self):
+        assert is_regular(hypercube(3))
+
+    def test_path_not_regular(self):
+        assert not is_regular(path_graph(4))
+
+    def test_transitivity_sample_hypercube(self):
+        assert is_vertex_transitive_sample(hypercube(4))
+
+    def test_transitivity_sample_star_fails(self):
+        assert not is_vertex_transitive_sample(star(8))

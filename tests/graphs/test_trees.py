@@ -1,0 +1,119 @@
+"""Unit tests for the tree families (Theorem 1 substrate)."""
+
+import pytest
+
+from repro.graphs.trees import (
+    balanced_ternary_core_tree,
+    complete_binary_tree,
+    is_tree,
+    path_graph,
+    spider,
+    star,
+    ternary_core_tree_order,
+    tree_center,
+)
+from repro.types import InvalidParameterError
+
+
+class TestBasicFamilies:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.n_edges == 4 and is_tree(g)
+        assert g.diameter() == 4
+
+    def test_path_single(self):
+        g = path_graph(1)
+        assert g.n_vertices == 1 and g.n_edges == 0
+
+    def test_star(self):
+        g = star(6)
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 1 for v in range(1, 6))
+        assert g.diameter() == 2
+
+    def test_spider(self):
+        g = spider([2, 3, 1])
+        assert g.n_vertices == 7
+        assert g.degree(0) == 3
+        assert is_tree(g)
+        assert g.diameter() == 5
+
+    def test_spider_rejects_bad_legs(self):
+        with pytest.raises(InvalidParameterError):
+            spider([])
+        with pytest.raises(InvalidParameterError):
+            spider([0, 2])
+
+    def test_complete_binary_tree(self):
+        g = complete_binary_tree(3)
+        assert g.n_vertices == 15
+        assert is_tree(g)
+        assert g.max_degree() == 3
+        assert g.degree(0) == 2  # root
+        assert g.diameter() == 6
+
+
+class TestTernaryCoreTree:
+    @pytest.mark.parametrize("h", [1, 2, 3, 4, 5])
+    def test_order_formula(self, h):
+        g = balanced_ternary_core_tree(h)
+        assert g.n_vertices == 3 * 2**h - 2 == ternary_core_tree_order(h)
+
+    @pytest.mark.parametrize("h", [2, 3, 4, 5])
+    def test_max_degree_exactly_three(self, h):
+        assert balanced_ternary_core_tree(h).max_degree() == 3
+
+    @pytest.mark.parametrize("h", [1, 2, 3, 4])
+    def test_diameter_at_most_2h(self, h):
+        g = balanced_ternary_core_tree(h)
+        assert g.diameter() <= 2 * h
+        # and exactly 2h for the balanced construction
+        assert g.diameter() == 2 * h
+
+    @pytest.mark.parametrize("h", [1, 2, 3, 4])
+    def test_is_tree(self, h):
+        assert is_tree(balanced_ternary_core_tree(h))
+
+    def test_h1_is_star(self):
+        g = balanced_ternary_core_tree(1)
+        assert g.n_vertices == 4
+        assert g.degree(0) == 3
+
+    def test_centre_is_vertex_zero(self):
+        g = balanced_ternary_core_tree(3)
+        assert tree_center(g) == [0]
+
+    def test_rejects_h0(self):
+        with pytest.raises(InvalidParameterError):
+            balanced_ternary_core_tree(0)
+        with pytest.raises(InvalidParameterError):
+            ternary_core_tree_order(0)
+
+
+class TestTreePredicates:
+    def test_is_tree_rejects_cycle(self):
+        from repro.graphs.variants import cycle_graph
+
+        assert not is_tree(cycle_graph(4))
+
+    def test_is_tree_rejects_disconnected(self):
+        from repro.graphs.base import Graph
+
+        assert not is_tree(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_tree_center_path_even(self):
+        # P4 has a 2-vertex centre
+        assert tree_center(path_graph(4)) == [1, 2]
+
+    def test_tree_center_path_odd(self):
+        assert tree_center(path_graph(5)) == [2]
+
+    def test_tree_center_rejects_non_tree(self):
+        from repro.graphs.variants import cycle_graph
+
+        with pytest.raises(InvalidParameterError):
+            tree_center(cycle_graph(4))
+
+    def test_tree_center_tiny(self):
+        assert tree_center(path_graph(1)) == [0]
+        assert tree_center(path_graph(2)) == [0, 1]

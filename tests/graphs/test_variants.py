@@ -1,0 +1,174 @@
+"""Unit tests for classic topology variants (Section 1/3 context)."""
+
+import math
+
+import pytest
+
+from repro.graphs.variants import (
+    cube_connected_cycles,
+    cycle_graph,
+    de_bruijn,
+    folded_hypercube,
+    star_graph_permutation,
+    torus,
+)
+from repro.types import InvalidParameterError
+
+
+class TestCycleTorus:
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.n_edges == 6
+        assert g.max_degree() == 2 == g.min_degree()
+        assert g.diameter() == 3
+
+    def test_cycle_min_size(self):
+        with pytest.raises(InvalidParameterError):
+            cycle_graph(2)
+
+    def test_torus_regular_degree_4(self):
+        g = torus(4, 5)
+        assert g.n_vertices == 20
+        assert g.max_degree() == 4 == g.min_degree()
+        assert g.n_edges == 2 * 20
+
+    def test_torus_diameter(self):
+        g = torus(4, 4)
+        assert g.diameter() == 4  # floor(4/2) + floor(4/2)
+
+    def test_torus_min_dims(self):
+        with pytest.raises(InvalidParameterError):
+            torus(2, 5)
+
+
+class TestFoldedHypercube:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_degree_n_plus_one(self, n):
+        g = folded_hypercube(n)
+        assert g.max_degree() == n + 1 == g.min_degree()
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_diameter_halved(self, n):
+        # classic result: diameter ⌈n/2⌉
+        assert folded_hypercube(n).diameter() == math.ceil(n / 2)
+
+    def test_edge_count(self):
+        n = 4
+        g = folded_hypercube(n)
+        assert g.n_edges == n * 2 ** (n - 1) + 2 ** (n - 1)
+
+
+class TestCCC:
+    def test_order_and_degree(self):
+        g = cube_connected_cycles(3)
+        assert g.n_vertices == 3 * 8
+        assert g.max_degree() == 3 == g.min_degree()
+
+    def test_connected(self):
+        assert cube_connected_cycles(4).is_connected()
+
+    def test_rejects_small_n(self):
+        with pytest.raises(InvalidParameterError):
+            cube_connected_cycles(2)
+
+
+class TestDeBruijn:
+    def test_order(self):
+        g = de_bruijn(2, 4)
+        assert g.n_vertices == 16
+
+    def test_degree_at_most_2s(self):
+        g = de_bruijn(2, 4)
+        assert g.max_degree() <= 4
+
+    def test_connected(self):
+        assert de_bruijn(2, 5).is_connected()
+
+    def test_diameter_is_word_length(self):
+        # classic: diameter of UB(2, n) <= n
+        assert de_bruijn(2, 4).diameter() <= 4
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            de_bruijn(1, 3)
+
+
+class TestStarGraph:
+    def test_order_factorial(self):
+        g = star_graph_permutation(4)
+        assert g.n_vertices == 24
+
+    def test_degree(self):
+        g = star_graph_permutation(4)
+        assert g.max_degree() == 3 == g.min_degree()
+
+    def test_connected_and_bipartite_diameter_bound(self):
+        g = star_graph_permutation(4)
+        assert g.is_connected()
+        # known: diam(S_n) = ⌊3(n−1)/2⌋ = 4 for n=4
+        assert g.diameter() == 4
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            star_graph_permutation(1)
+        with pytest.raises(InvalidParameterError):
+            star_graph_permutation(8)
+
+
+class TestCrossedCube:
+    def test_n_regular(self):
+        from repro.graphs.variants import crossed_cube
+
+        for n in (2, 3, 4, 5, 6):
+            g = crossed_cube(n)
+            assert g.max_degree() == n == g.min_degree(), n
+
+    def test_diameter_halved(self):
+        from repro.graphs.variants import crossed_cube
+
+        # Efe: diam(CQ_n) = ⌈(n+1)/2⌉
+        for n in (2, 3, 4, 5, 6, 7):
+            assert crossed_cube(n).diameter() == -(-(n + 1) // 2), n
+
+    def test_connected(self):
+        from repro.graphs.variants import crossed_cube
+
+        assert crossed_cube(6).is_connected()
+
+    def test_cq2_is_q2(self):
+        from repro.graphs.hypercube import hypercube
+        from repro.graphs.variants import crossed_cube
+
+        assert crossed_cube(2) == hypercube(2)
+
+    def test_rejects_out_of_range(self):
+        import pytest as _pytest
+
+        from repro.graphs.variants import crossed_cube
+        from repro.types import InvalidParameterError as IPE
+
+        with _pytest.raises(IPE):
+            crossed_cube(0)
+        with _pytest.raises(IPE):
+            crossed_cube(13)
+
+
+class TestMobiusCube:
+    def test_n_regular(self):
+        from repro.graphs.variants import mobius_cube
+
+        for n in (2, 3, 4, 5, 6, 7):
+            g = mobius_cube(n)
+            assert g.max_degree() == n == g.min_degree(), n
+
+    def test_diameter(self):
+        from repro.graphs.variants import mobius_cube
+
+        # 0-Möbius cube: diameter ⌈(n+2)/2⌉ for n >= 4
+        for n in (4, 5, 6, 7):
+            assert mobius_cube(n).diameter() == -(-(n + 2) // 2), n
+
+    def test_connected(self):
+        from repro.graphs.variants import mobius_cube
+
+        assert mobius_cube(7).is_connected()

@@ -1,0 +1,141 @@
+"""End-to-end integration tests across packages.
+
+These are the "does the whole pipeline hang together" checks: construct →
+broadcast → simulate → validate → account congestion, plus cross-checks
+between independent implementations (scheme vs exact search, flat rule vs
+recursive reference, formula vs built graph, our BFS vs networkx).
+"""
+
+import pytest
+
+from repro.core.bounds import upper_bound_theorem5, upper_bound_theorem7
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct, construct_base
+from repro.core.params import default_thresholds, theorem5_m_star
+from repro.graphs.hypercube import hypercube
+from repro.model.congestion import congestion_profile
+from repro.model.simulator import LineNetworkSimulator
+from repro.model.validator import validate_broadcast, verify_k_mlbg_via_scheme
+from repro.schedulers.search import find_minimum_time_schedule, is_k_mlbg_exact
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("k,n", [(2, 8), (3, 8), (4, 9)])
+    def test_construct_broadcast_simulate_validate(self, k, n):
+        thr = default_thresholds(k, n) if k > 2 else (theorem5_m_star(n),)
+        sh = construct(k, n, thr)
+        g = sh.graph
+
+        # bound check
+        bound = upper_bound_theorem5(n) if k == 2 else upper_bound_theorem7(n, k)
+        assert g.max_degree() <= bound
+
+        # scheme from a few sources: validator + simulator agree
+        for s in (0, g.n_vertices // 3, g.n_vertices - 1):
+            sched = broadcast_schedule(sh, s)
+            rep = validate_broadcast(g, sched, k)
+            assert rep.ok
+            sim = LineNetworkSimulator(g, k=k)
+            result = sim.run(sched)
+            assert len(result.informed) == g.n_vertices
+            assert not result.rejected
+            prof = congestion_profile(g, sched)
+            assert prof.peak_concurrency == 1
+
+    def test_scheme_agrees_with_exact_search_small(self):
+        """Two fully independent certifications of Definition 3 on the
+        same instance."""
+        sh = construct_base(4, 2)
+        assert verify_k_mlbg_via_scheme(sh)
+        assert is_k_mlbg_exact(sh.graph, 2)
+
+    def test_scheme_schedule_is_minimum_by_search(self):
+        """The exact searcher cannot beat ⌈log₂N⌉, and the scheme attains
+        it — so the scheme is optimal."""
+        sh = construct_base(3, 1)
+        g = sh.graph
+        for s in range(8):
+            found = find_minimum_time_schedule(g, s, 2)
+            assert found is not None
+            assert len(found.rounds) == 3 == len(broadcast_schedule(sh, s).rounds)
+
+    def test_sparse_graphs_save_edges_and_degree(self):
+        n = 10
+        q = hypercube(n)
+        sh = construct_base(n, theorem5_m_star(n))
+        g = sh.graph
+        assert g.n_edges < q.n_edges
+        assert g.max_degree() < q.max_degree()
+        assert g.n_vertices == q.n_vertices
+        assert g.is_subgraph_of(q)
+
+    def test_simulator_and_validator_reject_identically(self):
+        """Corrupt a schedule; both layers must flag it."""
+        sh = construct_base(5, 2)
+        g = sh.graph
+        sched = broadcast_schedule(sh, 0)
+        # corrupt: duplicate the first call of round 2 into round 1
+        from repro.types import Round, Schedule
+
+        bad = Schedule(source=0)
+        bad.rounds = list(sched.rounds)
+        extra = sched.rounds[1].calls[0]
+        bad.rounds[0] = Round(tuple(sched.rounds[0].calls + (extra,)))
+        rep = validate_broadcast(g, bad, 2)
+        assert not rep.ok
+        sim = LineNetworkSimulator(g, k=2, strict=False)
+        result = sim.run(bad)
+        assert result.rejected
+
+
+class TestCrossCheckNetworkx:
+    def test_distances_on_sparse_hypercube(self):
+        import networkx as nx
+
+        sh = construct(3, 7, (2, 4))
+        g = sh.graph
+        nxg = g.to_networkx()
+        for u in (0, 64, 127):
+            ours = g.bfs_distances(u)
+            theirs = nx.single_source_shortest_path_length(nxg, u)
+            assert all(ours[v] == theirs[v] for v in range(g.n_vertices))
+
+    def test_connectivity_and_degree_agree(self):
+        import networkx as nx
+
+        sh = construct_base(8, 3)
+        g = sh.graph
+        nxg = g.to_networkx()
+        assert nx.is_connected(nxg) == g.is_connected()
+        assert max(d for _, d in nxg.degree()) == g.max_degree()
+
+
+class TestCLI:
+    def test_cli_runs_single_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["e06"]) == 0
+        out = capsys.readouterr().out
+        assert "G_{4,2}" in out or "E06" in out
+
+    def test_cli_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e01" in out and "e16" in out
+
+    def test_cli_unknown(self):
+        from repro.cli import main
+
+        assert main(["e99"]) == 2
+
+
+class TestCLIExport:
+    def test_export_csv_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["--export-csv", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "degree_series_k2.csv" in out
+        assert (tmp_path / "asymptotic_ratio_k3.csv").exists()

@@ -1,0 +1,49 @@
+"""Tests for the §5 vertex-disjoint call model (experiment E20)."""
+
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct, construct_base
+from repro.core.tree_scheme import ternary_tree_schedule
+from repro.graphs.trees import balanced_ternary_core_tree, star
+from repro.model.validator import validate_broadcast, validate_round
+from repro.types import Call, Round
+
+
+class TestRoundLevel:
+    def test_shared_intermediate_flagged(self):
+        g = star(5)
+        # both calls switch through the centre — fine edge-wise, not vertex-wise
+        rnd = Round((Call.via((1, 0, 2)), Call.via((3, 0, 4))))
+        loose = validate_round(g, rnd, {1, 3}, k=2)
+        strict = validate_round(g, rnd, {1, 3}, k=2, vertex_disjoint=True)
+        assert loose == []
+        assert any("vertex-disjoint" in e for e in strict)
+
+    def test_disjoint_calls_pass_both(self):
+        g = star(5)
+        rnd = Round((Call.via((0, 2)),))
+        assert validate_round(g, rnd, {0}, k=2, vertex_disjoint=True) == []
+
+
+class TestSchemesUnderStrictModel:
+    def test_sparse_hypercube_schemes_are_vertex_disjoint(self):
+        """Phase-1 calls live in pairwise-disjoint subcubes, so the
+        schemes satisfy the stronger §5 model as-is."""
+        for k, n, thr in [(2, 6, (2,)), (2, 7, (3,)), (3, 8, (2, 5)), (4, 9, (2, 4, 6))]:
+            sh = construct(k, n, thr)
+            g = sh.graph
+            for s in (0, g.n_vertices // 2, g.n_vertices - 1):
+                sched = broadcast_schedule(sh, s)
+                rep = validate_broadcast(g, sched, k, vertex_disjoint=True)
+                assert rep.ok, (k, n, s, rep.errors[:3])
+
+    def test_tree_pump_scheme_is_not(self):
+        tree = balanced_ternary_core_tree(3)
+        sched = ternary_tree_schedule(3, 0)
+        assert validate_broadcast(tree, sched, 6).ok
+        strict = validate_broadcast(tree, sched, 6, vertex_disjoint=True)
+        assert not strict.ok
+
+    def test_base_construction_via_construct_base(self):
+        sh = construct_base(5, 2)
+        sched = broadcast_schedule(sh, 17)
+        assert validate_broadcast(sh.graph, sched, 2, vertex_disjoint=True).ok

@@ -1,0 +1,149 @@
+"""Property-based tests for the extension subsystems (gossip, wormhole,
+serialization, faults, multi-message bounds)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct_base
+from repro.gossip import (
+    hypercube_gossip,
+    minimum_gossip_rounds,
+    sparse_hypercube_gossip,
+    validate_gossip,
+)
+from repro.graphs.hypercube import hypercube
+from repro.graphs.knodel import knodel_broadcast, knodel_graph
+from repro.io import (
+    graph_from_dict,
+    graph_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.model.faults import (
+    attempt_broadcast_with_failures,
+    failed_edge_sample,
+    remove_edges,
+)
+from repro.model.validator import validate_broadcast
+from repro.schedulers.multimsg_search import multimessage_lower_bound
+from repro.wormhole import WormholeNetwork
+
+COMMON = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestGossipProperties:
+    @COMMON
+    @given(st.integers(1, 7))
+    def test_hypercube_gossip_always_optimal(self, n):
+        sched = hypercube_gossip(n)
+        rep = validate_gossip(hypercube(n), sched, 1, require_minimum_time=True)
+        assert rep.ok and rep.complete
+
+    @COMMON
+    @given(st.integers(3, 8), st.data())
+    def test_sparse_gossip_always_completes(self, n, data):
+        m = data.draw(st.integers(1, n - 1))
+        sh = construct_base(n, m)
+        sched = sparse_hypercube_gossip(sh)
+        rep = validate_gossip(sh.graph, sched, 3)
+        assert rep.ok and rep.complete
+        assert sched.num_rounds >= minimum_gossip_rounds(sh.n_vertices)
+
+    @COMMON
+    @given(st.integers(2, 64))
+    def test_minimum_gossip_rounds_doubling(self, n):
+        r = minimum_gossip_rounds(n)
+        assert (1 << r) >= n
+        assert (1 << (r - 1)) < n
+
+
+class TestWormholeProperties:
+    @COMMON
+    @given(st.integers(1, 12), st.integers(1, 32))
+    def test_uncontended_latency_formula(self, links, flits):
+        from repro.graphs.trees import path_graph
+
+        net = WormholeNetwork(path_graph(links + 1))
+        worm = net.add_worm(tuple(range(links + 1)), flits)
+        assert net.run() == links + flits - 1
+        assert worm.tail_arrival == WormholeNetwork.uncontended_latency(links, flits)
+
+    @COMMON
+    @given(st.integers(3, 7), st.integers(1, 8), st.data())
+    def test_schedule_latency_equals_analytic(self, n, flits, data):
+        from repro.wormhole import schedule_latency
+
+        m = data.draw(st.integers(1, n - 1))
+        sh = construct_base(n, m)
+        sched = broadcast_schedule(sh, data.draw(st.integers(0, 2**n - 1)))
+        lat = schedule_latency(sh.graph, sched, flits)
+        expected = sum(
+            max(c.length for c in rnd) + flits - 1 for rnd in sched.rounds
+        )
+        assert lat.total_cycles == expected
+
+
+class TestSerializationProperties:
+    @COMMON
+    @given(st.integers(3, 7), st.data())
+    def test_graph_roundtrip(self, n, data):
+        m = data.draw(st.integers(1, n - 1))
+        g = construct_base(n, m).graph
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    @COMMON
+    @given(st.integers(3, 6), st.data())
+    def test_schedule_roundtrip_preserves_validity(self, n, data):
+        m = data.draw(st.integers(1, n - 1))
+        sh = construct_base(n, m)
+        s = data.draw(st.integers(0, 2**n - 1))
+        sched = broadcast_schedule(sh, s)
+        back = schedule_from_dict(schedule_to_dict(sched))
+        assert validate_broadcast(sh.graph, back, 2).ok
+
+
+class TestFaultProperties:
+    @COMMON
+    @given(st.integers(4, 7), st.integers(0, 6), st.integers(0, 100))
+    def test_repairs_are_always_sound(self, n, f, seed):
+        """Whatever the failure pattern, a returned repair validates on
+        the surviving graph — no silent corruption."""
+        sh = construct_base(n, 2)
+        g = sh.graph
+        failed = failed_edge_sample(g, f, seed=seed)
+        sched = attempt_broadcast_with_failures(sh, 0, failed)
+        if sched is not None:
+            survivor = remove_edges(g, failed)
+            assert validate_broadcast(survivor, sched, 2).ok
+
+
+class TestKnodelProperties:
+    @COMMON
+    @given(st.integers(2, 32), st.data())
+    def test_knodel_broadcast_valid_every_even_order(self, half, data):
+        n = 2 * half
+        delta = n.bit_length() - 1
+        g = knodel_graph(delta, n)
+        s = data.draw(st.integers(0, n - 1))
+        rep = validate_broadcast(g, knodel_broadcast(delta, n, s), 1)
+        assert rep.ok
+
+
+class TestMultiMessageBounds:
+    @COMMON
+    @given(st.integers(2, 128), st.integers(1, 6))
+    def test_lower_bound_at_least_single_message(self, n, m):
+        from repro.model.validator import minimum_broadcast_rounds
+
+        assert multimessage_lower_bound(n, m) >= minimum_broadcast_rounds(n)
+
+    @COMMON
+    @given(st.integers(2, 128), st.integers(1, 5))
+    def test_lower_bound_superadditive_increments(self, n, m):
+        a = multimessage_lower_bound(n, m)
+        b = multimessage_lower_bound(n, m + 1)
+        assert b >= a + 1 or b == a  # monotone; emission adds ≤ ... per msg
+        assert b >= a

@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These exercise randomly drawn parameters/vertices against the paper's
+structural invariants: Condition A, the flat edge rule, routing contracts,
+scheme validity, bound sandwiches, and codec round-trips.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.coding.hamming import hamming_syndrome
+from repro.core.bounds import (
+    ball_size_bound,
+    moore_degree_lower_bound,
+    upper_bound_theorem5,
+    upper_bound_theorem7,
+)
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct, construct_base, partition_dimensions
+from repro.core.params import (
+    ceil_root_of_power,
+    degree_formula_for_thresholds,
+    theorem5_m_star,
+    theorem7_params,
+)
+from repro.core.routing import reach_and_flip
+from repro.domination.labeling import lemma2_labeling
+from repro.model.validator import validate_broadcast
+from repro.util.bits import (
+    bits_to_int,
+    flip_dim,
+    hamming_distance,
+    int_to_bits,
+    popcount,
+    prefix_value,
+    suffix_value,
+    to_bitstring,
+)
+
+COMMON = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestBitProperties:
+    @COMMON
+    @given(st.integers(0, 2**20 - 1), st.integers(1, 20))
+    def test_flip_dim_involution_and_distance(self, u, i):
+        v = flip_dim(u, i)
+        assert flip_dim(v, i) == u
+        assert hamming_distance(u, v) == 1
+
+    @COMMON
+    @given(st.integers(0, 2**16 - 1))
+    def test_bits_roundtrip(self, u):
+        assert bits_to_int(int_to_bits(u, 16)) == u
+        assert int(to_bitstring(u, 16), 2) == u
+
+    @COMMON
+    @given(st.integers(0, 2**18 - 1), st.integers(0, 18))
+    def test_prefix_suffix_reconstruct(self, u, m):
+        assert (prefix_value(u, m) << m) | suffix_value(u, m) == u
+
+    @COMMON
+    @given(st.integers(0, 2**18 - 1), st.integers(0, 2**18 - 1))
+    def test_popcount_triangle(self, u, v):
+        # Hamming distance satisfies the triangle inequality via 0
+        assert hamming_distance(u, v) <= popcount(u) + popcount(v)
+
+
+class TestLabelingProperties:
+    @COMMON
+    @given(st.integers(1, 9))
+    def test_lemma2_satisfies_condition_a(self, m):
+        lab = lemma2_labeling(m)
+        assert lab.verify()
+        assert lab.num_labels >= m // 2 + 1
+
+    @COMMON
+    @given(st.integers(2, 3), st.integers(0, 2**7 - 1), st.integers(1, 7))
+    def test_syndrome_flip_identity(self, p, u, j):
+        m = (1 << p) - 1
+        u %= 1 << m
+        j = 1 + (j - 1) % m
+        assert hamming_syndrome(u ^ (1 << (j - 1)), p) == hamming_syndrome(u, p) ^ j
+
+
+class TestConstructionProperties:
+    @COMMON
+    @given(st.integers(3, 9), st.data())
+    def test_base_construction_invariants(self, n, data):
+        m = data.draw(st.integers(1, n - 1))
+        sh = construct_base(n, m)
+        g = sh.graph
+        # spanning subgraph of Q_n with the formula degree
+        assert g.n_vertices == 2**n
+        assert g.max_degree() == sh.degree_formula()
+        assert g.is_connected()
+        u = data.draw(st.integers(0, 2**n - 1))
+        for dim in range(1, n + 1):
+            v = flip_dim(u, dim)
+            assert g.has_edge(u, v) == sh.has_edge_rule(u, dim)
+
+    @COMMON
+    @given(st.integers(5, 9), st.data())
+    def test_k3_routing_contract(self, n, data):
+        n1 = data.draw(st.integers(1, n - 2))
+        n2 = data.draw(st.integers(n1 + 1, n - 1))
+        sh = construct(3, n, (n1, n2))
+        u = data.draw(st.integers(0, 2**n - 1))
+        dim = data.draw(st.integers(1, n))
+        path = reach_and_flip(sh, u, dim)
+        level = sh.level_owning(dim)
+        limit = 1 if level is None else level.t
+        assert len(path) - 1 <= limit
+        assert sh.graph.path_is_valid(path)
+        z = path[-1]
+        assert (z >> dim) == (u >> dim)
+        assert (z ^ u) & (1 << (dim - 1))
+
+    @COMMON
+    @given(st.integers(3, 8), st.data())
+    def test_broadcast2_random_instances(self, n, data):
+        m = data.draw(st.integers(1, n - 1))
+        sh = construct_base(n, m)
+        s = data.draw(st.integers(0, 2**n - 1))
+        sched = broadcast_schedule(sh, s)
+        rep = validate_broadcast(sh.graph, sched, 2)
+        assert rep.ok
+        assert len(sched.rounds) == n
+
+    @COMMON
+    @given(st.integers(2, 20), st.integers(1, 19), st.integers(1, 8))
+    def test_partition_balanced(self, high, low_delta, parts):
+        low = high - min(low_delta, high - 1)
+        ps = partition_dimensions(high, low, parts)
+        sizes = [len(p) for p in ps]
+        assert max(sizes) - min(sizes) <= 1
+        assert sorted(d for p in ps for d in p) == list(range(low + 1, high + 1))
+
+
+class TestBoundProperties:
+    @COMMON
+    @given(st.integers(2, 120))
+    def test_theorem5_sandwich(self, n):
+        m = theorem5_m_star(n)
+        delta = degree_formula_for_thresholds(n, (m,))
+        assert moore_degree_lower_bound(n, 2) <= delta <= upper_bound_theorem5(n)
+
+    @COMMON
+    @given(st.integers(3, 6), st.data())
+    def test_theorem7_sandwich(self, k, data):
+        n = data.draw(st.integers(k + 1, 100))
+        thr = theorem7_params(k, n)
+        delta = degree_formula_for_thresholds(n, thr)
+        assert delta <= upper_bound_theorem7(n, k)
+        assert delta >= moore_degree_lower_bound(n, k)
+
+    @COMMON
+    @given(st.integers(1, 200), st.integers(1, 6), st.integers(1, 6))
+    def test_ceil_root_defining_property(self, base, num, den):
+        x = ceil_root_of_power(base, num, den)
+        assert x**den >= base**num
+        if x > 0:
+            assert (x - 1) ** den < base**num
+
+    @COMMON
+    @given(st.integers(2, 10), st.integers(1, 6))
+    def test_ball_bound_monotone(self, delta, k):
+        assert ball_size_bound(delta, k) <= ball_size_bound(delta + 1, k)
+        assert ball_size_bound(delta, k) <= ball_size_bound(delta, k + 1)
+
+
+class TestScheduleProperties:
+    @COMMON
+    @given(st.integers(4, 7), st.data())
+    def test_schedule_receivers_partition_vertices(self, n, data):
+        m = data.draw(st.integers(1, n - 1))
+        sh = construct_base(n, m)
+        s = data.draw(st.integers(0, 2**n - 1))
+        sched = broadcast_schedule(sh, s)
+        receivers = [c.receiver for rnd in sched.rounds for c in rnd]
+        assert len(receivers) == len(set(receivers))
+        assert set(receivers) | {s} == set(range(2**n))
+
+    @COMMON
+    @given(st.integers(4, 7), st.data())
+    def test_exact_doubling_always(self, n, data):
+        m = data.draw(st.integers(1, n - 1))
+        sh = construct_base(n, m)
+        s = data.draw(st.integers(0, 2**n - 1))
+        rep = validate_broadcast(sh.graph, broadcast_schedule(sh, s), 2)
+        assert rep.informed_per_round == [2**t for t in range(1, n + 1)]

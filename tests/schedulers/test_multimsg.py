@@ -1,0 +1,94 @@
+"""Tests for multi-message broadcast (pipelining + exact search, E22)."""
+
+import pytest
+
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct_base
+from repro.graphs.hypercube import hypercube
+from repro.graphs.trees import star
+from repro.multimsg import (
+    minimal_valid_stagger,
+    pipeline_schedules,
+)
+from repro.schedulers.multimsg_search import (
+    find_multimessage_schedule,
+    multimessage_lower_bound,
+    validate_multimessage,
+)
+from repro.types import InvalidParameterError
+
+
+class TestPipelining:
+    def test_scheme_pipelining_is_fully_serial(self):
+        """Every vertex calls every round in the minimum-time scheme, so
+        overlapping two copies always double-books a caller: d* = n."""
+        for n, m in [(4, 2), (5, 2), (6, 3)]:
+            sh = construct_base(n, m)
+            assert minimal_valid_stagger(sh, 0) == n
+
+    def test_pipeline_merge_shape(self):
+        sh = construct_base(4, 2)
+        base = broadcast_schedule(sh, 0)
+        pipe = pipeline_schedules(base, 3, 2)
+        assert pipe.total_rounds == 4 + 2 * 2
+        assert sum(len(r) for r in pipe.rounds) == 3 * base.num_calls
+
+    def test_pipeline_validation_args(self):
+        sh = construct_base(4, 2)
+        base = broadcast_schedule(sh, 0)
+        with pytest.raises(InvalidParameterError):
+            pipeline_schedules(base, 0, 1)
+        with pytest.raises(InvalidParameterError):
+            pipeline_schedules(base, 2, 0)
+
+
+class TestLowerBound:
+    def test_single_message_reduces_to_log(self):
+        assert multimessage_lower_bound(8, 1) == 3
+        assert multimessage_lower_bound(16, 1) == 4
+
+    def test_reception_counting_dominates(self):
+        # Q3, 2 messages: emission bound 4, counting bound 5
+        assert multimessage_lower_bound(8, 2) == 5
+
+    def test_monotone_in_messages(self):
+        for n in (8, 16):
+            bounds = [multimessage_lower_bound(n, m) for m in (1, 2, 3, 4)]
+            assert bounds == sorted(bounds)
+
+
+class TestExactSearch:
+    def test_q3_two_messages_exactly_five_rounds(self):
+        """T(Q₃, 2 msgs, k=1) = 5: the bound and the search meet —
+        beating the 6-round serial baseline by one round."""
+        g = hypercube(3)
+        assert find_multimessage_schedule(g, 0, 1, 2, 4) is None
+        sched = find_multimessage_schedule(g, 0, 1, 2, 5)
+        assert sched is not None
+        assert validate_multimessage(g, sched, 1) == []
+
+    def test_star_two_messages_with_k2(self):
+        """K_{1,3} from the centre: 2 messages at k=2."""
+        g = star(4)
+        lb = multimessage_lower_bound(4, 2)
+        sched = find_multimessage_schedule(g, 0, 2, 2, lb)
+        if sched is None:  # bound not tight here — one extra round must do
+            sched = find_multimessage_schedule(g, 0, 2, 2, lb + 1)
+        assert sched is not None
+        assert validate_multimessage(g, sched, 2) == []
+
+    def test_sparse_hypercube_two_messages(self):
+        """2 messages on G_{3,1} at k=2 beat the serial 6 rounds."""
+        sh = construct_base(3, 1)
+        g = sh.graph
+        sched = find_multimessage_schedule(g, 0, 2, 2, 5)
+        assert sched is not None
+        assert validate_multimessage(g, sched, 2) == []
+
+    def test_validator_catches_corruption(self):
+        g = hypercube(3)
+        sched = find_multimessage_schedule(g, 0, 1, 2, 5)
+        assert sched is not None
+        sched.rounds[0] = sched.rounds[0] + sched.rounds[0]  # duplicate call
+        errs = validate_multimessage(g, sched, 1)
+        assert errs

@@ -1,0 +1,49 @@
+"""Tests for the k = 1 binomial baseline on Q_n."""
+
+import pytest
+
+from repro.graphs.hypercube import hypercube
+from repro.model.validator import validate_broadcast
+from repro.schedulers.store_forward import (
+    binomial_hypercube_broadcast,
+    dimension_order_broadcast,
+)
+from repro.types import InvalidParameterError
+
+
+class TestBinomial:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+    def test_valid_minimum_time_at_k1(self, n):
+        g = hypercube(n)
+        for source in {0, (1 << n) - 1, 5 % (1 << n)}:
+            sched = binomial_hypercube_broadcast(n, source)
+            rep = validate_broadcast(g, sched, 1)
+            assert rep.ok, rep.errors[:3]
+            assert len(sched.rounds) == n
+
+    def test_exact_doubling(self):
+        sched = binomial_hypercube_broadcast(5, 3)
+        rep = validate_broadcast(hypercube(5), sched, 1)
+        assert rep.informed_per_round == [2, 4, 8, 16, 32]
+
+    def test_all_calls_length_one(self):
+        sched = binomial_hypercube_broadcast(4, 0)
+        assert sched.max_call_length() == 1
+
+    def test_source_validation(self):
+        with pytest.raises(InvalidParameterError):
+            binomial_hypercube_broadcast(3, 8)
+        with pytest.raises(InvalidParameterError):
+            binomial_hypercube_broadcast(0, 0)
+
+
+class TestDimensionOrders:
+    def test_any_permutation_works(self):
+        g = hypercube(4)
+        for dims in ([1, 2, 3, 4], [4, 3, 2, 1], [2, 4, 1, 3]):
+            sched = dimension_order_broadcast(4, 6, dims)
+            assert validate_broadcast(g, sched, 1).ok
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(InvalidParameterError):
+            dimension_order_broadcast(3, 0, [1, 2, 2])

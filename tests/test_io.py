@@ -1,0 +1,81 @@
+"""Tests for JSON serialization and k-mlbg certificates."""
+
+import pytest
+
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct, construct_base
+from repro.io import (
+    certificate_for,
+    dump_certificate,
+    graph_from_dict,
+    graph_to_dict,
+    load_certificate,
+    schedule_from_dict,
+    schedule_to_dict,
+    verify_certificate,
+)
+from repro.types import InvalidParameterError
+
+
+class TestGraphRoundtrip:
+    def test_roundtrip(self):
+        g = construct_base(5, 2).graph
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_malformed_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            graph_from_dict({"edges": [[0, 1]]})
+        with pytest.raises(InvalidParameterError):
+            graph_from_dict({"n_vertices": "x", "edges": []})
+
+
+class TestScheduleRoundtrip:
+    def test_roundtrip(self):
+        sh = construct_base(5, 2)
+        sched = broadcast_schedule(sh, 3)
+        back = schedule_from_dict(schedule_to_dict(sched))
+        assert back.source == sched.source
+        assert [
+            [c.path for c in r] for r in back.rounds
+        ] == [[c.path for c in r] for r in sched.rounds]
+
+    def test_malformed_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            schedule_from_dict({"rounds": []})
+
+
+class TestCertificates:
+    def test_full_certificate_verifies(self):
+        sh = construct_base(4, 2)
+        cert = certificate_for(sh)
+        assert len(cert["schedules"]) == 16
+        assert verify_certificate(cert)
+
+    def test_sampled_certificate(self):
+        sh = construct(3, 7, (2, 4))
+        cert = certificate_for(sh, sources=[0, 63, 127])
+        assert verify_certificate(cert)
+
+    def test_tampered_certificate_fails(self):
+        sh = construct_base(4, 2)
+        cert = certificate_for(sh, sources=[0])
+        # claim a smaller k than the schedule's longest call needs
+        cert["k"] = 1
+        assert not verify_certificate(cert)
+
+    def test_tampered_graph_fails(self):
+        sh = construct_base(4, 2)
+        cert = certificate_for(sh, sources=[0])
+        cert["graph"]["edges"] = cert["graph"]["edges"][:-4]
+        assert not verify_certificate(cert)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            verify_certificate({"format": "bogus"})
+
+    def test_file_roundtrip(self, tmp_path):
+        sh = construct_base(4, 2)
+        cert = certificate_for(sh, sources=[0, 5])
+        path = str(tmp_path / "cert.json")
+        dump_certificate(cert, path)
+        assert verify_certificate(load_certificate(path))

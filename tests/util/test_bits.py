@@ -1,0 +1,156 @@
+"""Unit tests for repro.util.bits — the bit-string substrate."""
+
+import numpy as np
+import pytest
+
+from repro.util.bits import (
+    all_vertices,
+    bit,
+    bit_positions,
+    bits_to_int,
+    flip,
+    flip_dim,
+    flip_dim_array,
+    from_bitstring,
+    hamming_distance,
+    int_to_bits,
+    iter_neighbors,
+    popcount,
+    popcount_array,
+    prefix_value,
+    suffix_value,
+    to_bitstring,
+)
+
+
+class TestBitAccess:
+    def test_bit_is_one_indexed_from_lsb(self):
+        # u = 0b0110: dim 1 = 0, dim 2 = 1, dim 3 = 1, dim 4 = 0
+        assert bit(0b0110, 1) == 0
+        assert bit(0b0110, 2) == 1
+        assert bit(0b0110, 3) == 1
+        assert bit(0b0110, 4) == 0
+
+    def test_bit_rejects_zero_dimension(self):
+        with pytest.raises(ValueError):
+            bit(0, 0)
+
+    def test_flip_is_zero_indexed(self):
+        assert flip(0, 0) == 1
+        assert flip(0b100, 2) == 0
+
+    def test_flip_dim_matches_paper_operator(self):
+        # ⊕_4(⊕_2 0000) = 1010 (Example 4)
+        assert flip_dim(flip_dim(0b0000, 2), 4) == 0b1010
+        # ⊕_3(⊕_1 1010) = 1111 (Example 4)
+        assert flip_dim(flip_dim(0b1010, 1), 3) == 0b1111
+
+    def test_flip_dim_involution(self):
+        for u in range(32):
+            for i in range(1, 6):
+                assert flip_dim(flip_dim(u, i), i) == u
+
+    def test_flip_dim_rejects_zero(self):
+        with pytest.raises(ValueError):
+            flip_dim(3, 0)
+
+
+class TestPopcountDistance:
+    def test_popcount_small(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 40) - 1) == 40
+
+    def test_hamming_distance_symmetry(self):
+        for u, v in [(0, 7), (5, 5), (0b1010, 0b0101)]:
+            assert hamming_distance(u, v) == hamming_distance(v, u)
+
+    def test_hamming_distance_values(self):
+        assert hamming_distance(0, 0) == 0
+        assert hamming_distance(0b1010, 0b0101) == 4
+        assert hamming_distance(0b111, 0b110) == 1
+
+
+class TestAffixes:
+    def test_suffix_prefix_partition_vertex(self):
+        u = 0b1101101
+        for m in range(8):
+            assert (prefix_value(u, m) << m) | suffix_value(u, m) == u
+
+    def test_suffix_of_example2_labeling(self):
+        # g(0011) uses suffix 11 of length 2
+        assert suffix_value(0b0011, 2) == 0b11
+        assert suffix_value(0b1110, 2) == 0b10
+
+    def test_negative_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            suffix_value(3, -1)
+
+
+class TestStrings:
+    def test_to_bitstring_is_paper_order(self):
+        # paper writes u_n…u_1, most significant first
+        assert to_bitstring(0b1010, 4) == "1010"
+        assert to_bitstring(1, 4) == "0001"
+
+    def test_to_bitstring_range_check(self):
+        with pytest.raises(ValueError):
+            to_bitstring(16, 4)
+
+    def test_roundtrip(self):
+        for u in range(64):
+            assert from_bitstring(to_bitstring(u, 6)) == u
+
+    def test_from_bitstring_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            from_bitstring("10a1")
+        with pytest.raises(ValueError):
+            from_bitstring("")
+
+
+class TestVectorHelpers:
+    def test_int_to_bits_roundtrip(self):
+        for u in (0, 1, 0b1011, 0b111111):
+            assert bits_to_int(int_to_bits(u, 6)) == u
+
+    def test_int_to_bits_index_is_dimension_minus_one(self):
+        v = int_to_bits(0b100, 3)
+        assert list(v) == [0, 0, 1]
+
+    def test_bits_to_int_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+    def test_bit_positions(self):
+        assert bit_positions(0) == []
+        assert bit_positions(0b10110) == [1, 2, 4]
+
+    def test_iter_neighbors_count_and_distance(self):
+        u = 0b0110
+        nbrs = list(iter_neighbors(u, 4))
+        assert len(nbrs) == 4
+        assert all(hamming_distance(u, v) == 1 for v in nbrs)
+        assert len(set(nbrs)) == 4
+
+    def test_all_vertices(self):
+        v = all_vertices(4)
+        assert v.shape == (16,)
+        assert v[0] == 0 and v[-1] == 15
+
+    def test_all_vertices_bounds(self):
+        with pytest.raises(ValueError):
+            all_vertices(-1)
+
+    def test_popcount_array_matches_scalar(self):
+        a = np.arange(256, dtype=np.uint64)
+        vec = popcount_array(a)
+        assert all(int(vec[i]) == popcount(i) for i in range(256))
+
+    def test_flip_dim_array_matches_scalar(self):
+        a = np.arange(64, dtype=np.uint64)
+        out = flip_dim_array(a, 3)
+        assert all(int(out[i]) == flip_dim(i, 3) for i in range(64))
+
+    def test_flip_dim_array_rejects_zero(self):
+        with pytest.raises(ValueError):
+            flip_dim_array(np.arange(4), 0)
