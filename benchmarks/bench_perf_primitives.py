@@ -1,59 +1,87 @@
 """Raw performance benchmarks for the library's primitives.
 
 Not tied to a paper artifact: these watch the hot paths (construction,
-scheme generation, validation, BFS, max-flow) so performance regressions
-are visible in CI.  Sizes are chosen to run in milliseconds.
+scheme generation, validation — reference and bitset fast path — BFS,
+max-flow) so performance regressions are visible in CI.  Sizes are
+chosen to run in milliseconds; the CI smoke pass shrinks them further
+via ``REPRO_BENCH_N``.
 """
+
+import os
 
 import pytest
 
 from repro.core.broadcast import broadcast_schedule
 from repro.core.construct import construct, construct_base
+from repro.core.params import theorem7_params
 from repro.flows.paths import round_packing_bound
 from repro.graphs.hypercube import hypercube
 from repro.model.validator import validate_broadcast
+from repro.model.validator_fast import FastValidator, validate_broadcast_fast
 from repro.schedulers.greedy import heuristic_line_broadcast
 from repro.graphs.trees import balanced_ternary_core_tree
 
-
-class BenchFixtures:
-    N = 12
-
-
-def test_perf_construct_base_n12(benchmark):
-    sh = benchmark(lambda: construct_base(12, 4).graph)
-    assert sh.n_vertices == 4096
+# Primary workload size (hypercube dimension); REPRO_BENCH_N=10 gives the
+# CI smoke pass a ~4x cheaper run with identical code paths.
+N = int(os.environ.get("REPRO_BENCH_N", "12"))
+M = max(1, N // 3)
 
 
-def test_perf_construct_k4_n12(benchmark):
-    sh = benchmark(lambda: construct(4, 12, (2, 5, 8)).graph)
-    assert sh.n_vertices == 4096
+def test_perf_construct_base(benchmark):
+    g = benchmark(lambda: construct_base(N, M).graph)
+    assert g.n_vertices == 1 << N
 
 
-def test_perf_hypercube_n12(benchmark):
-    g = benchmark(lambda: hypercube(12))
-    assert g.n_edges == 12 * 2048
+def test_perf_construct_k4(benchmark):
+    thresholds = theorem7_params(4, N)
+    g = benchmark(lambda: construct(4, N, thresholds).graph)
+    assert g.n_vertices == 1 << N
 
 
-def test_perf_broadcast_schedule_n12(benchmark):
-    sh = construct_base(12, 4)
+def test_perf_hypercube(benchmark):
+    g = benchmark(lambda: hypercube(N))
+    assert g.n_edges == N * (1 << (N - 1))
+
+
+def test_perf_broadcast_schedule(benchmark):
+    sh = construct_base(N, M)
     sh.graph  # materialize outside the timer
     sched = benchmark(lambda: broadcast_schedule(sh, 0))
-    assert sched.num_calls == 4095
+    assert sched.num_calls == (1 << N) - 1
 
 
-def test_perf_validate_n12(benchmark):
-    sh = construct_base(12, 4)
+def test_perf_validate_reference(benchmark):
+    sh = construct_base(N, M)
     g = sh.graph
     sched = broadcast_schedule(sh, 0)
     rep = benchmark(lambda: validate_broadcast(g, sched, 2))
     assert rep.ok
 
 
+def test_perf_validate_fast_warm(benchmark):
+    """The bitset fast path with the per-graph setup amortized — the
+    configuration the sweep experiments use (many schedules per graph)."""
+    sh = construct_base(N, M)
+    g = sh.graph
+    sched = broadcast_schedule(sh, 0)
+    validator = FastValidator(g)
+    rep = benchmark(lambda: validator.validate(sched, 2))
+    assert rep.ok
+
+
+def test_perf_validate_fast_cold(benchmark):
+    """The bitset fast path including FastValidator construction."""
+    sh = construct_base(N, M)
+    g = sh.graph
+    sched = broadcast_schedule(sh, 0)
+    rep = benchmark(lambda: validate_broadcast_fast(g, sched, 2))
+    assert rep.ok
+
+
 def test_perf_bfs_sweep(benchmark):
-    g = hypercube(12)
+    g = hypercube(N)
     dist = benchmark(lambda: g.bfs_distances(0))
-    assert int(dist.max()) == 12
+    assert int(dist.max()) == N
 
 
 def test_perf_round_packing_flow(benchmark):

@@ -1,12 +1,18 @@
-"""Experiment harness: table builders for every figure/example/theorem.
+"""Experiment harness: registry, parallel runner, and table builders.
 
 Each ``experiment_eXX`` function regenerates one artifact of the paper
 (see DESIGN.md's per-experiment index) and returns plain rows
 (``list[dict]``) so the same code backs the pytest benchmarks, the CLI
 (``python -m repro``), and EXPERIMENTS.md.
+
+Experiments live in four themed modules (``exp_foundations``,
+``exp_constructions``, ``exp_theorems``, ``exp_extensions``) and declare
+themselves to :mod:`repro.analysis.registry`; the CLI and
+:mod:`repro.analysis.runner` (parallel execution + result caching)
+consume the registry rather than hand-kept tables.
 """
 
-from repro.analysis.tables import format_table
+from repro.analysis.common import sample_sources
 from repro.analysis.experiments import (
     experiment_e01_theorem1,
     experiment_e02_lower_bounds,
@@ -29,10 +35,26 @@ from repro.analysis.experiments import (
     experiment_e20_vertex_disjoint,
     experiment_e21_wormhole,
     experiment_e22_multimessage,
+    paper_g42,
 )
+from repro.analysis.registry import (
+    ExperimentSpec,
+    all_experiments,
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+from repro.analysis.tables import format_table
 
 __all__ = [
     "format_table",
+    "sample_sources",
+    "ExperimentSpec",
+    "all_experiments",
+    "experiment_ids",
+    "get_experiment",
+    "run_experiment",
+    "paper_g42",
     "experiment_e01_theorem1",
     "experiment_e02_lower_bounds",
     "experiment_e04_labelings",

@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment modules.
+
+Kept separate from the registry so the themed experiment modules can use
+them without importing each other.
+"""
+
+from __future__ import annotations
+
+from repro.types import InvalidParameterError
+
+__all__ = ["sample_sources"]
+
+
+def sample_sources(n_vertices: int, cap: int) -> list[int]:
+    """Deterministic spread of at most ``cap`` source vertices.
+
+    Always includes both ``0`` and ``n_vertices - 1`` so every sweep
+    exercises the two extreme bit patterns; the remaining slots are an
+    evenly spaced sample.  The result never exceeds ``cap`` entries.
+    """
+    if n_vertices <= cap:
+        return list(range(n_vertices))
+    if cap < 2:
+        raise InvalidParameterError(
+            f"cap must be >= 2 to include both endpoints, got {cap}"
+        )
+    step = max(1, n_vertices // cap)
+    srcs = sorted({0, n_vertices - 1, *range(0, n_vertices, step)})
+    if len(srcs) <= cap:
+        return srcs
+    # Respect the cap while keeping both endpoints: trim the interior.
+    interior = [s for s in srcs if s not in (0, n_vertices - 1)]
+    return [0, *interior[: cap - 2], n_vertices - 1]

@@ -1,0 +1,260 @@
+"""Theorem-checking experiments: the machine-checked sweeps behind
+Theorems 4–7 and the k = 1 baseline (E09, E10, E12, E13, E16).
+
+These are the validation-bound hot paths, so the sweeps run the bitset
+fast-path validator (:class:`repro.model.validator_fast.FastValidator`);
+the reference validator stays the oracle in the test suite, where the
+property tests pin the two to identical verdicts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.common import sample_sources
+from repro.analysis.registry import experiment
+from repro.core.bounds import (
+    degree_lower_bound,
+    lower_bound_theorem2,
+    upper_bound_corollary1,
+    upper_bound_theorem5,
+    upper_bound_theorem7,
+)
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct, construct_base
+from repro.core.params import (
+    degree_formula_for_thresholds,
+    improved_params_k3,
+    optimized_params,
+    theorem5_m_star,
+    theorem7_params,
+)
+from repro.graphs.hypercube import hypercube
+from repro.model.validator_fast import FastValidator, validate_broadcast_fast
+from repro.schedulers.store_forward import binomial_hypercube_broadcast
+
+__all__ = [
+    "experiment_e09_broadcast2",
+    "experiment_e10_theorem5",
+    "experiment_e12_broadcastk",
+    "experiment_e13_theorem7",
+    "experiment_e16_baseline_k1",
+]
+
+
+# ---------------------------------------------------------------------------
+# E09  Theorem 4 (Broadcast_2 sweep)
+# ---------------------------------------------------------------------------
+
+@experiment("e09", "Theorem 4: Broadcast_2 sweep")
+def experiment_e09_broadcast2(
+    *, n_values: tuple[int, ...] = (3, 4, 5, 6, 7, 8, 10, 12), sources_cap: int = 16
+) -> list[dict]:
+    """Broadcast_2 validity sweep: all (n, m) with m < n ≤ 8 exhaustive in
+    sources for small n, sampled above."""
+    rows = []
+    for n in n_values:
+        for m in range(1, n):
+            sh = construct_base(n, m)
+            g = sh.graph
+            srcs = sample_sources(g.n_vertices, sources_cap)
+            validator = FastValidator(g)
+            ok = True
+            max_len = 0
+            for s in srcs:
+                sched = broadcast_schedule(sh, s)
+                rep = validator.validate(sched, 2)
+                ok = ok and rep.ok and len(sched.rounds) == n
+                max_len = max(max_len, rep.max_call_length)
+            rows.append(
+                {
+                    "n": n,
+                    "m": m,
+                    "N": g.n_vertices,
+                    "Δ": sh.degree_formula(),
+                    "sources": len(srcs),
+                    "rounds": n,
+                    "max call len": max_len,
+                    "valid (≤2)": ok,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E10  Theorem 5
+# ---------------------------------------------------------------------------
+
+@experiment("e10", "Theorem 5: k=2 degree bound")
+def experiment_e10_theorem5(*, n_values: tuple[int, ...] = tuple(range(2, 65, 4))) -> list[dict]:
+    """Δ of Construct_BASE(n, m*) vs Theorem 5's bound and the Theorem 2
+    lower bound; plus the n = m(m+2) remark rows (Δ = 2m < 2√n)."""
+    rows = []
+    for n in n_values:
+        m = theorem5_m_star(n)
+        delta = degree_formula_for_thresholds(n, (m,))
+        bound = upper_bound_theorem5(n)
+        rows.append(
+            {
+                "n": n,
+                "m*": m,
+                "Δ measured": delta,
+                "thm5 bound": bound,
+                "Δ ≤ bound": delta <= bound,
+                "lower ⌈√n⌉": lower_bound_theorem2(n, 2),
+                "Δ(Q_n)": n,
+                "case": "m*",
+            }
+        )
+    # the remark: λ_m = m+1 (m = 2^p − 1) and n = m(m+2) give Δ = 2m < 2√n
+    for m in (3, 7):
+        n = m * (m + 2)
+        delta = degree_formula_for_thresholds(n, (m,))
+        rows.append(
+            {
+                "n": n,
+                "m*": m,
+                "Δ measured": delta,
+                "thm5 bound": upper_bound_theorem5(n),
+                "Δ ≤ bound": delta <= upper_bound_theorem5(n),
+                "lower ⌈√n⌉": lower_bound_theorem2(n, 2),
+                "Δ(Q_n)": n,
+                "case": f"remark n=m(m+2), 2m={2*m} < 2√n={2*math.sqrt(n):.2f}",
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E12  Theorem 6 (Broadcast_k sweep)
+# ---------------------------------------------------------------------------
+
+@experiment("e12", "Theorem 6: Broadcast_k sweep")
+def experiment_e12_broadcastk(
+    *,
+    cases: tuple[tuple[int, int, tuple[int, ...]], ...] = (
+        (3, 7, (2, 4)),
+        (3, 9, (2, 5)),
+        (3, 11, (3, 6)),
+        (4, 9, (2, 4, 6)),
+        (4, 12, (2, 5, 8)),
+        (5, 12, (2, 4, 7, 9)),
+    ),
+    sources_cap: int = 12,
+) -> list[dict]:
+    """Broadcast_k validity across k = 3, 4, 5 constructions."""
+    rows = []
+    for k, n, thresholds in cases:
+        sh = construct(k, n, thresholds)
+        g = sh.graph
+        srcs = sample_sources(g.n_vertices, sources_cap)
+        validator = FastValidator(g)
+        ok = True
+        max_len = 0
+        for s in srcs:
+            sched = broadcast_schedule(sh, s)
+            rep = validator.validate(sched, k)
+            ok = ok and rep.ok and len(sched.rounds) == n
+            max_len = max(max_len, rep.max_call_length)
+        rows.append(
+            {
+                "k": k,
+                "n": n,
+                "thresholds": str(thresholds),
+                "N": g.n_vertices,
+                "Δ": sh.degree_formula(),
+                "sources": len(srcs),
+                "max call len": max_len,
+                "valid (≤k)": ok,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E13  Theorem 7 + Corollaries
+# ---------------------------------------------------------------------------
+
+@experiment("e13", "Theorem 7 + corollaries: general k")
+def experiment_e13_theorem7(
+    *, ks: tuple[int, ...] = (3, 4, 5), n_values: tuple[int, ...] = (8, 16, 24, 32, 48, 64)
+) -> list[dict]:
+    """Δ with Theorem 7's analytic parameters vs the bound, the improved
+    k = 3 parameters, and the exhaustively optimized thresholds."""
+    rows = []
+    for k in ks:
+        for n in n_values:
+            if n <= k:
+                continue
+            analytic = theorem7_params(k, n)
+            d_analytic = degree_formula_for_thresholds(n, analytic)
+            bound = upper_bound_theorem7(n, k)
+            opt = optimized_params(k, n, exhaustive_limit=60_000)
+            d_opt = degree_formula_for_thresholds(n, opt)
+            row = {
+                "k": k,
+                "n": n,
+                "analytic n_i*": str(analytic),
+                "Δ analytic": d_analytic,
+                "thm7 bound": bound,
+                "Δ ≤ bound": d_analytic <= bound,
+                "Δ optimized": d_opt,
+                "lower bound": degree_lower_bound(n, k),
+            }
+            if k == 3 and n >= 8:
+                imp = improved_params_k3(n)
+                row["Δ improved-k3"] = degree_formula_for_thresholds(n, imp)
+            rows.append(row)
+    # Corollary 1 row: k = ⌈log2 n⌉
+    for n in (16, 32, 64):
+        k = math.ceil(math.log2(n))
+        if n > k >= 3:
+            params = theorem7_params(k, n)
+            rows.append(
+                {
+                    "k": k,
+                    "n": n,
+                    "analytic n_i*": str(params),
+                    "Δ analytic": degree_formula_for_thresholds(n, params),
+                    "thm7 bound": upper_bound_corollary1(n),
+                    "Δ ≤ bound": degree_formula_for_thresholds(n, params)
+                    <= upper_bound_corollary1(n),
+                    "Δ optimized": "-",
+                    "lower bound": degree_lower_bound(n, k),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E16  k = 1 baseline
+# ---------------------------------------------------------------------------
+
+@experiment("e16", "k=1 store-and-forward baseline")
+def experiment_e16_baseline_k1(*, n_values: tuple[int, ...] = (4, 6, 8, 10)) -> list[dict]:
+    """Store-and-forward baseline: Q_n broadcasts in n rounds at k = 1;
+    the sparse hypercube needs k = 2 (its schedule contains length-2
+    calls, and at k = 1 the validator rejects it)."""
+    rows = []
+    for n in n_values:
+        g = hypercube(n)
+        sched = binomial_hypercube_broadcast(n, 0)
+        rep1 = validate_broadcast_fast(g, sched, 1)
+        m = theorem5_m_star(n)
+        sh = construct_base(n, m)
+        sparse_sched = broadcast_schedule(sh, 0)
+        sparse_validator = FastValidator(sh.graph)
+        rep_sparse_k1 = sparse_validator.validate(sparse_sched, 1)
+        rep_sparse_k2 = sparse_validator.validate(sparse_sched, 2)
+        rows.append(
+            {
+                "n": n,
+                "Q_n binomial valid @k=1": rep1.ok,
+                "Δ(Q_n)": n,
+                "sparse Δ": sh.degree_formula(),
+                "sparse sched valid @k=1": rep_sparse_k1.ok,
+                "sparse sched valid @k=2": rep_sparse_k2.ok,
+                "degree saving": f"{n}→{sh.degree_formula()}",
+            }
+        )
+    return rows

@@ -1,55 +1,60 @@
-"""Experiment implementations E01–E16 (DESIGN.md per-experiment index).
+"""Backward-compatible facade over the themed experiment modules.
 
-Every function regenerates one artifact of the paper — a figure, a worked
-example, or a theorem's quantitative content — and returns a list of row
-dicts.  The benchmark modules time these functions and print the tables;
-tests assert the substantive claims (the "paper vs measured" comparisons
-recorded in EXPERIMENTS.md).
+The 1000-line monolith this module used to be is split by theme:
 
-All functions are deterministic.
+* :mod:`repro.analysis.exp_foundations` — trees, bounds, labelings
+  (E01, E02, E04, E05);
+* :mod:`repro.analysis.exp_constructions` — worked examples and
+  structural comparisons (E06–E08, E11, E14, E18);
+* :mod:`repro.analysis.exp_theorems` — the machine-checked theorem
+  sweeps (E09, E10, E12, E13, E16);
+* :mod:`repro.analysis.exp_extensions` — the Section-5 directions
+  (E15, E17, E19–E22).
+
+Each function registers itself with :mod:`repro.analysis.registry`; the
+CLI and the parallel runner discover experiments there.  This module
+keeps every historical import path (``from repro.analysis.experiments
+import experiment_e09_broadcast2``) working.
 """
 
 from __future__ import annotations
 
-import math
+from repro.analysis.common import sample_sources
+from repro.analysis.exp_constructions import (
+    experiment_e06_g42,
+    experiment_e07_g153,
+    experiment_e08_fig4,
+    experiment_e11_rec742,
+    experiment_e14_topology_compare,
+    experiment_e18_diameter,
+    paper_g42,
+)
+from repro.analysis.exp_extensions import (
+    experiment_e15_congestion,
+    experiment_e17_gossip,
+    experiment_e19_faults,
+    experiment_e20_vertex_disjoint,
+    experiment_e21_wormhole,
+    experiment_e22_multimessage,
+)
+from repro.analysis.exp_foundations import (
+    experiment_e01_theorem1,
+    experiment_e02_lower_bounds,
+    experiment_e04_labelings,
+    experiment_e05_lambda_m,
+)
+from repro.analysis.exp_theorems import (
+    experiment_e09_broadcast2,
+    experiment_e10_theorem5,
+    experiment_e12_broadcastk,
+    experiment_e13_theorem7,
+    experiment_e16_baseline_k1,
+)
 
-from repro.core.bounds import (
-    degree_lower_bound,
-    lower_bound_theorem2,
-    lower_bound_theorem3,
-    moore_degree_lower_bound,
-    theorem1_minimum_k,
-    upper_bound_corollary1,
-    upper_bound_theorem5,
-    upper_bound_theorem7,
-)
-from repro.core.broadcast import broadcast_schedule
-from repro.core.construct import construct, construct_base, construct_rec
-from repro.core.params import (
-    default_thresholds,
-    degree_formula_for_thresholds,
-    improved_params_k3,
-    optimized_params,
-    theorem5_m_star,
-    theorem7_params,
-)
-from repro.core.tree_mlbg import theorem1_k, theorem1_tree, verify_theorem1_instance
-from repro.domination.domatic import condition_a_max_labels
-from repro.domination.labeling import (
-    best_available_labeling,
-    hamming_labeling,
-    lemma2_labeling,
-    lemma2_lower_bound,
-    paper_example_labeling_q2,
-    paper_example_labeling_q3,
-)
-from repro.graphs.hypercube import hypercube
-from repro.graphs.properties import graph_stats
-from repro.model.congestion import congestion_profile, min_feasible_bandwidth
-from repro.model.simulator import LineNetworkSimulator
-from repro.model.validator import validate_broadcast
-from repro.schedulers.store_forward import binomial_hypercube_broadcast
-from repro.util.bits import to_bitstring
+# Historical private name, kept because external callers and the issue
+# tracker reference it; new code should import ``sample_sources`` from
+# ``repro.analysis.common``.
+_sample_sources = sample_sources
 
 __all__ = [
     "experiment_e01_theorem1",
@@ -74,955 +79,5 @@ __all__ = [
     "experiment_e21_wormhole",
     "experiment_e22_multimessage",
     "paper_g42",
+    "sample_sources",
 ]
-
-
-def _sample_sources(n_vertices: int, cap: int) -> list[int]:
-    """Deterministic spread of source vertices (always includes 0 and N-1)."""
-    if n_vertices <= cap:
-        return list(range(n_vertices))
-    step = max(1, n_vertices // cap)
-    srcs = sorted({0, n_vertices - 1, *range(0, n_vertices, step)})
-    return srcs[:cap] + [n_vertices - 1] if n_vertices - 1 not in srcs[:cap] else srcs[:cap]
-
-
-# ---------------------------------------------------------------------------
-# E01  Fig. 1 + Theorem 1
-# ---------------------------------------------------------------------------
-
-def experiment_e01_theorem1(*, max_h: int = 6, schedule_h: int = 5, sources_cap: int = 12) -> list[dict]:
-    """Theorem 1: B_h structure for h ≤ max_h; minimum-time schedules
-    machine-checked for h ≤ schedule_h (sampled sources above a cap)."""
-    rows = []
-    for h in range(1, max_h + 1):
-        tree = theorem1_tree(h)
-        n = tree.n_vertices
-        row = {
-            "h": h,
-            "N=3·2^h−2": n,
-            "Δ (≤3)": tree.max_degree(),
-            "diam (≤2h)": tree.diameter(),
-            "k=2h": theorem1_k(h),
-            "thm1 min k for N": theorem1_minimum_k(n),
-        }
-        if h <= schedule_h:
-            srcs = _sample_sources(n, sources_cap)
-            rep = verify_theorem1_instance(h, sources=srcs)
-            row["rounds=⌈log₂N⌉"] = rep["rounds"]
-            row["sources checked"] = rep["sources_checked"]
-            row["min-time verified"] = True
-        else:
-            row["rounds=⌈log₂N⌉"] = math.ceil(math.log2(n))
-            row["sources checked"] = 0
-            row["min-time verified"] = False
-        rows.append(row)
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E02/E03  Theorems 2 and 3 (lower bounds)
-# ---------------------------------------------------------------------------
-
-def experiment_e02_lower_bounds(*, n_values: tuple[int, ...] = (4, 9, 16, 25, 36, 49, 64)) -> list[dict]:
-    """Degree lower bounds: paper closed forms vs the exact ball bound."""
-    rows = []
-    for n in n_values:
-        row: dict = {"n (N=2^n)": n, "k=1 (Δ≥n)": n}
-        for k in (2, 3, 4):
-            row[f"k={k} thm2"] = lower_bound_theorem2(n, k)
-            row[f"k={k} ball"] = moore_degree_lower_bound(n, k)
-        for k in (5, 6):
-            if n > k:
-                row[f"k={k} thm3"] = lower_bound_theorem3(n, k)
-            else:
-                row[f"k={k} thm3"] = "-"
-        rows.append(row)
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E04  Example 1 labelings
-# ---------------------------------------------------------------------------
-
-def experiment_e04_labelings() -> list[dict]:
-    """Example 1: the paper's labelings of Q₂ and Q₃ satisfy Condition A
-    and are optimal (λ₂ = 2, λ₃ = 4, by exhaustive search)."""
-    q2 = paper_example_labeling_q2()
-    q3 = paper_example_labeling_q3()
-    ham3 = hamming_labeling(3)
-    # paper's Q3 labeling equals the Hamming syndrome labeling up to label renaming
-    renaming_consistent = len(
-        {(q3.label_of(u), ham3.label_of(u)) for u in range(8)}
-    ) == 4
-    rows = [
-        {
-            "labeling": "Example 1 Q₂ (parity)",
-            "labels": q2.num_labels,
-            "Condition A": q2.verify(),
-            "optimal λ_m": condition_a_max_labels(2),
-        },
-        {
-            "labeling": "Example 1 Q₃ (complement pairs)",
-            "labels": q3.num_labels,
-            "Condition A": q3.verify(),
-            "optimal λ_m": condition_a_max_labels(3),
-        },
-        {
-            "labeling": "Hamming syndrome Q₃",
-            "labels": ham3.num_labels,
-            "Condition A": ham3.verify(),
-            "optimal λ_m": 4 if renaming_consistent else -1,
-        },
-    ]
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E05  Lemma 2 (λ_m bounds)
-# ---------------------------------------------------------------------------
-
-def experiment_e05_lambda_m(*, max_m: int = 9, exact_max_m: int = 4) -> list[dict]:
-    """λ_m: Lemma 2's bounds vs the library's constructed label counts,
-    with exact values (domatic search) for small m."""
-    rows = []
-    for m in range(1, max_m + 1):
-        lab = best_available_labeling(m)
-        assert lab.verify()
-        row = {
-            "m": m,
-            "Lemma2 lower ⌊m/2⌋+1": lemma2_lower_bound(m),
-            "constructed labels": lab.num_labels,
-            "upper m+1": m + 1,
-            "labeling": lab.name,
-            "exact λ_m": condition_a_max_labels(m) if m <= exact_max_m else "-",
-        }
-        rows.append(row)
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E06  Example 2 / Figs. 2–3 (G_{4,2})
-# ---------------------------------------------------------------------------
-
-def paper_g42():
-    """The exact G_{4,2} instance of Example 2 / Fig. 3 (paper labeling of
-    Q₂, partition S₁={3}, S₂={4})."""
-    return construct_base(
-        4, 2, labeling=paper_example_labeling_q2(), partition=[(3,), (4,)]
-    )
-
-
-def experiment_e06_g42() -> list[dict]:
-    """G_{4,2}: structure versus the values stated/drawable from Figs 2–3."""
-    sh = paper_g42()
-    g = sh.graph
-    rule1_edges = sum(
-        1 for (u, v) in g.edges() if (u ^ v) in (1, 2)
-    )
-    rule2_edges = g.n_edges - rule1_edges
-    # Fig. 3 spot checks (paper coordinates, u_4u_3u_2u_1)
-    fig3_pairs = [
-        ("0011", "0111", True),   # dim 3 on label c1 (suffix 11)
-        ("0000", "0100", True),   # dim 3 on label c1 (suffix 00)
-        ("0001", "1001", True),   # dim 4 on label c2 (suffix 01)
-        ("0000", "1000", False),  # dim 4 absent at label c1
-        ("0011", "1011", False),  # dim 4 absent at label c1
-    ]
-    checks = all(
-        g.has_edge(int(a, 2), int(b, 2)) == expected for a, b, expected in fig3_pairs
-    )
-    return [
-        {
-            "quantity": "N",
-            "measured": g.n_vertices,
-            "paper": 16,
-            "match": g.n_vertices == 16,
-        },
-        {
-            "quantity": "Rule-1 edges (Fig. 2)",
-            "measured": rule1_edges,
-            "paper": 16,
-            "match": rule1_edges == 16,
-        },
-        {
-            "quantity": "Rule-2 edges",
-            "measured": rule2_edges,
-            "paper": 8,
-            "match": rule2_edges == 8,
-        },
-        {
-            "quantity": "Δ(G_{4,2})",
-            "measured": g.max_degree(),
-            "paper": 3,
-            "match": g.max_degree() == 3,
-        },
-        {
-            "quantity": "Fig. 3 edge spot-checks",
-            "measured": checks,
-            "paper": True,
-            "match": checks,
-        },
-    ]
-
-
-# ---------------------------------------------------------------------------
-# E07  Example 3 (G_{15,3})
-# ---------------------------------------------------------------------------
-
-def experiment_e07_g153(*, build_graph: bool = True) -> list[dict]:
-    """G_{15,3}: Δ = 6 = 3 + 3, less than half of Δ(Q₁₅) = 15."""
-    sh = construct_base(15, 3)
-    rows = [
-        {
-            "quantity": "Δ(G_{15,3}) by formula",
-            "measured": sh.degree_formula(),
-            "paper": 6,
-            "match": sh.degree_formula() == 6,
-        },
-        {
-            "quantity": "Δ(Q_15)",
-            "measured": 15,
-            "paper": 15,
-            "match": True,
-        },
-        {
-            "quantity": "Δ(G)/Δ(Q) < 1/2",
-            "measured": sh.degree_formula() / 15,
-            "paper": "< 0.5",
-            "match": sh.degree_formula() / 15 < 0.5,
-        },
-        {
-            "quantity": "labels (λ₃)",
-            "measured": sh.levels[0].num_labels,
-            "paper": 4,
-            "match": sh.levels[0].num_labels == 4,
-        },
-        {
-            "quantity": "partition sizes",
-            "measured": str([len(p) for p in sh.levels[0].partition]),
-            "paper": "[3, 3, 3, 3]",
-            "match": [len(p) for p in sh.levels[0].partition] == [3, 3, 3, 3],
-        },
-    ]
-    if build_graph:
-        g = sh.graph
-        rows.append(
-            {
-                "quantity": "Δ(G_{15,3}) by graph",
-                "measured": g.max_degree(),
-                "paper": 6,
-                "match": g.max_degree() == 6,
-            }
-        )
-        rows.append(
-            {
-                "quantity": "|E| (vs n·2^{n-1} of Q_15)",
-                "measured": g.n_edges,
-                "paper": f"< {15 * (1 << 14)}",
-                "match": g.n_edges < 15 * (1 << 14),
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E08  Example 4 / Fig. 4
-# ---------------------------------------------------------------------------
-
-def experiment_e08_fig4() -> list[dict]:
-    """Broadcast_2 in G_{4,2} from 0000: the paper's first two rounds,
-    reproduced call for call."""
-    sh = paper_g42()
-    sched = broadcast_schedule(sh, 0)
-    rep = validate_broadcast(sh.graph, sched, 2)
-
-    def call_strs(idx: int) -> list[str]:
-        return [
-            "->".join(to_bitstring(v, 4) for v in c.path)
-            for c in sched.rounds[idx]
-        ]
-
-    round1 = call_strs(0)
-    round2 = call_strs(1)
-    expected1 = ["0000->0010->1010"]
-    expected2 = ["0000->0100", "1010->1011->1111"]
-    return [
-        {
-            "artifact": "round 1 calls",
-            "measured": "; ".join(round1),
-            "paper": "0000 calls 1010 through 0010",
-            "match": round1 == expected1,
-        },
-        {
-            "artifact": "round 2 calls",
-            "measured": "; ".join(round2),
-            "paper": "0000→0100 ; 1010→1111 via 1011",
-            "match": round2 == expected2,
-        },
-        {
-            "artifact": "total rounds",
-            "measured": len(sched.rounds),
-            "paper": 4,
-            "match": len(sched.rounds) == 4,
-        },
-        {
-            "artifact": "valid 2-line schedule",
-            "measured": rep.ok,
-            "paper": True,
-            "match": rep.ok,
-        },
-    ]
-
-
-# ---------------------------------------------------------------------------
-# E09  Theorem 4 (Broadcast_2 sweep)
-# ---------------------------------------------------------------------------
-
-def experiment_e09_broadcast2(
-    *, n_values: tuple[int, ...] = (3, 4, 5, 6, 7, 8, 10, 12), sources_cap: int = 16
-) -> list[dict]:
-    """Broadcast_2 validity sweep: all (n, m) with m < n ≤ 8 exhaustive in
-    sources for small n, sampled above."""
-    rows = []
-    for n in n_values:
-        for m in range(1, n):
-            sh = construct_base(n, m)
-            g = sh.graph
-            srcs = _sample_sources(g.n_vertices, sources_cap)
-            ok = True
-            max_len = 0
-            for s in srcs:
-                sched = broadcast_schedule(sh, s)
-                rep = validate_broadcast(g, sched, 2)
-                ok = ok and rep.ok and len(sched.rounds) == n
-                max_len = max(max_len, rep.max_call_length)
-            rows.append(
-                {
-                    "n": n,
-                    "m": m,
-                    "N": g.n_vertices,
-                    "Δ": sh.degree_formula(),
-                    "sources": len(srcs),
-                    "rounds": n,
-                    "max call len": max_len,
-                    "valid (≤2)": ok,
-                }
-            )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E10  Theorem 5
-# ---------------------------------------------------------------------------
-
-def experiment_e10_theorem5(*, n_values: tuple[int, ...] = tuple(range(2, 65, 4))) -> list[dict]:
-    """Δ of Construct_BASE(n, m*) vs Theorem 5's bound and the Theorem 2
-    lower bound; plus the n = m(m+2) remark rows (Δ = 2m < 2√n)."""
-    rows = []
-    for n in n_values:
-        m = theorem5_m_star(n)
-        delta = degree_formula_for_thresholds(n, (m,))
-        bound = upper_bound_theorem5(n)
-        rows.append(
-            {
-                "n": n,
-                "m*": m,
-                "Δ measured": delta,
-                "thm5 bound": bound,
-                "Δ ≤ bound": delta <= bound,
-                "lower ⌈√n⌉": lower_bound_theorem2(n, 2),
-                "Δ(Q_n)": n,
-                "case": "m*",
-            }
-        )
-    # the remark: λ_m = m+1 (m = 2^p − 1) and n = m(m+2) give Δ = 2m < 2√n
-    for m in (3, 7):
-        n = m * (m + 2)
-        delta = degree_formula_for_thresholds(n, (m,))
-        rows.append(
-            {
-                "n": n,
-                "m*": m,
-                "Δ measured": delta,
-                "thm5 bound": upper_bound_theorem5(n),
-                "Δ ≤ bound": delta <= upper_bound_theorem5(n),
-                "lower ⌈√n⌉": lower_bound_theorem2(n, 2),
-                "Δ(Q_n)": n,
-                "case": f"remark n=m(m+2), 2m={2*m} < 2√n={2*math.sqrt(n):.2f}",
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E11  Examples 5–6 / Fig. 5 (LABEL and Construct_REC(7,4,2))
-# ---------------------------------------------------------------------------
-
-def experiment_e11_rec742() -> list[dict]:
-    """Construct_REC(7,4,2) with the paper's labeling and partition:
-    Example 5's labeling pattern and Example 6's incident edges of 0⁷."""
-    sh = construct_rec(
-        7,
-        4,
-        2,
-        labelings=[paper_example_labeling_q2(), paper_example_labeling_q2()],
-        partitions=[[(3,), (4,)], [(7, 6), (5,)]],
-    )
-    level3 = sh.levels[1]
-    # Example 5: g(x00y) = g(x11y) = c1 and g(x01y) = g(x10y) = c2
-    pattern_ok = True
-    for x in range(8):
-        for y in range(4):
-            v00 = (x << 4) | (0b00 << 2) | y
-            v11 = (x << 4) | (0b11 << 2) | y
-            v01 = (x << 4) | (0b01 << 2) | y
-            v10 = (x << 4) | (0b10 << 2) | y
-            pattern_ok &= level3.label_of(v00) == level3.label_of(v11) == 0
-            pattern_ok &= level3.label_of(v01) == level3.label_of(v10) == 1
-    # Example 6: 0000000 connects to 0000100, 0000010, 0000001 (Rule 1)
-    # and to 1000000, 0100000 (Rule 2, S1={7,6}, label c1)
-    g = sh.graph
-    expected_nbrs = {0b0000100, 0b0000010, 0b0000001, 0b1000000, 0b0100000}
-    zero_nbrs = set(g.neighbors(0))
-    return [
-        {
-            "artifact": "Example 5 labeling pattern",
-            "measured": pattern_ok,
-            "paper": True,
-            "match": pattern_ok,
-        },
-        {
-            "artifact": "S partition (Fig. 5 shape)",
-            "measured": str([list(p) for p in level3.partition]),
-            "paper": "[[7, 6], [5]]",
-            "match": [list(p) for p in level3.partition] == [[7, 6], [5]],
-        },
-        {
-            "artifact": "neighbours of 0000000",
-            "measured": str(sorted(to_bitstring(v, 7) for v in zero_nbrs)),
-            "paper": str(sorted(to_bitstring(v, 7) for v in expected_nbrs)),
-            "match": zero_nbrs == expected_nbrs,
-        },
-        {
-            "artifact": "Δ(G) (Lemma-1 analogue)",
-            "measured": g.max_degree(),
-            "paper": sh.degree_formula(),
-            "match": g.max_degree() == sh.degree_formula(),
-        },
-    ]
-
-
-# ---------------------------------------------------------------------------
-# E12  Theorem 6 (Broadcast_k sweep)
-# ---------------------------------------------------------------------------
-
-def experiment_e12_broadcastk(
-    *,
-    cases: tuple[tuple[int, int, tuple[int, ...]], ...] = (
-        (3, 7, (2, 4)),
-        (3, 9, (2, 5)),
-        (3, 11, (3, 6)),
-        (4, 9, (2, 4, 6)),
-        (4, 12, (2, 5, 8)),
-        (5, 12, (2, 4, 7, 9)),
-    ),
-    sources_cap: int = 12,
-) -> list[dict]:
-    """Broadcast_k validity across k = 3, 4, 5 constructions."""
-    rows = []
-    for k, n, thresholds in cases:
-        sh = construct(k, n, thresholds)
-        g = sh.graph
-        srcs = _sample_sources(g.n_vertices, sources_cap)
-        ok = True
-        max_len = 0
-        for s in srcs:
-            sched = broadcast_schedule(sh, s)
-            rep = validate_broadcast(g, sched, k)
-            ok = ok and rep.ok and len(sched.rounds) == n
-            max_len = max(max_len, rep.max_call_length)
-        rows.append(
-            {
-                "k": k,
-                "n": n,
-                "thresholds": str(thresholds),
-                "N": g.n_vertices,
-                "Δ": sh.degree_formula(),
-                "sources": len(srcs),
-                "max call len": max_len,
-                "valid (≤k)": ok,
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E13  Theorem 7 + Corollaries
-# ---------------------------------------------------------------------------
-
-def experiment_e13_theorem7(
-    *, ks: tuple[int, ...] = (3, 4, 5), n_values: tuple[int, ...] = (8, 16, 24, 32, 48, 64)
-) -> list[dict]:
-    """Δ with Theorem 7's analytic parameters vs the bound, the improved
-    k = 3 parameters, and the exhaustively optimized thresholds."""
-    rows = []
-    for k in ks:
-        for n in n_values:
-            if n <= k:
-                continue
-            analytic = theorem7_params(k, n)
-            d_analytic = degree_formula_for_thresholds(n, analytic)
-            bound = upper_bound_theorem7(n, k)
-            opt = optimized_params(k, n, exhaustive_limit=60_000)
-            d_opt = degree_formula_for_thresholds(n, opt)
-            row = {
-                "k": k,
-                "n": n,
-                "analytic n_i*": str(analytic),
-                "Δ analytic": d_analytic,
-                "thm7 bound": bound,
-                "Δ ≤ bound": d_analytic <= bound,
-                "Δ optimized": d_opt,
-                "lower bound": degree_lower_bound(n, k),
-            }
-            if k == 3 and n >= 8:
-                imp = improved_params_k3(n)
-                row["Δ improved-k3"] = degree_formula_for_thresholds(n, imp)
-            rows.append(row)
-    # Corollary 1 row: k = ⌈log2 n⌉
-    for n in (16, 32, 64):
-        k = math.ceil(math.log2(n))
-        if n > k >= 3:
-            params = theorem7_params(k, n)
-            rows.append(
-                {
-                    "k": k,
-                    "n": n,
-                    "analytic n_i*": str(params),
-                    "Δ analytic": degree_formula_for_thresholds(n, params),
-                    "thm7 bound": upper_bound_corollary1(n),
-                    "Δ ≤ bound": degree_formula_for_thresholds(n, params)
-                    <= upper_bound_corollary1(n),
-                    "Δ optimized": "-",
-                    "lower bound": degree_lower_bound(n, k),
-                }
-            )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E14  Topology comparison (Section 1/3 context)
-# ---------------------------------------------------------------------------
-
-def experiment_e14_topology_compare(*, n: int = 9) -> list[dict]:
-    """Degree/diameter/edges across classic topologies at comparable order."""
-    from repro.graphs.knodel import knodel_graph
-    from repro.graphs.trees import balanced_ternary_core_tree, star
-    from repro.graphs.variants import (
-        crossed_cube,
-        cube_connected_cycles,
-        de_bruijn,
-        folded_hypercube,
-        mobius_cube,
-    )
-
-    entries: list[tuple[str, object]] = [
-        (f"Q_{n} (1-mlbg)", hypercube(n)),
-        (f"sparse k=2 (m*={theorem5_m_star(n)})", construct_base(n, theorem5_m_star(n)).graph),
-        ("sparse k=3", construct(3, n, theorem7_params(3, n)).graph),
-        (f"folded Q_{n}", folded_hypercube(n)),
-        (f"crossed CQ_{n}", crossed_cube(n)),
-        (f"Möbius MQ_{n}", mobius_cube(n)),
-        (f"Knödel W_{{{n},2^{n}}} (min 1-mlbg)", knodel_graph(n, 1 << n)),
-        ("CCC(6)", cube_connected_cycles(6)),
-        ("de Bruijn(2,9)", de_bruijn(2, 9)),
-        ("star K_{1,N-1}", star(1 << n)),
-        ("Theorem-1 tree h=8", balanced_ternary_core_tree(8)),
-    ]
-    rows = []
-    for name, g in entries:
-        st = graph_stats(g, with_diameter=g.n_vertices <= (1 << 10))
-        rows.append(
-            {
-                "topology": name,
-                "N": st.n_vertices,
-                "|E|": st.n_edges,
-                "Δ": st.max_degree,
-                "diam": st.diameter if st.diameter is not None else "-",
-                "lower bound Δ (k=2)": lower_bound_theorem2(
-                    max(1, math.ceil(math.log2(st.n_vertices))), 2
-                ),
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E15  Congestion / bandwidth ablation (Section 5)
-# ---------------------------------------------------------------------------
-
-def experiment_e15_congestion(
-    *, cases: tuple[tuple[int, int], ...] = ((8, 3), (10, 3), (12, 4))
-) -> list[dict]:
-    """Edge-load profile of Broadcast_2/k schedules and the bandwidth
-    needed when two broadcasts are forced to share rounds."""
-    rows = []
-    for n, m in cases:
-        sh = construct_base(n, m)
-        g = sh.graph
-        sched = broadcast_schedule(sh, 0)
-        prof = congestion_profile(g, sched)
-        # merge two broadcasts from different sources into shared rounds:
-        # round i = calls of both schedules (conflicts intended)
-        other = broadcast_schedule(sh, g.n_vertices - 1)
-        from repro.types import Round, Schedule
-
-        merged = Schedule(source=0)
-        for r1, r2 in zip(sched.rounds, other.rounds):
-            merged.rounds.append(Round(tuple(r1.calls + r2.calls)))
-        needed = min_feasible_bandwidth(g, merged)
-        # static conflict count: (round, edge) slots that exceed bandwidth 1
-        # when the two broadcasts share rounds — the dilation Section 5 asks
-        # about, measured without the confound of receiver collisions
-        from collections import Counter
-
-        conflicting_slots = 0
-        for rnd in merged.rounds:
-            load: Counter = Counter()
-            for call in rnd:
-                for e in call.edges():
-                    load[e] += 1
-            conflicting_slots += sum(1 for v in load.values() if v > 1)
-        # a single valid broadcast never conflicts (the simulator confirms)
-        sim = LineNetworkSimulator(g, k=sh.k, bandwidth=1, strict=False)
-        solo_rejections = len(sim.run(sched).rejected)
-        rows.append(
-            {
-                "graph": f"G_{{{n},{m}}}",
-                "edges used": prof.used_edges,
-                "|E|": prof.graph_edges,
-                "utilization": round(prof.edge_utilization, 3),
-                "peak edge load (valid sched)": prof.peak_concurrency,
-                "max total load/edge": prof.max_total_load,
-                "solo rejections @b=1": solo_rejections,
-                "merged 2-src min bandwidth": needed,
-                "merged conflicting edge-slots @b=1": conflicting_slots,
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E16  k = 1 baseline
-# ---------------------------------------------------------------------------
-
-def experiment_e16_baseline_k1(*, n_values: tuple[int, ...] = (4, 6, 8, 10)) -> list[dict]:
-    """Store-and-forward baseline: Q_n broadcasts in n rounds at k = 1;
-    the sparse hypercube needs k = 2 (its schedule contains length-2
-    calls, and at k = 1 the validator rejects it)."""
-    rows = []
-    for n in n_values:
-        g = hypercube(n)
-        sched = binomial_hypercube_broadcast(n, 0)
-        rep1 = validate_broadcast(g, sched, 1)
-        m = theorem5_m_star(n)
-        sh = construct_base(n, m)
-        sparse_sched = broadcast_schedule(sh, 0)
-        rep_sparse_k1 = validate_broadcast(sh.graph, sparse_sched, 1)
-        rep_sparse_k2 = validate_broadcast(sh.graph, sparse_sched, 2)
-        rows.append(
-            {
-                "n": n,
-                "Q_n binomial valid @k=1": rep1.ok,
-                "Δ(Q_n)": n,
-                "sparse Δ": sh.degree_formula(),
-                "sparse sched valid @k=1": rep_sparse_k1.ok,
-                "sparse sched valid @k=2": rep_sparse_k2.ok,
-                "degree saving": f"{n}→{sh.degree_formula()}",
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E17  §5 future work: gossip under the k-line model
-# ---------------------------------------------------------------------------
-
-def experiment_e17_gossip(*, cases: tuple[tuple[int, int], ...] = ((4, 2), (6, 2), (8, 3), (10, 3))) -> list[dict]:
-    """Gossip round counts: Q_n dimension sweep (optimal) vs the sparse
-    hypercube's relayed sweep — quantifying why §5 flags gossip as a
-    separate problem."""
-    from repro.gossip import (
-        hypercube_gossip,
-        minimum_gossip_rounds,
-        sparse_hypercube_gossip,
-        validate_gossip,
-    )
-
-    rows = []
-    for n, m in cases:
-        q = hypercube(n)
-        q_sched = hypercube_gossip(n)
-        q_rep = validate_gossip(q, q_sched, 1)
-
-        sh = construct_base(n, m)
-        s_sched = sparse_hypercube_gossip(sh)
-        s_rep = validate_gossip(sh.graph, s_sched, 3)
-        lam = sh.levels[0].num_labels
-        rows.append(
-            {
-                "n": n,
-                "m": m,
-                "min rounds ⌈log₂N⌉": minimum_gossip_rounds(1 << n),
-                "Q_n rounds (k=1)": q_sched.num_rounds,
-                "Q_n valid+complete": q_rep.ok and q_rep.complete,
-                "sparse rounds (k=3)": s_sched.num_rounds,
-                "sparse valid+complete": s_rep.ok and s_rep.complete,
-                "sparse slowdown": round(s_sched.num_rounds / n, 2),
-                "λ (relay groups+1)": lam,
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E18  footnote 1: diameters of the constructions vs k·log₂N
-# ---------------------------------------------------------------------------
-
-def experiment_e18_diameter(*, cases: tuple[tuple[int, int, tuple[int, ...]], ...] = (
-    (2, 8, (3,)),
-    (2, 10, (3,)),
-    (3, 8, (2, 5)),
-    (3, 10, (2, 5)),
-    (4, 10, (2, 4, 7)),
-)) -> list[dict]:
-    """Footnote 1: any k-mlbg has diameter ≤ k·log₂N.  Measured diameters
-    of the constructions sit far below the bound (and modestly above
-    Q_n's n), locating the open problem the footnote raises."""
-    rows = []
-    for k, n, thr in cases:
-        sh = construct(k, n, thr)
-        g = sh.graph
-        diam = g.diameter()
-        rows.append(
-            {
-                "k": k,
-                "n": n,
-                "thresholds": str(thr),
-                "Δ": g.max_degree(),
-                "diam(G)": diam,
-                "diam(Q_n)=n": n,
-                "footnote bound k·n": k * n,
-                "within bound": diam <= k * n,
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E19  robustness ablation: random edge failures + repair
-# ---------------------------------------------------------------------------
-
-def experiment_e19_faults(
-    *,
-    n: int = 8,
-    m: int = 3,
-    failure_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
-    trials: int = 40,
-) -> list[dict]:
-    """Repair rate of Broadcast_2 under random edge failures (E19).
-
-    For each failure count f: sample f edges, delete them, re-route with
-    the failure-aware scheme, and validate against the surviving graph.
-    Expected shape: monotone decay in f; repairs fail fast once core-cube
-    edges start dying (they cannot be rerouted within call length 2).
-    """
-    from repro.model.faults import (
-        attempt_broadcast_with_failures,
-        failed_edge_sample,
-        remove_edges,
-    )
-
-    sh = construct_base(n, m)
-    g = sh.graph
-    rows = []
-    for f in failure_counts:
-        repaired = 0
-        valid = 0
-        for trial in range(trials):
-            failed = failed_edge_sample(g, f, seed=1000 * f + trial)
-            sched = attempt_broadcast_with_failures(sh, 0, failed)
-            if sched is None:
-                continue
-            repaired += 1
-            survivor = remove_edges(g, failed)
-            if validate_broadcast(survivor, sched, sh.k).ok:
-                valid += 1
-        rows.append(
-            {
-                "graph": f"G_{{{n},{m}}}",
-                "|E|": g.n_edges,
-                "failures f": f,
-                "trials": trials,
-                "repaired": repaired,
-                "repair rate": round(repaired / trials, 3),
-                "repaired & valid": valid,
-                "soundness (valid/repaired)": "1.0" if repaired == valid else f"{valid}/{repaired}",
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E20  §5 extension: the vertex-disjoint call model
-# ---------------------------------------------------------------------------
-
-def experiment_e20_vertex_disjoint(
-    *,
-    cases: tuple[tuple[int, int, tuple[int, ...]], ...] = (
-        (2, 6, (2,)),
-        (2, 8, (3,)),
-        (3, 8, (2, 5)),
-        (4, 9, (2, 4, 6)),
-    ),
-    sources_cap: int = 8,
-) -> list[dict]:
-    """§5 proposes extending the model to vertex-disjoint calls.  Result:
-    the sparse-hypercube schemes *already* satisfy it (Phase-1 calls live
-    in disjoint subcubes), so every construction is a k-mlbg under the
-    stricter model too; the Theorem-1 tree scheme is not (its pump relays
-    share intermediate vertices)."""
-    from repro.core.tree_scheme import ternary_tree_schedule
-    from repro.graphs.trees import balanced_ternary_core_tree
-
-    rows = []
-    for k, n, thr in cases:
-        sh = construct(k, n, thr)
-        g = sh.graph
-        ok = True
-        for s in _sample_sources(g.n_vertices, sources_cap):
-            sched = broadcast_schedule(sh, s)
-            rep = validate_broadcast(g, sched, k, vertex_disjoint=True)
-            ok = ok and rep.ok
-        rows.append(
-            {
-                "instance": f"Construct({k}, n={n})",
-                "model": "vertex-disjoint k-line",
-                "minimum time": ok,
-                "note": "subcube-disjoint Phase 1 ⇒ vertex-disjoint",
-            }
-        )
-    # contrast: the B_3 tree scheme shares relay vertices
-    h = 3
-    tree = balanced_ternary_core_tree(h)
-    sched = ternary_tree_schedule(h, 0)
-    strict = validate_broadcast(tree, sched, 2 * h, vertex_disjoint=True)
-    loose = validate_broadcast(tree, sched, 2 * h)
-    rows.append(
-        {
-            "instance": f"Theorem-1 tree h={h}",
-            "model": "vertex-disjoint k-line",
-            "minimum time": strict.ok,
-            "note": f"edge-disjoint model: {loose.ok}; pump relays share vertices",
-        }
-    )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E21  wormhole cycle cost: degree savings vs latency overhead
-# ---------------------------------------------------------------------------
-
-def experiment_e21_wormhole(
-    *,
-    n: int = 10,
-    flit_sizes: tuple[int, ...] = (1, 4, 16, 64),
-) -> list[dict]:
-    """Cycle-accurate wormhole cost of broadcast: Q_n (k=1) vs sparse
-    hypercubes (k=2, 3) across message sizes.
-
-    The k-line model abstracts wormhole routing [7]; here we map the
-    schedules back onto a flit-level simulator.  Expected shape: the
-    sparse graphs pay (k−1) extra cycles per round — an overhead fraction
-    that *vanishes* as messages grow, while the degree saving is constant.
-    """
-    from repro.schedulers.store_forward import binomial_hypercube_broadcast
-    from repro.wormhole import schedule_latency
-
-    q = hypercube(n)
-    q_sched = binomial_hypercube_broadcast(n, 0)
-    sh2 = construct_base(n, theorem5_m_star(n))
-    sh2_sched = broadcast_schedule(sh2, 0)
-    sh3 = construct(3, n, theorem7_params(3, n))
-    sh3_sched = broadcast_schedule(sh3, 0)
-
-    rows = []
-    for flits in flit_sizes:
-        lat_q = schedule_latency(q, q_sched, flits)
-        lat_2 = schedule_latency(sh2.graph, sh2_sched, flits)
-        lat_3 = schedule_latency(sh3.graph, sh3_sched, flits)
-        rows.append(
-            {
-                "message flits": flits,
-                "Q_n cycles (Δ=10)": lat_q.total_cycles,
-                f"sparse k=2 cycles (Δ={sh2.degree_formula()})": lat_2.total_cycles,
-                f"sparse k=3 cycles (Δ={sh3.degree_formula()})": lat_3.total_cycles,
-                "k=2 overhead": f"{100 * (lat_2.total_cycles / lat_q.total_cycles - 1):.0f}%",
-                "k=3 overhead": f"{100 * (lat_3.total_cycles / lat_q.total_cycles - 1):.0f}%",
-            }
-        )
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# E22  multi-message broadcast (the [24] extension)
-# ---------------------------------------------------------------------------
-
-def experiment_e22_multimessage() -> list[dict]:
-    """Multiple messages from one source: pipelining the paper's scheme is
-    impossible (saturated callers), but genuine multi-message schedules
-    beat serial — exact results on small instances."""
-    from repro.multimsg import minimal_valid_stagger
-    from repro.schedulers.multimsg_search import (
-        find_multimessage_schedule,
-        multimessage_lower_bound,
-        validate_multimessage,
-    )
-
-    rows = []
-    # (a) scheme pipelining: d* always equals n (fully serial)
-    for n, m in ((4, 2), (6, 3)):
-        sh = construct_base(n, m)
-        rows.append(
-            {
-                "instance": f"G_{{{n},{m}}} scheme pipeline (M=2)",
-                "rounds": f"d*={minimal_valid_stagger(sh, 0)} → serial {2 * n}",
-                "lower bound": multimessage_lower_bound(1 << n, 2),
-                "note": "every vertex calls every round — no slack",
-            }
-        )
-    # (b) exact multi-message schedules on small instances
-    g3 = hypercube(3)
-    assert find_multimessage_schedule(g3, 0, 1, 2, 4) is None
-    found = find_multimessage_schedule(g3, 0, 1, 2, 5)
-    assert found is not None and validate_multimessage(g3, found, 1) == []
-    rows.append(
-        {
-            "instance": "Q_3, M=2, k=1 (exact search)",
-            "rounds": "5 (4 refuted)",
-            "lower bound": multimessage_lower_bound(8, 2),
-            "note": "tight: bound = search; serial = 6",
-        }
-    )
-    sh31 = construct_base(3, 1)
-    found_sparse = find_multimessage_schedule(sh31.graph, 0, 2, 2, 5)
-    ok = found_sparse is not None and validate_multimessage(sh31.graph, found_sparse, 2) == []
-    rows.append(
-        {
-            "instance": "G_{3,1}, M=2, k=2 (exact search)",
-            "rounds": "5" if ok else "not found",
-            "lower bound": multimessage_lower_bound(8, 2),
-            "note": "sparse graph matches Q_3's multi-message time",
-        }
-    )
-    return rows

@@ -1,117 +1,165 @@
-"""Command-line experiment runner: ``python -m repro <experiment|all>``.
+"""Command-line experiment runner: ``python -m repro run --all``.
 
-Regenerates the paper's figures/examples/theorem tables (E01–E16, see
-DESIGN.md) and prints them as text tables.  The same builders back the
-pytest benchmarks; the CLI exists so a reader can reproduce any single
-table without the test machinery.
+Subcommands (all backed by the experiment registry and the parallel
+runner — see :mod:`repro.analysis.registry` / :mod:`repro.analysis.runner`):
+
+``run``
+    Execute experiments and print their tables.  ``--all`` selects every
+    registered experiment, ``--jobs N`` fans out over N worker
+    processes, ``--cache`` memoizes results as JSON under ``--cache-dir``
+    so a repeat invocation executes nothing.
+
+``list``
+    Show every registered experiment id and title.
+
+``clean-cache``
+    Delete the result cache.
+
+``export-csv``
+    Write the degree/asymptotic series as CSV files.
+
+Legacy spellings from the sequential CLI era keep working:
+``python -m repro e06``, ``python -m repro all``, ``--list`` and
+``--export-csv DIR``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
-from repro.analysis import (
-    experiment_e01_theorem1,
-    experiment_e02_lower_bounds,
-    experiment_e04_labelings,
-    experiment_e05_lambda_m,
-    experiment_e06_g42,
-    experiment_e07_g153,
-    experiment_e08_fig4,
-    experiment_e09_broadcast2,
-    experiment_e10_theorem5,
-    experiment_e11_rec742,
-    experiment_e12_broadcastk,
-    experiment_e13_theorem7,
-    experiment_e14_topology_compare,
-    experiment_e15_congestion,
-    experiment_e16_baseline_k1,
-    experiment_e17_gossip,
-    experiment_e18_diameter,
-    experiment_e19_faults,
-    experiment_e20_vertex_disjoint,
-    experiment_e21_wormhole,
-    experiment_e22_multimessage,
-    format_table,
-)
+from repro.analysis import format_table, registry
+from repro.analysis.runner import DEFAULT_CACHE_DIR, ExperimentRunner
 
-EXPERIMENTS = {
-    "e01": (experiment_e01_theorem1, "Fig. 1 + Theorem 1: Δ≤3 trees"),
-    "e02": (experiment_e02_lower_bounds, "Theorems 2–3: degree lower bounds"),
-    "e04": (experiment_e04_labelings, "Example 1: optimal labelings of Q2/Q3"),
-    "e05": (experiment_e05_lambda_m, "Lemma 2: λ_m bounds"),
-    "e06": (experiment_e06_g42, "Example 2 / Figs. 2–3: G_{4,2}"),
-    "e07": (experiment_e07_g153, "Example 3: G_{15,3}"),
-    "e08": (experiment_e08_fig4, "Example 4 / Fig. 4: broadcast from 0000"),
-    "e09": (experiment_e09_broadcast2, "Theorem 4: Broadcast_2 sweep"),
-    "e10": (experiment_e10_theorem5, "Theorem 5: k=2 degree bound"),
-    "e11": (experiment_e11_rec742, "Examples 5–6 / Fig. 5: Construct_REC(7,4,2)"),
-    "e12": (experiment_e12_broadcastk, "Theorem 6: Broadcast_k sweep"),
-    "e13": (experiment_e13_theorem7, "Theorem 7 + corollaries: general k"),
-    "e14": (experiment_e14_topology_compare, "Topology comparison (context)"),
-    "e15": (experiment_e15_congestion, "Section 5: congestion / bandwidth"),
-    "e16": (experiment_e16_baseline_k1, "k=1 store-and-forward baseline"),
-    "e17": (experiment_e17_gossip, "Section 5: gossip under the k-line model"),
-    "e18": (experiment_e18_diameter, "Footnote 1: diameters vs k·log2 N"),
-    "e19": (experiment_e19_faults, "Robustness: edge failures + repair"),
-    "e20": (experiment_e20_vertex_disjoint, "Section 5: vertex-disjoint calls"),
-    "e21": (experiment_e21_wormhole, "Wormhole cycle cost: degree vs latency"),
-    "e22": (experiment_e22_multimessage, "Multiple messages broadcasting ([24])"),
-}
+_SUBCOMMANDS = ("run", "list", "clean-cache", "export-csv")
 
 
-def run_experiment(name: str) -> None:
-    fn, description = EXPERIMENTS[name]
-    t0 = time.perf_counter()
-    rows = fn()
-    dt = time.perf_counter() - t0
-    print(format_table(rows, title=f"[{name.upper()}] {description}  ({dt:.2f}s)"))
-    print()
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's figures and tables (E01–E22).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_run = sub.add_parser("run", help="run experiments and print their tables")
+    p_run.add_argument("experiments", nargs="*", help="experiment ids (e01..e22)")
+    p_run.add_argument("--all", action="store_true", help="run every experiment")
+    p_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = sequential)",
+    )
+    p_run.add_argument(
+        "--cache", action="store_true",
+        help="memoize results as JSON keyed on the parameter hash",
+    )
+    p_run.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=f"cache location (default {DEFAULT_CACHE_DIR}); implies --cache",
+    )
+
+    sub.add_parser("list", help="list available experiments")
+
+    p_clean = sub.add_parser("clean-cache", help="delete the result cache")
+    p_clean.add_argument(
+        "--cache-dir", default=str(DEFAULT_CACHE_DIR), metavar="DIR",
+        help=f"cache location (default {DEFAULT_CACHE_DIR})",
+    )
+
+    p_csv = sub.add_parser("export-csv", help="write series CSVs and exit")
+    p_csv.add_argument("dir", metavar="DIR", help="output directory")
+    return parser
+
+
+def _cmd_list() -> int:
+    for spec in registry.all_experiments():
+        print(f"{spec.name}: {spec.title}")
+    return 0
+
+
+def _cmd_export_csv(directory: str) -> int:
+    from repro.analysis.sweeps import export_all_series
+
+    written = export_all_series(directory)
+    for fname, count in sorted(written.items()):
+        print(f"wrote {fname}: {count} rows")
+    return 0
+
+
+def _cmd_clean_cache(cache_dir: str) -> int:
+    removed = ExperimentRunner(cache_dir=cache_dir).clean_cache()
+    print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
+def _cmd_run(names: list[str], *, jobs: int, cache: bool, cache_dir: str) -> int:
+    known = registry.experiment_ids()
+    if not names:
+        names = known
+    bad = [n for n in names if n.lower() not in known]
+    if bad:
+        print(
+            f"unknown experiment {bad[0]!r}; use 'repro list'", file=sys.stderr
+        )
+        return 2
+    if jobs < 1:
+        print(f"--jobs must be >= 1, got {jobs}", file=sys.stderr)
+        return 2
+    runner = ExperimentRunner(jobs=jobs, cache_dir=cache_dir if cache else None)
+    results = runner.run([n.lower() for n in names])
+    for res in results:
+        origin = "cache" if res.cached else f"{res.seconds:.2f}s"
+        print(format_table(res.rows, title=f"[{res.name.upper()}] {res.title}  ({origin})"))
+        print()
+    stats = runner.stats
+    print(
+        f"ran {stats.executed} experiment(s), {stats.cache_hits} cache hit(s), "
+        f"{stats.seconds:.2f}s total (jobs={jobs})"
+    )
+    return 0
+
+
+def _legacy_argv(argv: list[str]) -> list[str] | None:
+    """Map the pre-subcommand CLI onto the new one (None = not legacy)."""
+    if argv and argv[0] in _SUBCOMMANDS:
+        return None  # explicit subcommand — never rewrite
+    if "--list" in argv:
+        return ["list"]
+    if "--export-csv" in argv:
+        idx = argv.index("--export-csv")
+        if idx + 1 < len(argv):
+            return ["export-csv", argv[idx + 1]]
+        return None
+    if argv and not argv[0].startswith("-"):
+        targets = [] if argv == ["all"] else argv
+        return ["run", *targets]
+    if not argv:
+        return ["run"]
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Regenerate the paper's figures and tables (E01–E22).",
+    argv = list(sys.argv[1:] if argv is None else argv)
+    legacy = _legacy_argv(argv)
+    if legacy is not None:
+        argv = legacy
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "export-csv":
+        return _cmd_export_csv(args.dir)
+    if args.command == "clean-cache":
+        return _cmd_clean_cache(args.cache_dir)
+    # "run"
+    names = list(args.experiments)
+    if args.all:
+        names = []
+    cache = args.cache or args.cache_dir is not None  # --cache-dir implies --cache
+    return _cmd_run(
+        names,
+        jobs=args.jobs,
+        cache=cache,
+        cache_dir=args.cache_dir if args.cache_dir is not None else str(DEFAULT_CACHE_DIR),
     )
-    parser.add_argument(
-        "experiments",
-        nargs="*",
-        default=["all"],
-        help="experiment ids (e01..e22) or 'all' (default)",
-    )
-    parser.add_argument(
-        "--list", action="store_true", help="list available experiments"
-    )
-    parser.add_argument(
-        "--export-csv",
-        metavar="DIR",
-        help="write the degree/asymptotic series as CSV files to DIR and exit",
-    )
-    args = parser.parse_args(argv)
-    if args.list:
-        for name, (_, description) in EXPERIMENTS.items():
-            print(f"{name}: {description}")
-        return 0
-    if args.export_csv:
-        from repro.analysis.sweeps import export_all_series
-
-        written = export_all_series(args.export_csv)
-        for fname, count in sorted(written.items()):
-            print(f"wrote {fname}: {count} rows")
-        return 0
-    targets = args.experiments
-    if targets == ["all"] or targets == []:
-        targets = list(EXPERIMENTS)
-    for name in targets:
-        key = name.lower()
-        if key not in EXPERIMENTS:
-            print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
-            return 2
-        run_experiment(key)
-    return 0
 
 
 if __name__ == "__main__":

@@ -169,6 +169,15 @@ class Graph:
             return indptr, indices
         return self._csr_indptr, self._csr_indices
 
+    def csr_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The adjacency as CSR ``(indptr, indices)`` NumPy arrays.
+
+        Neighbours of ``u`` are ``indices[indptr[u]:indptr[u+1]]``, sorted
+        ascending.  Cached on frozen graphs; rebuilt per call otherwise.
+        Callers must not mutate the returned arrays.
+        """
+        return self._ensure_csr()
+
     # -- traversal ----------------------------------------------------------
 
     def bfs_distances(self, source: int) -> np.ndarray:

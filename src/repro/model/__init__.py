@@ -5,6 +5,11 @@
     call-length bound k, and does it complete a broadcast in minimum time
     (Definitions 2–3)?
 
+``validator_fast``
+    The bitset/NumPy fast path for the same checks — identical verdicts
+    and error strings (failing rounds re-scanned with the reference), an
+    order of magnitude faster on valid schedules.
+
 ``simulator``
     A stateful round-by-round executor with statistics (informed counts,
     edge loads, call-length histogram) and the Section-5 *bandwidth-m*
@@ -29,11 +34,19 @@ from repro.model.validator import (
     validate_round,
     verify_k_mlbg_via_scheme,
 )
+from repro.model.validator_fast import (
+    FastValidator,
+    classify_error,
+    validate_broadcast_fast,
+)
 
 __all__ = [
     "ValidationReport",
     "validate_round",
     "validate_broadcast",
+    "FastValidator",
+    "validate_broadcast_fast",
+    "classify_error",
     "assert_valid_broadcast",
     "minimum_broadcast_rounds",
     "verify_k_mlbg_via_scheme",

@@ -131,6 +131,64 @@ class TestCLI:
         assert main(["e99"]) == 2
 
 
+class TestCLISubcommands:
+    def test_run_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "e06"]) == 0
+        out = capsys.readouterr().out
+        assert "[E06]" in out
+        assert "ran 1 experiment(s)" in out
+
+    def test_list_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "e01" in out and "e22" in out
+
+    def test_run_with_jobs(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "e02", "e04", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[E02]" in out and "[E04]" in out
+
+    def test_run_with_cache_second_invocation_executes_nothing(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        argv = ["run", "e02", "e04", "--cache", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "ran 2 experiment(s), 0 cache hit(s)" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "ran 0 experiment(s), 2 cache hit(s)" in second
+        assert "(cache)" in second
+        # tables themselves identical across the cached re-run
+        strip = lambda s: [
+            line for line in s.splitlines()
+            if not line.startswith("ran ") and "(" not in line
+        ]
+        assert strip(first) == strip(second)
+
+    def test_clean_cache_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["run", "e04", "--cache", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["clean-cache", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1 cache entry" in capsys.readouterr().out
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_run_unknown_experiment(self):
+        from repro.cli import main
+
+        assert main(["run", "e99"]) == 2
+
+
 class TestCLIExport:
     def test_export_csv_flag(self, tmp_path, capsys):
         from repro.cli import main

@@ -1,0 +1,195 @@
+"""Property-based agreement: fast-path validator ≡ reference validator.
+
+Strategy: generate *valid* schedules from the real schemes (randomly
+drawn construction parameters and sources), then optionally corrupt them
+with a randomly chosen structural mutation (shared-edge / duplicate
+caller, shared-receiver, uninformed-caller, over-length, bad-path,
+dropped/duplicated rounds).  On every instance the two validators must
+return the same verdict, the same error-string list (hence the same
+first error class), and the same statistics.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct_base
+from repro.model.validator import validate_broadcast
+from repro.model.validator_fast import (
+    FastValidator,
+    classify_error,
+    validate_broadcast_fast,
+)
+from repro.types import Call, Round, Schedule
+
+COMMON = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def copy_schedule(sched: Schedule) -> Schedule:
+    return Schedule(source=sched.source, rounds=list(sched.rounds))
+
+
+def replace_round(sched: Schedule, idx: int, calls: tuple[Call, ...]) -> None:
+    sched.rounds[idx] = Round(calls)
+
+
+# -- mutations: each returns (schedule, k) ----------------------------------
+
+def mut_identity(g, sched, k, rng):
+    return sched, k
+
+
+def mut_duplicate_call(g, sched, k, rng):
+    """Same caller, path and receiver twice → duplicate caller + shared
+    edge + shared receiver, all in one round."""
+    out = copy_schedule(sched)
+    r = rng.randrange(len(out.rounds))
+    calls = out.rounds[r].calls
+    if not calls:
+        return out, k
+    replace_round(out, r, calls + (calls[rng.randrange(len(calls))],))
+    return out, k
+
+
+def mut_reverse_call(g, sched, k, rng):
+    """Reversed path: the new caller is the just-informed receiver."""
+    out = copy_schedule(sched)
+    r = rng.randrange(len(out.rounds))
+    calls = list(out.rounds[r].calls)
+    if not calls:
+        return out, k
+    i = rng.randrange(len(calls))
+    calls[i] = Call.via(tuple(reversed(calls[i].path)))
+    replace_round(out, r, tuple(calls))
+    return out, k
+
+
+def mut_drop_round(g, sched, k, rng):
+    """Removing a round breaks completeness and/or minimum time, and can
+    leave later callers uninformed."""
+    out = copy_schedule(sched)
+    if len(out.rounds) <= 1:
+        return out, k
+    del out.rounds[rng.randrange(len(out.rounds))]
+    return out, k
+
+
+def mut_swap_rounds(g, sched, k, rng):
+    """Swapping adjacent rounds makes later-phase callers uninformed."""
+    out = copy_schedule(sched)
+    if len(out.rounds) < 2:
+        return out, k
+    r = rng.randrange(len(out.rounds) - 1)
+    out.rounds[r], out.rounds[r + 1] = out.rounds[r + 1], out.rounds[r]
+    return out, k
+
+
+def mut_shrink_k(g, sched, k, rng):
+    """Over-length corruption: validate under a smaller call bound."""
+    return sched, max(1, k - 1)
+
+
+def mut_bad_path(g, sched, k, rng):
+    """Replace one call's path with a non-edge hop."""
+    out = copy_schedule(sched)
+    n = g.n_vertices
+    non_edge = None
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not g.has_edge(u, v):
+                non_edge = (u, v)
+                break
+        if non_edge:
+            break
+    if non_edge is None:  # complete graph; nothing to corrupt
+        return out, k
+    r = rng.randrange(len(out.rounds))
+    calls = list(out.rounds[r].calls)
+    if not calls:
+        return out, k
+    calls[rng.randrange(len(calls))] = Call.via(non_edge)
+    replace_round(out, r, tuple(calls))
+    return out, k
+
+
+def mut_echo_previous_round(g, sched, k, rng):
+    """Copy a round-r call into round r+1: its receiver is already
+    informed there (and the caller may place a second call)."""
+    out = copy_schedule(sched)
+    if len(out.rounds) < 2:
+        return out, k
+    r = rng.randrange(len(out.rounds) - 1)
+    prev = out.rounds[r].calls
+    if not prev:
+        return out, k
+    replace_round(
+        out, r + 1, out.rounds[r + 1].calls + (prev[rng.randrange(len(prev))],)
+    )
+    return out, k
+
+
+MUTATIONS = [
+    mut_identity,
+    mut_duplicate_call,
+    mut_reverse_call,
+    mut_drop_round,
+    mut_swap_rounds,
+    mut_shrink_k,
+    mut_bad_path,
+    mut_echo_previous_round,
+]
+
+
+class TestFastValidatorAgreement:
+    @COMMON
+    @given(
+        n=st.integers(3, 6),
+        m_seed=st.integers(0, 10**6),
+        src_seed=st.integers(0, 10**6),
+        mut_idx=st.integers(0, len(MUTATIONS) - 1),
+        rng_seed=st.integers(0, 10**6),
+    )
+    def test_same_verdict_and_errors(self, n, m_seed, src_seed, mut_idx, rng_seed):
+        import random
+
+        m = 1 + m_seed % (n - 1)
+        sh = construct_base(n, m)
+        g = sh.graph
+        source = src_seed % g.n_vertices
+        sched = broadcast_schedule(sh, source)
+        rng = random.Random(rng_seed)
+        mutated, k = MUTATIONS[mut_idx](g, sched, 2, rng)
+
+        ref = validate_broadcast(g, mutated, k)
+        fast = validate_broadcast_fast(g, mutated, k)
+        assert fast.ok == ref.ok
+        assert fast.errors == ref.errors
+        assert fast.rounds == ref.rounds
+        assert fast.informed_per_round == ref.informed_per_round
+        assert fast.max_call_length == ref.max_call_length
+        if not ref.ok:
+            # identical error lists ⇒ identical first error class; assert
+            # explicitly since the class is the satellite's contract
+            assert classify_error(fast.errors[0]) == classify_error(ref.errors[0])
+        if mut_idx == 0:
+            assert ref.ok  # the schemes generate valid schedules
+
+    @COMMON
+    @given(
+        n=st.integers(3, 6),
+        m_seed=st.integers(0, 10**6),
+        src_seed=st.integers(0, 10**6),
+    )
+    def test_vertex_disjoint_agreement(self, n, m_seed, src_seed):
+        m = 1 + m_seed % (n - 1)
+        sh = construct_base(n, m)
+        g = sh.graph
+        sched = broadcast_schedule(sh, src_seed % g.n_vertices)
+        validator = FastValidator(g)
+        for vertex_disjoint in (False, True):
+            ref = validate_broadcast(g, sched, 2, vertex_disjoint=vertex_disjoint)
+            fast = validator.validate(sched, 2, vertex_disjoint=vertex_disjoint)
+            assert fast.ok == ref.ok
+            assert fast.errors == ref.errors
