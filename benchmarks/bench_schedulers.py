@@ -1,0 +1,130 @@
+"""Scheduler benchmarks: engine kernels vs the legacy set-based greedy.
+
+The headline row is the kernel-backed greedy against the pre-engine
+implementation (:mod:`repro.schedulers.legacy`) on an n ≥ 256 instance
+with a fixed restart budget — identical nominal work, so the ratio is the
+engine speedup (incremental component probes + CSR adjacency + bitmask
+state vs per-candidate whole-graph flood fills over sets).  The measured
+numbers are recorded in ``benchmarks/RESULTS_schedulers.md``; the ≥3×
+acceptance floor is asserted at full size (skipped under the CI smoke
+sizes, which shrink the instance via ``REPRO_BENCH_N``).
+"""
+
+import os
+import time
+
+from repro.engine.kernels import GraphKernels
+from repro.graphs.hypercube import hypercube
+from repro.graphs.trees import balanced_ternary_core_tree, path_graph
+from repro.schedulers import legacy
+from repro.schedulers.greedy import heuristic_line_broadcast
+from repro.schedulers.search import find_minimum_time_schedule
+from repro.util.bits import mask_from_indices
+
+# REPRO_BENCH_N keeps the perf-primitives convention (hypercube dimension,
+# 12 full / 10 CI smoke); the greedy instance scales with it.
+N = int(os.environ.get("REPRO_BENCH_N", "12"))
+GREEDY_N = 257 if N >= 12 else 33  # n ≥ 256 at full size
+RESTARTS = 2
+
+
+def _greedy_graph():
+    return path_graph(GREEDY_N)
+
+
+def test_bench_greedy_kernel(benchmark):
+    g = _greedy_graph()
+    benchmark.pedantic(
+        lambda: heuristic_line_broadcast(g, 0, None, restarts=RESTARTS, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_bench_greedy_legacy(benchmark):
+    g = _greedy_graph()
+    benchmark.pedantic(
+        lambda: legacy.heuristic_line_broadcast_legacy(
+            g, 0, None, restarts=RESTARTS, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_bench_greedy_ternary_tree(benchmark):
+    h = 7 if N >= 12 else 4  # N = 382 full-size
+    g = balanced_ternary_core_tree(h)
+    benchmark.pedantic(
+        lambda: heuristic_line_broadcast(g, 0, None, restarts=1, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_bench_exact_search_kernel(benchmark):
+    g = balanced_ternary_core_tree(2)
+    sched = benchmark(lambda: find_minimum_time_schedule(g, 0, 4))
+    assert sched is not None
+
+
+def test_bench_enumerate_paths_kernel(benchmark):
+    g = hypercube(3)
+    kern = GraphKernels(g)
+    targets = mask_from_indices(range(1, 8))
+    paths = benchmark(lambda: kern.enumerate_paths(0, 3, 0, targets))
+    assert paths
+
+
+def test_bench_enumerate_paths_legacy(benchmark):
+    g = hypercube(3)
+    targets = set(range(1, 8))
+    paths = benchmark(lambda: legacy.enumerate_paths(g, 0, 3, set(), targets))
+    assert paths
+
+
+def test_bench_kernels_construction(benchmark):
+    g = hypercube(min(N, 10))
+    benchmark(lambda: GraphKernels(g))
+
+
+def test_greedy_speedup_floor(print_once):
+    """Acceptance: ≥3× for the kernel-backed greedy over the legacy
+    implementation at n ≥ 256 (identical restart budget and seed)."""
+    g = _greedy_graph()
+
+    def best_of(fn, repeats=3):
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    t_kernel = best_of(
+        lambda: heuristic_line_broadcast(g, 0, None, restarts=RESTARTS, seed=0)
+    )
+    t_legacy = best_of(
+        lambda: legacy.heuristic_line_broadcast_legacy(
+            g, 0, None, restarts=RESTARTS, seed=0
+        )
+    )
+    speedup = t_legacy / t_kernel
+    print_once(
+        "sched-speedup",
+        [
+            {
+                "graph": f"path:{GREEDY_N}",
+                "restarts": RESTARTS,
+                "legacy_s": f"{t_legacy:.3f}",
+                "kernel_s": f"{t_kernel:.3f}",
+                "speedup": f"{speedup:.1f}x",
+            }
+        ],
+        title="greedy scheduler: engine kernels vs legacy",
+    )
+    if GREEDY_N >= 256:
+        assert speedup >= 3.0, (
+            f"kernel greedy only {speedup:.1f}x faster than legacy "
+            f"(n={GREEDY_N}, floor is 3x)"
+        )

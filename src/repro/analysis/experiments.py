@@ -43,6 +43,9 @@ from repro.analysis.exp_foundations import (
     experiment_e04_labelings,
     experiment_e05_lambda_m,
 )
+from repro.analysis.exp_schedulers import (
+    experiment_e23_scheduler_registry,
+)
 from repro.analysis.exp_theorems import (
     experiment_e09_broadcast2,
     experiment_e10_theorem5,
@@ -78,6 +81,7 @@ __all__ = [
     "experiment_e20_vertex_disjoint",
     "experiment_e21_wormhole",
     "experiment_e22_multimessage",
+    "experiment_e23_scheduler_registry",
     "paper_g42",
     "sample_sources",
 ]

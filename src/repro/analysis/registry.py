@@ -85,6 +85,7 @@ def load_all() -> None:
         exp_constructions,
         exp_extensions,
         exp_foundations,
+        exp_schedulers,
         exp_theorems,
     )
 

@@ -18,6 +18,13 @@ runner — see :mod:`repro.analysis.registry` / :mod:`repro.analysis.runner`):
 ``export-csv``
     Write the degree/asymptotic series as CSV files.
 
+``schedule``
+    Run one registered scheduler on a named graph family:
+    ``repro schedule --graph hypercube:3 --scheduler search --k 2``.
+    ``--list`` shows every scheduler in the registry
+    (:mod:`repro.schedulers.registry`); results are validated by the
+    reference validator before being reported.
+
 Legacy spellings from the sequential CLI era keep working:
 ``python -m repro e06``, ``python -m repro all``, ``--list`` and
 ``--export-csv DIR``.
@@ -31,18 +38,18 @@ import sys
 from repro.analysis import format_table, registry
 from repro.analysis.runner import DEFAULT_CACHE_DIR, ExperimentRunner
 
-_SUBCOMMANDS = ("run", "list", "clean-cache", "export-csv")
+_SUBCOMMANDS = ("run", "list", "clean-cache", "export-csv", "schedule")
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate the paper's figures and tables (E01–E22).",
+        description="Regenerate the paper's figures and tables (E01–E23).",
     )
     sub = parser.add_subparsers(dest="command")
 
     p_run = sub.add_parser("run", help="run experiments and print their tables")
-    p_run.add_argument("experiments", nargs="*", help="experiment ids (e01..e22)")
+    p_run.add_argument("experiments", nargs="*", help="experiment ids (e01..e23)")
     p_run.add_argument("--all", action="store_true", help="run every experiment")
     p_run.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -67,6 +74,40 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_csv = sub.add_parser("export-csv", help="write series CSVs and exit")
     p_csv.add_argument("dir", metavar="DIR", help="output directory")
+
+    p_sched = sub.add_parser(
+        "schedule", help="run a registered scheduler on a graph family"
+    )
+    p_sched.add_argument(
+        "--graph", metavar="SPEC", default=None,
+        help="graph spec, e.g. hypercube:3, theorem1:2, path:16, "
+        "random-tree:24:7 (see --list for schedulers)",
+    )
+    p_sched.add_argument(
+        "--scheduler", default="greedy", metavar="NAME",
+        help="registry name (default greedy); see --list",
+    )
+    p_sched.add_argument("--source", type=int, default=0, metavar="V")
+    p_sched.add_argument(
+        "--k", type=int, default=None, metavar="K",
+        help="call-length bound (default: unbounded)",
+    )
+    p_sched.add_argument(
+        "--rounds", type=int, default=None, metavar="R",
+        help="round budget (default: the minimum ⌈log₂N⌉)",
+    )
+    p_sched.add_argument("--seed", type=int, default=0, metavar="N")
+    p_sched.add_argument(
+        "--restarts", type=int, default=None, metavar="N",
+        help="greedy restart budget",
+    )
+    p_sched.add_argument(
+        "--n-messages", type=int, default=None, metavar="M",
+        help="message count for multimsg_search",
+    )
+    p_sched.add_argument(
+        "--list", action="store_true", help="list registered schedulers"
+    )
     return parser
 
 
@@ -89,6 +130,58 @@ def _cmd_clean_cache(cache_dir: str) -> int:
     removed = ExperimentRunner(cache_dir=cache_dir).clean_cache()
     print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
     return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.graphs.specs import graph_from_spec, spec_names
+    from repro.schedulers import registry as sched_registry
+    from repro.types import ReproError
+
+    if args.list:
+        for spec in sched_registry.all_schedulers():
+            print(f"{spec.name}: {spec.title}")
+        return 0
+    if args.graph is None:
+        print(
+            "schedule needs --graph SPEC (or --list); known families: "
+            + ", ".join(sorted(spec_names())),
+            file=sys.stderr,
+        )
+        return 2
+    params: dict = {}
+    if args.restarts is not None:
+        params["restarts"] = args.restarts
+    if args.n_messages is not None:
+        params["n_messages"] = args.n_messages
+    try:
+        graph = graph_from_spec(args.graph)
+        request = sched_registry.ScheduleRequest(
+            graph=graph,
+            source=args.source,
+            k=args.k,
+            rounds=args.rounds,
+            seed=args.seed,
+            params=params,
+        )
+        result = sched_registry.run_scheduler(args.scheduler, request)
+    except (ReproError, KeyError) as exc:
+        print(f"schedule failed: {exc}", file=sys.stderr)
+        return 2
+    row = {
+        "scheduler": result.scheduler,
+        "graph": args.graph,
+        "n": graph.n_vertices,
+        "source": result.source,
+        "k": args.k if args.k is not None else "inf",
+        "found": result.found,
+        "rounds": result.rounds if result.rounds is not None else "-",
+        "calls": result.schedule.num_calls if result.schedule else "-",
+        "max_len": result.schedule.max_call_length() if result.schedule else "-",
+        "valid": result.valid if result.valid is not None else "-",
+        "seconds": f"{result.seconds:.3f}",
+    }
+    print(format_table([row], title=f"[SCHEDULE] {result.scheduler} on {args.graph}"))
+    return 0 if result.found and result.valid is not False else 1
 
 
 def _cmd_run(names: list[str], *, jobs: int, cache: bool, cache_dir: str) -> int:
@@ -149,6 +242,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_export_csv(args.dir)
     if args.command == "clean-cache":
         return _cmd_clean_cache(args.cache_dir)
+    if args.command == "schedule":
+        return _cmd_schedule(args)
     # "run"
     names = list(args.experiments)
     if args.all:

@@ -1,0 +1,22 @@
+"""The shared scheduling engine.
+
+:mod:`repro.engine.kernels` holds the CSR-native compute kernels every
+registered scheduler is a thin strategy over: bounded-depth reachability,
+bounded-length simple-path enumeration, uninformed-component labeling with
+boundary counts, and the doubling/capacity prunes — all on integer-bitmask
+state shared with :mod:`repro.model.validator_fast`.
+"""
+
+from repro.engine.kernels import (
+    OVERFLOW_PENALTY,
+    ComponentSummary,
+    GraphKernels,
+    PenaltyState,
+)
+
+__all__ = [
+    "GraphKernels",
+    "ComponentSummary",
+    "PenaltyState",
+    "OVERFLOW_PENALTY",
+]

@@ -88,6 +88,19 @@ class LineNetworkSimulator:
         self.k = k
         self.bandwidth = bandwidth
         self.strict = strict
+        self._fast_validator = None  # lazy; shared across runs on this graph
+
+    def _fast_report(self, schedule: Schedule):
+        """A bitset fast-validator report for ``schedule`` (bandwidth-1
+        semantics; the validator's clauses are exactly the ones
+        ``execute_round`` enforces per call)."""
+        from repro.model.validator_fast import FastValidator
+
+        if self._fast_validator is None:
+            self._fast_validator = FastValidator(self.graph)
+        return self._fast_validator.validate(
+            schedule, self.k, require_minimum_time=False
+        )
 
     # -- single-round semantics ------------------------------------------------
 
@@ -191,6 +204,20 @@ class LineNetworkSimulator:
         )
 
     def broadcast_completes(self, schedule: Schedule) -> bool:
-        """True iff the executed schedule informs every vertex."""
+        """True iff the executed schedule informs every vertex.
+
+        Fast path: at bandwidth 1 a schedule the bitset validator accepts
+        (completeness included, minimum-time not required) is exactly one
+        the simulator would run without a single rejection, so the
+        per-call Python walk is skipped.  Anything the validator flags
+        falls through to :meth:`run` for the exact strict/lenient
+        semantics (strict mode still raises on the offending call).
+        """
+        if (
+            self.bandwidth == 1
+            and 0 <= schedule.source < self.graph.n_vertices
+            and self._fast_report(schedule).ok
+        ):
+            return True
         result = self.run(schedule)
         return len(result.informed) == self.graph.n_vertices

@@ -1,5 +1,13 @@
 """Broadcast schedulers beyond the paper's closed-form schemes.
 
+Every scheduler is a thin strategy over the shared engine
+(:mod:`repro.engine.kernels`) and registers itself in the scheduler
+registry (:mod:`repro.schedulers.registry`) — discover them with
+``repro schedule --list`` or :func:`scheduler_names`, run them through
+the common :class:`ScheduleRequest` / :class:`ScheduleResult` API with
+:func:`run_scheduler`.  The historical entry points below remain as
+facades over the same strategies.
+
 ``search``
     Exact branch-and-bound: finds a minimum-time k-line broadcast schedule
     or certifies none exists (small graphs).  Used to machine-check
@@ -15,9 +23,23 @@
 ``store_forward``
     The k = 1 baseline: classic binomial-tree broadcast on the hypercube
     (the store-and-forward model the paper generalizes away from).
+
+``multimsg_search``
+    Exact multi-message broadcast search (M = 1 reduces to Definition-1
+    broadcast; M > 1 answers the Kwon–Chwa pipelining question).
+
+The pre-engine set-based implementations are retained verbatim in
+:mod:`repro.schedulers.legacy` as the property-test oracle and the
+benchmark baseline.
 """
 
 from repro.schedulers.greedy import heuristic_line_broadcast
+from repro.schedulers.registry import (
+    ScheduleRequest,
+    ScheduleResult,
+    run_scheduler,
+    scheduler_names,
+)
 from repro.schedulers.search import (
     find_minimum_time_schedule,
     is_k_mlbg_exact,
@@ -31,4 +53,8 @@ __all__ = [
     "minimum_kline_rounds",
     "heuristic_line_broadcast",
     "binomial_hypercube_broadcast",
+    "ScheduleRequest",
+    "ScheduleResult",
+    "run_scheduler",
+    "scheduler_names",
 ]

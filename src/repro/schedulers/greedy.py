@@ -13,148 +13,36 @@ remaining).  That is exactly the prune of the exact searcher, used here
 as a steering heuristic — it is what avoids the classic failure modes
 (stranding a deep path tail; starving a branch of entries).
 
+Since PR 2 the scheduler is a thin strategy over the shared engine
+(:mod:`repro.engine.kernels`): reachability, component labeling, and the
+capacity scorer run on CSR-derived adjacency with integer-bitmask state,
+and candidate probes are *incremental* (informing a vertex only splits
+its own component, so a probe relabels one component instead of the whole
+graph — the legacy scorer's per-candidate full scan is what the
+``bench_schedulers`` speedup row measures).  Successful attempts are
+checked by the bitset fast validator before being returned.
+
 The scheduler is *sound but incomplete*: every returned schedule is
-validated by the caller (tests/benches always do); ``None`` only means
-"not found within the restart budget".  Farley's theorem [14] guarantees
-a minimum-time schedule exists for every connected graph when k is
-unbounded, so on the Theorem-1 trees a ``None`` indicates the heuristic
-(not the paper) failed; the test-suite pins the families where it is
-known to succeed.
+validated; ``None`` only means "not found within the restart budget".
+Farley's theorem [14] guarantees a minimum-time schedule exists for every
+connected graph when k is unbounded, so on the Theorem-1 trees a ``None``
+indicates the heuristic (not the paper) failed; the test-suite pins the
+families where it is known to succeed.
 """
 
 from __future__ import annotations
 
 import random
-from collections import deque
 
+from repro.engine.kernels import UNREACHED, GraphKernels, PenaltyState
 from repro.graphs.base import Graph
 from repro.model.validator import minimum_broadcast_rounds
-from repro.types import Call, InvalidParameterError, Schedule, canonical_edge
+from repro.model.validator_fast import FastValidator
+from repro.schedulers.registry import ScheduleRequest, scheduler
+from repro.types import Call, InvalidParameterError, Schedule
+from repro.util.bits import iter_bits, mask_to_indices
 
 __all__ = ["heuristic_line_broadcast"]
-
-
-def _reachable_paths(
-    graph: Graph,
-    caller: int,
-    k: int,
-    used: set[tuple[int, int]],
-) -> dict[int, tuple[int, ...]]:
-    """BFS over unused edges: one shortest free path per reachable vertex
-    within distance k (trees: the unique free path)."""
-    parent: dict[int, int] = {caller: -1}
-    depth = {caller: 0}
-    dq: deque[int] = deque([caller])
-    while dq:
-        u = dq.popleft()
-        if depth[u] == k:
-            continue
-        for v in graph.sorted_neighbors(u):
-            if v in parent or canonical_edge(u, v) in used:
-                continue
-            parent[v] = u
-            depth[v] = depth[u] + 1
-            dq.append(v)
-    paths: dict[int, tuple[int, ...]] = {}
-    for v in parent:
-        if v == caller:
-            continue
-        path = [v]
-        while path[-1] != caller:
-            path.append(parent[path[-1]])
-        paths[v] = tuple(reversed(path))
-    return paths
-
-
-def _component_penalty(graph: Graph, informed: set[int], rounds_left: int) -> float:
-    """Σ over uninformed components of overflow beyond the capacity bound,
-    plus a soft term preferring roomy slack."""
-    if rounds_left < 0:
-        return float("inf")
-    cap_mult = (1 << rounds_left) - 1 if rounds_left > 0 else 0
-    penalty = 0.0
-    seen: set[int] = set()
-    for v in range(graph.n_vertices):
-        if v in informed or v in seen:
-            continue
-        comp_size = 0
-        boundary: set[int] = set()
-        stack = [v]
-        seen.add(v)
-        while stack:
-            x = stack.pop()
-            comp_size += 1
-            for y in graph.neighbors(x):
-                if y in informed:
-                    boundary.add(y)
-                elif y not in seen:
-                    seen.add(y)
-                    stack.append(y)
-        capacity = len(boundary) * cap_mult
-        if comp_size > capacity:
-            penalty += 1000.0 * (comp_size - capacity)
-        elif capacity > 0:
-            # soft term: |C|²/capacity.  Convex in |C|, so it prefers
-            # balanced splits — informing the midpoint of a path beats
-            # informing its far end even when both leave "just feasible"
-            # components (the far-end choice leaves one maximally tight
-            # component, which compounds into infeasibility later).
-            penalty += comp_size * comp_size / capacity
-    return penalty
-
-
-def _uninformed_components(
-    graph: Graph, informed: set[int]
-) -> list[tuple[set[int], set[int]]]:
-    """Connected components of the uninformed subgraph with their informed
-    boundary vertex sets, as ``(component, boundary)`` pairs."""
-    comps: list[tuple[set[int], set[int]]] = []
-    seen: set[int] = set()
-    for v in range(graph.n_vertices):
-        if v in informed or v in seen:
-            continue
-        comp = {v}
-        boundary: set[int] = set()
-        stack = [v]
-        seen.add(v)
-        while stack:
-            x = stack.pop()
-            for y in graph.neighbors(x):
-                if y in informed:
-                    boundary.add(y)
-                elif y not in seen:
-                    seen.add(y)
-                    comp.add(y)
-                    stack.append(y)
-        comps.append((comp, boundary))
-    return comps
-
-
-def _pick_target(
-    graph: Graph,
-    caller: int,
-    candidates: list[int],
-    paths: dict[int, tuple[int, ...]],
-    hypothetical: set[int],
-    rounds_left_after: int,
-    rng: random.Random,
-    sample_cap: int,
-) -> int | None:
-    """The penalty-minimizing target for one caller (randomized sampling)."""
-    if not candidates:
-        return None
-    if len(candidates) > sample_cap:
-        candidates = rng.sample(candidates, sample_cap)
-    best_v, best_score = None, None
-    order = candidates[:]
-    rng.shuffle(order)
-    for v in order:
-        hypothetical.add(v)
-        score = _component_penalty(graph, hypothetical, rounds_left_after)
-        hypothetical.discard(v)
-        if best_score is None or score < best_score:
-            best_v, best_score = v, score
-    return best_v
 
 
 def _final_round_by_flow(
@@ -180,9 +68,32 @@ def _final_round_by_flow(
     return calls
 
 
+def _pick_target(
+    candidates: list[int],
+    pstate: PenaltyState,
+    rng: random.Random,
+    sample_cap: int,
+) -> int | None:
+    """The penalty-minimizing target for one caller (randomized sampling).
+
+    Each probe is an incremental component split, not a graph re-scan."""
+    if not candidates:
+        return None
+    if len(candidates) > sample_cap:
+        candidates = rng.sample(candidates, sample_cap)
+    best_v, best_score = None, None
+    order = candidates[:]
+    rng.shuffle(order)
+    for v in order:
+        score = pstate.probe(v)
+        if best_score is None or score < best_score:
+            best_v, best_score = v, score
+    return best_v
+
+
 def _build_round(
-    graph: Graph,
-    informed: set[int],
+    kern: GraphKernels,
+    informed_mask: int,
     k: int,
     rounds_left_after: int,
     rng: random.Random,
@@ -202,70 +113,87 @@ def _build_round(
        before anything else;
     3. remaining callers greedily pick penalty-minimizing targets.
     """
-    uninformed_count = graph.n_vertices - len(informed)
+    n = kern.n
+    uninformed_count = n - informed_mask.bit_count()
     if rounds_left_after == 0:
-        flow_calls = _final_round_by_flow(graph, informed, k)
+        flow_calls = _final_round_by_flow(
+            kern.graph, set(iter_bits(informed_mask)), k
+        )
         if flow_calls is not None:
             return flow_calls
-    callers = sorted(informed)
+    callers = mask_to_indices(informed_mask)
     if shuffle:
         rng.shuffle(callers)
-    used: set[tuple[int, int]] = set()
-    claimed: set[int] = set()
+    used_mask = 0
+    claimed_mask = 0
     calls: list[Call] = []
-    hypothetical = set(informed)
+    summary = kern.components(informed_mask)
+    pstate = PenaltyState(
+        kern, informed_mask, rounds_left_after, summary=summary
+    )
     remaining_callers = callers[:]
 
-    def place(caller: int, target: int, path: tuple[int, ...]) -> None:
+    def place(caller: int, path: tuple[int, ...]) -> None:
+        nonlocal used_mask, claimed_mask
+        target = path[-1]
         calls.append(Call.via(path))
-        claimed.add(target)
-        hypothetical.add(target)
-        used.update(canonical_edge(a, b) for a, b in zip(path, path[1:]))
+        claimed_mask |= 1 << target
+        pstate.commit(target)
+        used_mask |= kern.path_edges_mask(path)
         remaining_callers.remove(caller)
 
     # 1) needy components: must be entered this round or they die
     cap_after = (1 << rounds_left_after) - 1
     needy = [
-        (comp, boundary)
-        for comp, boundary in _uninformed_components(graph, informed)
-        if len(comp) > len(boundary) * cap_after
+        label
+        for label in range(summary.n_components)
+        if summary.sizes[label] > summary.boundaries[label] * cap_after
     ]
-    needy.sort(key=lambda cb: len(cb[0]) / max(1, len(cb[1])), reverse=True)
-    for comp, _boundary in needy:
+    needy.sort(
+        key=lambda label: summary.sizes[label]
+        / max(1, summary.boundaries[label]),
+        reverse=True,
+    )
+    # Membership frozen at round start (pstate relabels as calls commit).
+    needy_members = [summary.members(label).tolist() for label in needy]
+    for members in needy_members:
         # prefer the *nearest* caller: a distant caller's path would cross
         # (and block) the territory of callers better placed to serve the
         # remaining needy components
-        options: list[tuple[int, float, int, dict[int, tuple[int, ...]], list[int]]] = []
+        options: list[tuple[int, float, int]] = []
+        reach: list[tuple[int, list[int], list[int]]] = []
         for caller in remaining_callers:
-            paths = _reachable_paths(graph, caller, k, used)
-            candidates = [v for v in comp if v in paths and v not in claimed]
+            parent, depth, _order = kern.reachable(caller, k, used_mask)
+            candidates = [
+                v
+                for v in members
+                if parent[v] != UNREACHED and not (claimed_mask >> v) & 1
+            ]
             if candidates:
-                dist = min(len(paths[v]) - 1 for v in candidates)
-                options.append((dist, rng.random(), caller, paths, candidates))
+                dist = min(depth[v] for v in candidates)
+                options.append((dist, rng.random(), len(reach)))
+                reach.append((caller, parent, candidates))
         if not options:
             return []  # this attempt is doomed; fail fast and restart
-        _, _, caller, paths, candidates = min(options)
-        target = _pick_target(
-            graph, caller, candidates, paths, hypothetical,
-            rounds_left_after, rng, sample_cap,
-        )
+        _, _, idx = min(options)
+        caller, parent, candidates = reach[idx]
+        target = _pick_target(candidates, pstate, rng, sample_cap)
         assert target is not None
-        place(caller, target, paths[target])
+        place(caller, kern.path_to(parent, target))
 
     # 2) everyone else: greedy penalty-minimizing targets
     for caller in remaining_callers[:]:
-        if len(claimed) >= uninformed_count:
+        if claimed_mask.bit_count() >= uninformed_count:
             break
-        paths = _reachable_paths(graph, caller, k, used)
+        parent, _depth, order = kern.reachable(caller, k, used_mask)
         candidates = [
-            v for v in paths if v not in informed and v not in claimed
+            v
+            for v in order[1:]
+            if not (informed_mask >> v) & 1 and not (claimed_mask >> v) & 1
         ]
-        target = _pick_target(
-            graph, caller, candidates, paths, hypothetical,
-            rounds_left_after, rng, sample_cap,
-        )
+        target = _pick_target(candidates, pstate, rng, sample_cap)
         if target is not None:
-            place(caller, target, paths[target])
+            place(caller, kern.path_to(parent, target))
     return calls
 
 
@@ -277,6 +205,8 @@ def heuristic_line_broadcast(
     rounds: int | None = None,
     restarts: int = 300,
     seed: int = 0,
+    rng: random.Random | None = None,
+    sample_cap: int = 24,
 ) -> Schedule | None:
     """Attempt a minimum-time k-line broadcast schedule from ``source``.
 
@@ -284,8 +214,16 @@ def heuristic_line_broadcast(
     [14]; equivalently k = N−1).  Returns a schedule informing all
     vertices within ``rounds`` (default ⌈log₂N⌉) rounds, or ``None``.
 
-    Attempt 0 is fully deterministic (sorted callers, seeded scorer);
-    later attempts shuffle caller order and sample candidate targets.
+    Randomness is fully explicit: attempt 0 is deterministic (sorted
+    callers, seeded scorer); later attempts shuffle caller order and
+    sample candidate targets from per-attempt generators derived either
+    from ``seed`` or, when given, from the caller's ``rng`` — never from
+    the module-global ``random`` state, so runs reproduce exactly across
+    processes (``--jobs N``) and interleaved callers.
+
+    Every successful attempt is re-checked by the bitset fast validator
+    before being returned (belt-and-braces: the validator shares the
+    engine's bitmask state representation, not its round construction).
     """
     if not graph.is_connected():
         raise InvalidParameterError("graph must be connected")
@@ -296,34 +234,65 @@ def heuristic_line_broadcast(
         raise InvalidParameterError(f"need k >= 1, got {k_eff}")
     budget = rounds if rounds is not None else minimum_broadcast_rounds(graph.n_vertices)
     n = graph.n_vertices
+    kern = GraphKernels(graph)
+    validator = FastValidator(graph)
     for attempt in range(restarts):
-        rng = random.Random((seed << 20) ^ attempt)
-        informed: set[int] = {source}
+        if rng is not None:
+            attempt_rng = random.Random(rng.getrandbits(64))
+        else:
+            attempt_rng = random.Random((seed << 20) ^ attempt)
+        informed_mask = 1 << source
         schedule = Schedule(source=source)
         ok = True
         for r in range(budget):
             remaining_after = budget - r - 1
             calls = _build_round(
-                graph,
-                informed,
+                kern,
+                informed_mask,
                 k_eff,
                 remaining_after,
-                rng,
+                attempt_rng,
                 shuffle=(attempt > 0),
+                sample_cap=sample_cap,
             )
-            uninformed_left = n - len(informed) - len(calls)
+            uninformed_left = n - informed_mask.bit_count() - len(calls)
             if uninformed_left > 0 and not calls:
                 ok = False
                 break
             schedule.append_round(calls)
-            informed.update(c.receiver for c in calls)
-            # early infeasibility: capacity prune
-            if (
-                uninformed_left > 0
-                and _component_penalty(graph, informed, remaining_after) >= 1000.0
-            ):
+            for c in calls:
+                informed_mask |= 1 << c.receiver
+            if informed_mask == kern.full_mask:
+                break  # done — don't pad a surplus budget with empty rounds
+            # early infeasibility: doubling + capacity prunes
+            if not kern.capacity_ok(informed_mask, remaining_after):
                 ok = False
                 break
-        if ok and len(informed) == n:
-            return schedule
+        if ok and informed_mask == kern.full_mask:
+            report = validator.validate(
+                schedule, k_eff, require_minimum_time=False
+            )
+            if report.ok:
+                return schedule
     return None
+
+
+@scheduler("greedy", "randomized capacity-aware heuristic (engine kernels)")
+def _greedy_strategy(request: ScheduleRequest) -> tuple[Schedule | None, dict]:
+    params = dict(request.params)
+    restarts = int(params.pop("restarts", 300))
+    sample_cap = int(params.pop("sample_cap", 24))
+    if params:
+        raise InvalidParameterError(
+            f"greedy: unknown params {sorted(params)}"
+        )
+    sched = heuristic_line_broadcast(
+        request.graph,
+        request.source,
+        request.k,
+        rounds=request.rounds,
+        restarts=restarts,
+        seed=request.seed,
+        sample_cap=sample_cap,
+    )
+    return sched, {"restarts": restarts, "sample_cap": sample_cap}

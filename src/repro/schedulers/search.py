@@ -22,14 +22,26 @@ Pruning:
 * a global node budget (exceeding it raises — so ``None`` is always a
   certificate, never a timeout in disguise).
 
+Since PR 2 the search runs on the shared engine
+(:mod:`repro.engine.kernels`): path enumeration and the capacity prunes
+are CSR-native, and *all* state — informed sets, used edges, claimed
+receivers, and the failed-state memo keys — is integer bitmasks, the same
+representation as the fast validator.  The bitmask memo replaces the old
+``frozenset`` keys: smaller, hash-cheaper, and shared with the engine.
+Enumeration order is unchanged, so refutation certificates and found
+schedules are identical to the legacy implementation.
+
 Complexity is exponential; intended for N ≲ 24 and small k.
 """
 
 from __future__ import annotations
 
+from repro.engine.kernels import GraphKernels
 from repro.graphs.base import Graph
-from repro.types import Call, InvalidParameterError, ReproError, Schedule, canonical_edge
 from repro.model.validator import minimum_broadcast_rounds
+from repro.schedulers.registry import ScheduleRequest, scheduler
+from repro.types import Call, InvalidParameterError, ReproError, Schedule
+from repro.util.bits import mask_to_indices
 
 __all__ = [
     "SearchBudgetExceeded",
@@ -41,77 +53,6 @@ __all__ = [
 
 class SearchBudgetExceeded(ReproError):
     """The exact search ran out of its node budget (result unknown)."""
-
-
-def _enumerate_paths(
-    graph: Graph,
-    caller: int,
-    k: int,
-    used: set[tuple[int, int]],
-    available_targets: set[int],
-) -> list[tuple[int, ...]]:
-    """All simple paths of length ≤ k from ``caller`` over unused edges,
-    ending at an available target.  Deterministic order (shorter first,
-    then lexicographic)."""
-    out: list[tuple[int, ...]] = []
-
-    def dfs(path: list[int], visited: set[int]) -> None:
-        u = path[-1]
-        if len(path) > 1 and u in available_targets:
-            out.append(tuple(path))
-        if len(path) - 1 == k:
-            return
-        for v in graph.sorted_neighbors(u):
-            if v in visited:
-                continue
-            e = canonical_edge(u, v)
-            if e in used:
-                continue
-            used.add(e)
-            visited.add(v)
-            path.append(v)
-            dfs(path, visited)
-            path.pop()
-            visited.discard(v)
-            used.discard(e)
-
-    dfs([caller], {caller})
-    out.sort(key=lambda p: (len(p), p))
-    return out
-
-
-def _capacity_ok(graph: Graph, informed: frozenset[int], rounds_left: int) -> bool:
-    """The two capacity prunes (sound: necessary conditions)."""
-    n = graph.n_vertices
-    u_count = n - len(informed)
-    if u_count == 0:
-        return True
-    if rounds_left <= 0:
-        return False
-    cap = (1 << rounds_left) - 1
-    if u_count > len(informed) * cap:
-        return False
-    # per-component bound
-    seen: set[int] = set()
-    for v in range(n):
-        if v in informed or v in seen:
-            continue
-        comp: list[int] = [v]
-        seen.add(v)
-        boundary: set[int] = set()
-        stack = [v]
-        while stack:
-            x = stack.pop()
-            for y in graph.neighbors(x):
-                if y in informed:
-                    boundary.add(y)
-                elif y not in seen:
-                    seen.add(y)
-                    comp.append(y)
-                    stack.append(y)
-        if len(comp) > len(boundary) * cap:
-            return False
-    return True
 
 
 def find_minimum_time_schedule(
@@ -136,10 +77,14 @@ def find_minimum_time_schedule(
         raise InvalidParameterError(f"need k >= 1, got {k}")
     budget = rounds if rounds is not None else minimum_broadcast_rounds(graph.n_vertices)
     n = graph.n_vertices
-    failed: set[tuple[frozenset[int], int]] = set()
+    kern = GraphKernels(graph)
+    full = kern.full_mask
+    # Failed (informed, round) states keyed by bitmask int — the engine's
+    # shared state encoding (was: frozenset keys).
+    failed: set[tuple[int, int]] = set()
     nodes = 0
 
-    def solve(informed: frozenset[int], r: int) -> list[list[Call]] | None:
+    def solve(informed: int, r: int) -> list[list[Call]] | None:
         nonlocal nodes
         nodes += 1
         if nodes > node_budget:
@@ -147,21 +92,21 @@ def find_minimum_time_schedule(
                 f"exact search exceeded {node_budget} nodes "
                 f"(graph N={n}, k={k}, rounds={budget})"
             )
-        if len(informed) == n:
+        if informed == full:
             return []
-        if r == budget or not _capacity_ok(graph, informed, budget - r):
+        if r == budget or not kern.capacity_ok(informed, budget - r):
             return None
         key = (informed, r)
         if key in failed:
             return None
-        callers = sorted(informed)
-        targets_all = set(range(n)) - informed
+        callers = mask_to_indices(informed)
+        targets_all = full ^ informed
         result: list[list[Call]] | None = None
 
         def assign(
             idx: int,
-            used: set[tuple[int, int]],
-            claimed: set[int],
+            used: int,
+            claimed: int,
             calls: list[Call],
         ) -> bool:
             nonlocal result
@@ -174,34 +119,34 @@ def find_minimum_time_schedule(
             if idx == len(callers):
                 if not calls:
                     return False  # no progress: dead round
-                new_informed = informed | {c.receiver for c in calls}
-                rest = solve(frozenset(new_informed), r + 1)
+                new_informed = informed
+                for c in calls:
+                    new_informed |= 1 << c.receiver
+                rest = solve(new_informed, r + 1)
                 if rest is not None:
                     result = [calls[:]] + rest
                     return True
                 return False
             caller = callers[idx]
-            available = targets_all - claimed
-            for path in _enumerate_paths(graph, caller, k, used, available):
-                edges = [canonical_edge(a, b) for a, b in zip(path, path[1:])]
-                used.update(edges)
-                claimed.add(path[-1])
+            available = targets_all & ~claimed
+            for path in kern.enumerate_paths(caller, k, used, available):
+                edges = kern.path_edges_mask(path)
                 calls.append(Call.via(path))
-                if assign(idx + 1, used, claimed, calls):
+                if assign(
+                    idx + 1, used | edges, claimed | (1 << path[-1]), calls
+                ):
                     return True
                 calls.pop()
-                claimed.discard(path[-1])
-                used.difference_update(edges)
             # caller idles
             return assign(idx + 1, used, claimed, calls)
 
-        if assign(0, set(), set(), []):
+        if assign(0, 0, 0, []):
             assert result is not None
             return result
         failed.add(key)
         return None
 
-    rounds_calls = solve(frozenset({source}), 0)
+    rounds_calls = solve(1 << source, 0)
     if rounds_calls is None:
         return None
     schedule = Schedule(source=source)
@@ -242,3 +187,21 @@ def is_k_mlbg_exact(
         ):
             return False
     return True
+
+
+@scheduler("search", "exact branch-and-bound (engine kernels, certificate on None)")
+def _search_strategy(request: ScheduleRequest) -> tuple[Schedule | None, dict]:
+    params = dict(request.params)
+    node_budget = int(params.pop("node_budget", 2_000_000))
+    if params:
+        raise InvalidParameterError(
+            f"search: unknown params {sorted(params)}"
+        )
+    sched = find_minimum_time_schedule(
+        request.graph,
+        request.source,
+        request.k_effective,
+        rounds=request.rounds,
+        node_budget=node_budget,
+    )
+    return sched, {"node_budget": node_budget, "exhaustive": sched is None}

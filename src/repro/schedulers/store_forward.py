@@ -13,6 +13,7 @@ a 1-mlbg (the deleted dimension edges are irreplaceable at k = 1).
 from __future__ import annotations
 
 from repro.graphs.base import Graph
+from repro.schedulers.registry import ScheduleRequest, scheduler
 from repro.types import Call, InvalidParameterError, Schedule
 from repro.util.bits import flip_dim
 
@@ -58,3 +59,28 @@ def hypercube_graph_for(n: int) -> Graph:
     from repro.graphs.hypercube import hypercube
 
     return hypercube(n)
+
+
+@scheduler("store_forward", "binomial k=1 broadcast (complete hypercubes only)")
+def _store_forward_strategy(request: ScheduleRequest) -> tuple[Schedule | None, dict]:
+    if request.params:
+        raise InvalidParameterError(
+            f"store_forward: unknown params {sorted(request.params)}"
+        )
+    graph = request.graph
+    size = graph.n_vertices
+    n = size.bit_length() - 1
+    if size < 2 or size != (1 << n):
+        raise InvalidParameterError(
+            f"store_forward needs a complete hypercube, got N={size}"
+        )
+    if graph.n_edges != n * (1 << (n - 1)) or any(
+        (u ^ v).bit_count() != 1 for u, v in graph.edges()
+    ):
+        raise InvalidParameterError(
+            "store_forward needs a complete hypercube "
+            f"(N={size} vertices but the edges are not Q_{n}'s)"
+        )
+    if request.rounds is not None and request.rounds < n:
+        return None, {"dimensions": n, "reason": f"Q_{n} needs {n} rounds at k=1"}
+    return binomial_hypercube_broadcast(n, request.source), {"dimensions": n}

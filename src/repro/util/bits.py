@@ -31,6 +31,9 @@ __all__ = [
     "flip_dim",
     "popcount",
     "hamming_distance",
+    "mask_from_indices",
+    "mask_to_indices",
+    "iter_bits",
     "suffix_value",
     "prefix_value",
     "to_bitstring",
@@ -77,6 +80,36 @@ def hamming_distance(u: int, v: int) -> int:
     proper subgraph).
     """
     return int(u ^ v).bit_count()
+
+
+def mask_from_indices(indices: Iterable[int]) -> int:
+    """Integer bitmask with bit ``i`` set for every ``i`` in ``indices``.
+
+    The canonical set representation of the scheduling engine, the fast
+    validator, and the search memo tables: vertex (or edge-id) sets are
+    arbitrary-precision ints, so membership is ``(mask >> i) & 1``, union
+    is ``|``, and cardinality is ``mask.bit_count()``.
+    """
+    mask = 0
+    for i in indices:
+        mask |= 1 << i
+    return mask
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    if mask < 0:
+        raise ValueError(f"mask must be non-negative, got {mask}")
+    while mask:
+        lsb = mask & -mask
+        yield lsb.bit_length() - 1
+        mask ^= lsb
+
+
+def mask_to_indices(mask: int) -> list[int]:
+    """The set bit positions of ``mask`` as a sorted list (inverse of
+    :func:`mask_from_indices`)."""
+    return list(iter_bits(mask))
 
 
 def suffix_value(u: int, m: int) -> int:

@@ -6,7 +6,7 @@ from repro.analysis import experiments as experiments_facade
 from repro.analysis import registry
 from repro.types import InvalidParameterError
 
-EXPECTED_IDS = [f"e{i:02d}" for i in range(1, 23) if i != 3]  # e03 folded into e02
+EXPECTED_IDS = [f"e{i:02d}" for i in range(1, 24) if i != 3]  # e03 folded into e02
 
 
 class TestRegistryContents:

@@ -122,3 +122,48 @@ class TestFullRun:
         sim = LineNetworkSimulator(sh.graph, k=2)
         with pytest.raises(InvalidScheduleError):
             sim.run(Schedule(source=99))
+
+
+class TestFastCompletionPath:
+    """``broadcast_completes`` short-circuits through the bitset fast
+    validator on bandwidth-1 valid schedules; anything flagged falls
+    through to the exact per-call walk."""
+
+    def test_valid_schedule_fast_path(self):
+        sh = construct_base(5, 2)
+        sim = LineNetworkSimulator(sh.graph, k=2)
+        assert sim.broadcast_completes(broadcast_schedule(sh, 3))
+        assert sim._fast_validator is not None  # the fast path engaged
+
+    def test_invalid_schedule_still_raises_in_strict_mode(self):
+        g = star(4)
+        sim = LineNetworkSimulator(g, k=1, strict=True)
+        sched = Schedule(source=0)
+        sched.append_round([Call.via((0, 1, 0))])  # not a path; rejected
+        with pytest.raises(InvalidScheduleError):
+            sim.broadcast_completes(sched)
+
+    def test_incomplete_schedule_lenient_mode(self):
+        g = star(4)
+        sim = LineNetworkSimulator(g, k=2, strict=False)
+        sched = Schedule(source=0)
+        sched.append_round([Call.direct(0, 1)])
+        assert not sim.broadcast_completes(sched)
+
+    def test_rejected_calls_can_still_complete(self):
+        """A schedule the validator flags (receiver already informed) can
+        still complete under lenient simulation — the fall-through must
+        preserve that verdict."""
+        g = star(4)
+        sim = LineNetworkSimulator(g, k=2, strict=False)
+        sched = Schedule(source=0)
+        sched.append_round([Call.direct(0, 1)])
+        sched.append_round([Call.direct(0, 2), Call.direct(1, 0)])  # 1->0 invalid
+        sched.append_round([Call.direct(0, 3)])
+        assert sim.broadcast_completes(sched)
+
+    def test_bandwidth_two_skips_fast_path(self):
+        sh = construct_base(4, 2)
+        sim = LineNetworkSimulator(sh.graph, k=2, bandwidth=2)
+        assert sim.broadcast_completes(broadcast_schedule(sh, 0))
+        assert sim._fast_validator is None

@@ -73,6 +73,15 @@ class TestEdgeCases:
         assert sched is not None
         assert_valid_broadcast(g, sched, 1, require_minimum_time=False)
 
+    def test_surplus_budget_no_empty_trailing_rounds(self):
+        """A surplus round budget must not be padded with empty rounds —
+        the reported round count is the schedule's real length."""
+        g = path_graph(4)
+        sched = heuristic_line_broadcast(g, 0, rounds=5)
+        assert sched is not None
+        assert all(len(r) > 0 for r in sched.rounds)
+        assert len(sched.rounds) <= 3
+
     def test_k1_infeasible_case_returns_none(self):
         # star from leaf at k=1 cannot finish in 2 rounds (proven in search tests)
         assert heuristic_line_broadcast(star(4), 1, 1, restarts=30) is None

@@ -154,3 +154,32 @@ class TestVectorHelpers:
     def test_flip_dim_array_rejects_zero(self):
         with pytest.raises(ValueError):
             flip_dim_array(np.arange(4), 0)
+
+
+class TestMaskHelpers:
+    """The engine's bitmask set representation (mask_from_indices & co)."""
+
+    def test_roundtrip(self):
+        from repro.util.bits import mask_from_indices, mask_to_indices
+
+        for indices in ([], [0], [3, 1, 4], list(range(70))):
+            mask = mask_from_indices(indices)
+            assert mask_to_indices(mask) == sorted(set(indices))
+            assert mask.bit_count() == len(set(indices))
+
+    def test_iter_bits_ascending(self):
+        from repro.util.bits import iter_bits
+
+        assert list(iter_bits(0)) == []
+        assert list(iter_bits(0b101001)) == [0, 3, 5]
+
+    def test_iter_bits_rejects_negative(self):
+        from repro.util.bits import iter_bits
+
+        with pytest.raises(ValueError):
+            list(iter_bits(-1))
+
+    def test_duplicates_idempotent(self):
+        from repro.util.bits import mask_from_indices
+
+        assert mask_from_indices([2, 2, 2]) == 0b100
