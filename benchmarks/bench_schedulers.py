@@ -88,7 +88,7 @@ def test_bench_kernels_construction(benchmark):
     benchmark(lambda: GraphKernels(g))
 
 
-def test_greedy_speedup_floor(print_once):
+def test_greedy_speedup_floor(print_once, bench_json):
     """Acceptance: ≥3× for the kernel-backed greedy over the legacy
     implementation at n ≥ 256 (identical restart budget and seed)."""
     g = _greedy_graph()
@@ -122,6 +122,17 @@ def test_greedy_speedup_floor(print_once):
             }
         ],
         title="greedy scheduler: engine kernels vs legacy",
+    )
+    bench_json(
+        "bench_schedulers",
+        "greedy_kernel_vs_legacy",
+        graph=f"path:{GREEDY_N}",
+        restarts=RESTARTS,
+        legacy_seconds=round(t_legacy, 6),
+        kernel_seconds=round(t_kernel, 6),
+        speedup=round(speedup, 2),
+        floor=3.0,
+        full_size=GREEDY_N >= 256,
     )
     if GREEDY_N >= 256:
         assert speedup >= 3.0, (

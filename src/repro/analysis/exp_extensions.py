@@ -12,6 +12,7 @@ from repro.analysis.registry import experiment
 from repro.core.broadcast import broadcast_schedule
 from repro.core.construct import construct, construct_base
 from repro.core.params import theorem5_m_star, theorem7_params
+from repro.engine.batch import validate_all_sources
 from repro.graphs.hypercube import hypercube
 from repro.model.congestion import congestion_profile, min_feasible_bandwidth
 from repro.model.simulator import LineNetworkSimulator
@@ -207,11 +208,8 @@ def experiment_e20_vertex_disjoint(
     for k, n, thr in cases:
         sh = construct(k, n, thr)
         g = sh.graph
-        ok = True
-        for s in sample_sources(g.n_vertices, sources_cap):
-            sched = broadcast_schedule(sh, s)
-            rep = validate_broadcast(g, sched, k, vertex_disjoint=True)
-            ok = ok and rep.ok
+        srcs = sample_sources(g.n_vertices, sources_cap)
+        ok = validate_all_sources(sh, k=k, sources=srcs, vertex_disjoint=True).all_ok
         rows.append(
             {
                 "instance": f"Construct({k}, n={n})",

@@ -1,10 +1,15 @@
 """Theorem-checking experiments: the machine-checked sweeps behind
 Theorems 4–7 and the k = 1 baseline (E09, E10, E12, E13, E16).
 
-These are the validation-bound hot paths, so the sweeps run the bitset
-fast-path validator (:class:`repro.model.validator_fast.FastValidator`);
-the reference validator stays the oracle in the test suite, where the
-property tests pin the two to identical verdicts.
+These are the validation-bound hot paths, so the source sweeps (E09,
+E12) run the batch all-sources engine (:mod:`repro.engine.batch`):
+schedules are generated once per coset of the construction's translation
+group and XOR-translated to the sampled sources, then validated as
+stacked arrays — per-source verdicts are identical to the per-source
+``broadcast_schedule`` + fast-validator loop by construction (and pinned
+by the property tests); the reference validator stays the oracle in the
+test suite.  Single-schedule checks (E16) share per-graph validators
+through the process-wide kernel cache (:mod:`repro.engine.cache`).
 """
 
 from __future__ import annotations
@@ -29,8 +34,9 @@ from repro.core.params import (
     theorem5_m_star,
     theorem7_params,
 )
+from repro.engine.batch import validate_all_sources
+from repro.engine.cache import fast_validator_for
 from repro.graphs.hypercube import hypercube
-from repro.model.validator_fast import FastValidator, validate_broadcast_fast
 from repro.schedulers.store_forward import binomial_hypercube_broadcast
 
 __all__ = [
@@ -58,14 +64,9 @@ def experiment_e09_broadcast2(
             sh = construct_base(n, m)
             g = sh.graph
             srcs = sample_sources(g.n_vertices, sources_cap)
-            validator = FastValidator(g)
-            ok = True
-            max_len = 0
-            for s in srcs:
-                sched = broadcast_schedule(sh, s)
-                rep = validator.validate(sched, 2)
-                ok = ok and rep.ok and len(sched.rounds) == n
-                max_len = max(max_len, rep.max_call_length)
+            outcome = validate_all_sources(sh, k=2, sources=srcs)
+            ok = outcome.all_ok and all(r == n for r in outcome.rounds)
+            max_len = outcome.max_call_length
             rows.append(
                 {
                     "n": n,
@@ -148,14 +149,9 @@ def experiment_e12_broadcastk(
         sh = construct(k, n, thresholds)
         g = sh.graph
         srcs = sample_sources(g.n_vertices, sources_cap)
-        validator = FastValidator(g)
-        ok = True
-        max_len = 0
-        for s in srcs:
-            sched = broadcast_schedule(sh, s)
-            rep = validator.validate(sched, k)
-            ok = ok and rep.ok and len(sched.rounds) == n
-            max_len = max(max_len, rep.max_call_length)
+        outcome = validate_all_sources(sh, k=k, sources=srcs)
+        ok = outcome.all_ok and all(r == n for r in outcome.rounds)
+        max_len = outcome.max_call_length
         rows.append(
             {
                 "k": k,
@@ -239,11 +235,11 @@ def experiment_e16_baseline_k1(*, n_values: tuple[int, ...] = (4, 6, 8, 10)) -> 
     for n in n_values:
         g = hypercube(n)
         sched = binomial_hypercube_broadcast(n, 0)
-        rep1 = validate_broadcast_fast(g, sched, 1)
+        rep1 = fast_validator_for(g).validate(sched, 1)
         m = theorem5_m_star(n)
         sh = construct_base(n, m)
         sparse_sched = broadcast_schedule(sh, 0)
-        sparse_validator = FastValidator(sh.graph)
+        sparse_validator = fast_validator_for(sh.graph)
         rep_sparse_k1 = sparse_validator.validate(sparse_sched, 1)
         rep_sparse_k2 = sparse_validator.validate(sparse_sched, 2)
         rows.append(

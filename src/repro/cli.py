@@ -25,6 +25,14 @@ runner — see :mod:`repro.analysis.registry` / :mod:`repro.analysis.runner`):
     (:mod:`repro.schedulers.registry`); results are validated by the
     reference validator before being reported.
 
+``validate``
+    Machine-check a construction's broadcast scheme over many sources:
+    ``repro validate --n 10 --m 3 --all-sources`` sweeps all ``2^n``
+    sources through the batch engine (:mod:`repro.engine.batch`) —
+    coset-translated generation plus stacked-array validation.
+    ``--engine loop`` forces the per-source reference path for
+    comparison; the default samples 16 sources.
+
 Legacy spellings from the sequential CLI era keep working:
 ``python -m repro e06``, ``python -m repro all``, ``--list`` and
 ``--export-csv DIR``.
@@ -38,7 +46,7 @@ import sys
 from repro.analysis import format_table, registry
 from repro.analysis.runner import DEFAULT_CACHE_DIR, ExperimentRunner
 
-_SUBCOMMANDS = ("run", "list", "clean-cache", "export-csv", "schedule")
+_SUBCOMMANDS = ("run", "list", "clean-cache", "export-csv", "schedule", "validate")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -107,6 +115,39 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_sched.add_argument(
         "--list", action="store_true", help="list registered schedulers"
+    )
+
+    p_val = sub.add_parser(
+        "validate",
+        help="batch-validate a construction's broadcast scheme over many sources",
+    )
+    p_val.add_argument(
+        "--n", type=int, required=True, metavar="N", help="hypercube dimension"
+    )
+    p_val.add_argument(
+        "--m", type=int, default=None, metavar="M",
+        help="Construct_BASE threshold n_1 (k = 2; default: the Theorem-5 m*)",
+    )
+    p_val.add_argument(
+        "--k", type=int, default=None, metavar="K",
+        help="construction k (requires --thresholds)",
+    )
+    p_val.add_argument(
+        "--thresholds", default=None, metavar="N1,N2,...",
+        help="comma-separated thresholds for Construct(k, n, ...)",
+    )
+    p_val.add_argument(
+        "--all-sources", action="store_true",
+        help="validate every one of the 2^n sources (default: a 16-source sample)",
+    )
+    p_val.add_argument(
+        "--sources-cap", type=int, default=16, metavar="CAP",
+        help="sample size when --all-sources is not given (default 16)",
+    )
+    p_val.add_argument(
+        "--engine", choices=("batch", "loop"), default="batch",
+        help="batch = coset-translated generation + stacked validation "
+        "(default); loop = per-source generation + fast validator",
     )
     return parser
 
@@ -184,6 +225,76 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0 if result.found and result.valid is not False else 1
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis.common import sample_sources
+    from repro.core.construct import construct, construct_base
+    from repro.core.params import theorem5_m_star
+    from repro.types import ReproError
+
+    try:
+        if args.thresholds is not None:
+            if args.k is None:
+                print("--thresholds requires --k", file=sys.stderr)
+                return 2
+            thresholds = tuple(int(t) for t in args.thresholds.split(","))
+            sh = construct(args.k, args.n, thresholds)
+        else:
+            if args.k is not None and args.k != 2:
+                print(
+                    f"--k {args.k} requires --thresholds (only the k=2 base "
+                    "construction can be built from --m alone)",
+                    file=sys.stderr,
+                )
+                return 2
+            m = args.m if args.m is not None else theorem5_m_star(args.n)
+            sh = construct_base(args.n, m)
+    except (ReproError, ValueError) as exc:
+        print(f"validate failed: {exc}", file=sys.stderr)
+        return 2
+    n_vertices = sh.n_vertices
+    srcs = (
+        list(range(n_vertices))
+        if args.all_sources
+        else sample_sources(n_vertices, args.sources_cap)
+    )
+    t0 = time.perf_counter()
+    if args.engine == "batch":
+        from repro.engine.batch import validate_all_sources
+
+        outcome = validate_all_sources(sh, k=sh.k, sources=srcs)
+        ok = outcome.all_ok and all(r == sh.n for r in outcome.rounds)
+        max_len = outcome.max_call_length
+        provenance = f"{outcome.n_cosets} cosets, {outcome.n_stacks} stacks"
+    else:
+        from repro.core.broadcast import broadcast_schedule
+        from repro.engine.cache import fast_validator_for
+
+        validator = fast_validator_for(sh.graph)
+        ok, max_len = True, 0
+        for s in srcs:
+            sched = broadcast_schedule(sh, s)
+            rep = validator.validate(sched, sh.k)
+            ok = ok and rep.ok and len(sched.rounds) == sh.n
+            max_len = max(max_len, rep.max_call_length)
+        provenance = "per-source loop"
+    seconds = time.perf_counter() - t0
+    row = {
+        "construct": f"Construct({sh.k}, n={sh.n}, {sh.thresholds})",
+        "N": n_vertices,
+        "Δ": sh.degree_formula(),
+        "sources": len(srcs),
+        "rounds": sh.n,
+        "max call len": max_len,
+        f"valid (≤{sh.k})": ok,
+        "engine": f"{args.engine} ({provenance})",
+        "seconds": f"{seconds:.3f}",
+    }
+    print(format_table([row], title=f"[VALIDATE] Broadcast_{sh.k} source sweep"))
+    return 0 if ok else 1
+
+
 def _cmd_run(names: list[str], *, jobs: int, cache: bool, cache_dir: str) -> int:
     known = registry.experiment_ids()
     if not names:
@@ -244,6 +355,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_clean_cache(args.cache_dir)
     if args.command == "schedule":
         return _cmd_schedule(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
     # "run"
     names = list(args.experiments)
     if args.all:

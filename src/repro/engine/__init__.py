@@ -5,8 +5,35 @@ registered scheduler is a thin strategy over: bounded-depth reachability,
 bounded-length simple-path enumeration, uninformed-component labeling with
 boundary counts, and the doubling/capacity prunes — all on integer-bitmask
 state shared with :mod:`repro.model.validator_fast`.
+
+:mod:`repro.engine.batch` is the batch all-sources layer: coset-translated
+schedule generation over the construction's XOR-translation group, and
+stacked-array Definition-1 validation (:class:`BatchValidator`) for whole
+schedule batches at once.
+
+:mod:`repro.engine.cache` is the process-wide kernel cache: one
+``GraphKernels`` / ``FastValidator`` / ``BatchValidator`` per frozen
+graph, shared by the schedulers, the simulator, and the experiments.
 """
 
+from repro.engine.batch import (
+    AllSourcesOutcome,
+    BatchReport,
+    BatchValidator,
+    ScheduleLayout,
+    StackedSchedules,
+    all_sources_schedules,
+    stack_schedules,
+    translation_group,
+    validate_all_sources,
+)
+from repro.engine.cache import (
+    batch_validator_for,
+    cache_info,
+    clear_cache,
+    fast_validator_for,
+    kernels_for,
+)
 from repro.engine.kernels import (
     OVERFLOW_PENALTY,
     ComponentSummary,
@@ -19,4 +46,18 @@ __all__ = [
     "ComponentSummary",
     "PenaltyState",
     "OVERFLOW_PENALTY",
+    "ScheduleLayout",
+    "StackedSchedules",
+    "BatchReport",
+    "BatchValidator",
+    "AllSourcesOutcome",
+    "translation_group",
+    "all_sources_schedules",
+    "stack_schedules",
+    "validate_all_sources",
+    "kernels_for",
+    "fast_validator_for",
+    "batch_validator_for",
+    "cache_info",
+    "clear_cache",
 ]

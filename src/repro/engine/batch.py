@@ -1,0 +1,557 @@
+"""Batch all-sources engine: vectorized schedule generation and validation.
+
+The theorem sweeps (E09, E12, E20, …) and the certificate exporter all ask
+the same *many-scenarios* question: "run ``Broadcast_k`` from every source
+and check the result".  Doing that one source at a time repeats work twice
+over — each schedule is rebuilt call-by-call in Python, and each is then
+validated alone.  This module batches both axes:
+
+**Generation** exploits the construction's translation symmetry.  XOR
+translation by ``t`` is an automorphism of a sparse hypercube iff it
+preserves every level's label function (the label blocks tile bits
+``1..n_{k-1}``, so any ``t`` supported only on the free high dimensions
+qualifies, as do in-block translations fixed by the labeling).  Those
+``t`` form a subgroup ``T`` — :func:`translation_group` computes it from
+the level metadata in one vectorized table lookup per level — and schedule
+generation *commutes* with it: ``broadcast_schedule(sh, s ^ t)`` equals
+``broadcast_schedule(sh, s)`` with every vertex XOR-translated by ``t``
+(rounds re-sorted by caller).  So the engine generates **one schedule per
+coset of T**, flattens it once into a call array, and derives the whole
+coset as a single NumPy XOR broadcast over the stacked arrays.  On graphs
+with little symmetry the cosets degenerate towards singletons and the
+engine transparently falls back to per-source generation — correctness
+never depends on the symmetry, and :func:`validate_all_sources`
+additionally re-generates any source whose translated schedule fails
+validation directly (the belt-and-braces fallback; the property tests pin
+translated ≡ direct, so this path is never taken on healthy inputs).
+
+**Validation** stacks layout-compatible schedules into
+``(n_schedules, n_items)`` integer arrays — all schedules of one coset
+share a layout, since translation preserves call lengths — and
+:class:`BatchValidator` checks conditions V1–V8 for the whole stack in
+vectorized passes: edge existence is one ``searchsorted`` over the
+``(S, E)`` key matrix, per-round caller/receiver/edge disjointness are
+axis-1 sorts with adjacent-equality sweeps, and the informed sets evolve
+as one boolean ``(S, N)`` matrix.  Rows that fail any aggregate check
+drop to the bitset fast validator (:mod:`repro.model.validator_fast`),
+which reproduces the reference validator's exact error strings — so
+per-schedule reports are identical to the reference by construction, at
+stacked-array speed on the (overwhelmingly common) valid schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.base import Graph
+from repro.model.validator import ValidationReport, minimum_broadcast_rounds
+from repro.model.validator_fast import (
+    FastValidator,
+    ScheduleLayout,
+    flatten_schedule,
+)
+from repro.types import Call, InvalidParameterError, Schedule
+
+__all__ = [
+    "ScheduleLayout",
+    "StackedSchedules",
+    "BatchReport",
+    "BatchValidator",
+    "AllSourcesOutcome",
+    "translation_group",
+    "coset_representatives",
+    "flatten_schedule",
+    "stack_schedules",
+    "all_sources_schedules",
+    "validate_all_sources",
+]
+
+
+# ---------------------------------------------------------------------------
+# Stacked schedule representation
+# ---------------------------------------------------------------------------
+#
+# ``ScheduleLayout`` and ``flatten_schedule`` live in
+# :mod:`repro.model.validator_fast` (one implementation of the index
+# arithmetic, shared with the fast validator) and are re-exported here.
+
+
+@dataclass
+class StackedSchedules:
+    """``S`` layout-compatible schedules as one ``(S, n_items)`` array.
+
+    Row ``i`` is the flat path-vertex sequence of the schedule from
+    ``sources[i]``; the shared :class:`ScheduleLayout` says how to slice
+    it.  Calls within a row's round are *not* required to be in caller
+    order (XOR translation permutes callers); :meth:`to_schedule`
+    restores the generator's ascending-caller order when materializing.
+    """
+
+    layout: ScheduleLayout
+    sources: np.ndarray
+    flat: np.ndarray
+
+    @property
+    def n_schedules(self) -> int:
+        return int(self.sources.size)
+
+    def row_index(self, source: int) -> int:
+        hits = np.flatnonzero(self.sources == source)
+        if not hits.size:
+            raise InvalidParameterError(f"source {source} not in this stack")
+        return int(hits[0])
+
+    def to_schedule(self, i: int, *, sort_calls: bool = False) -> Schedule:
+        """Materialize row ``i`` as a :class:`Schedule` object.
+
+        By default calls keep their stored order — the exact inverse of
+        :func:`flatten_schedule`, which validation fallbacks rely on to
+        reproduce reference error ordering.  ``sort_calls=True`` orders
+        each round's calls by ascending caller instead, which is
+        :func:`repro.core.broadcast.broadcast_schedule`'s order — XOR
+        translation permutes callers, so translated rows need the re-sort
+        to match direct generation (pinned by the property tests).
+        """
+        lay = self.layout
+        row = self.flat[i]
+        schedule = Schedule(source=int(self.sources[i]))
+        for r in range(lay.n_rounds):
+            c0, c1 = int(lay.call_bounds[r]), int(lay.call_bounds[r + 1])
+            paths = [
+                tuple(int(v) for v in row[lay.path_starts[c] : lay.path_ends[c]])
+                for c in range(c0, c1)
+            ]
+            if sort_calls:
+                paths.sort()
+            schedule.append_round([Call.via(p) for p in paths])
+        return schedule
+
+
+def _group_by_layout(
+    schedules: list[Schedule],
+) -> list[tuple[ScheduleLayout, list[int], np.ndarray]]:
+    """Flatten and group schedules by layout key, in first-seen order.
+
+    Returns ``(layout, input_indices, stacked_flat_rows)`` per distinct
+    layout; rows keep input order within their group.
+    """
+    groups: dict[bytes, tuple[ScheduleLayout, list[int], list[np.ndarray]]] = {}
+    for idx, sched in enumerate(schedules):
+        layout, flat = flatten_schedule(sched)
+        entry = groups.get(layout.key())
+        if entry is None:
+            groups[layout.key()] = (layout, [idx], [flat])
+        else:
+            entry[1].append(idx)
+            entry[2].append(flat)
+    return [
+        (layout, indices, np.vstack(flats))
+        for layout, indices, flats in groups.values()
+    ]
+
+
+def stack_schedules(schedules: list[Schedule]) -> list[StackedSchedules]:
+    """Group arbitrary schedules by layout and stack each group.
+
+    Returns one stack per distinct layout, in first-seen order; every
+    input schedule appears in exactly one stack (rows keep input order
+    within their group).
+    """
+    return [
+        StackedSchedules(
+            layout=layout,
+            sources=np.array(
+                [schedules[idx].source for idx in indices], dtype=np.int64
+            ),
+            flat=rows,
+        )
+        for layout, indices, rows in _group_by_layout(schedules)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Translation symmetry and all-sources generation
+# ---------------------------------------------------------------------------
+
+
+def translation_group(sh) -> np.ndarray:
+    """All ``t`` whose XOR translation preserves every level's labels.
+
+    Sorted ``int64`` array; always a subgroup of ``(Z_2^n, ^)`` containing
+    at least the ``2^(n - n_{k-1})`` translations supported on the free
+    dimensions above the last threshold.  Label preservation implies edge
+    preservation (ownership is a function of the label), and — pinned by
+    the property tests — that ``broadcast_schedule`` commutes with the
+    translation from every source.
+    """
+    ts = np.zeros(1, dtype=np.int64)
+    for level in sh.levels:
+        vals = np.arange(1 << level.block_len)
+        labels = level.labeling.labels[vals]
+        # row bt of the table holds the labels of vals ^ bt
+        preserved = (level.labeling.labels[vals[:, None] ^ vals[None, :]] ==
+                     labels[None, :]).all(axis=1)
+        good = np.flatnonzero(preserved).astype(np.int64) << level.block_lo
+        ts = (ts[:, None] | good[None, :]).ravel()
+    for b in range(sh.thresholds[-1], sh.n):
+        ts = np.concatenate([ts, ts | np.int64(1 << b)])
+    ts.sort()
+    return ts
+
+
+def coset_representatives(n_vertices: int, group: np.ndarray) -> list[int]:
+    """Ascending minimal representatives of the cosets of ``group``."""
+    seen = np.zeros(n_vertices, dtype=bool)
+    reps = []
+    for s in range(n_vertices):
+        if not seen[s]:
+            reps.append(s)
+            seen[group ^ s] = True
+    return reps
+
+
+def all_sources_schedules(sh, sources=None) -> list[StackedSchedules]:
+    """Broadcast schedules for many sources, one stack per layout.
+
+    Generates ``broadcast_schedule(sh, r)`` once per coset of the
+    translation group and derives the rest of the coset as XOR
+    translations of the stacked call arrays.  ``sources`` (default: all
+    ``2^n``) restricts the output rows — cosets with no requested source
+    are never generated.  Rows are in ascending source order within each
+    stack; stacks of equal layout are merged.
+    """
+    stacks, _n_cosets = _coset_stacks(sh, sources)
+    return stacks
+
+
+def _coset_stacks(sh, sources) -> tuple[list[StackedSchedules], int]:
+    """The stacks plus the total coset count (reported by the pipeline
+    without recomputing the group walk)."""
+    from repro.core.broadcast import broadcast_schedule
+
+    group = translation_group(sh)
+    n = sh.n_vertices
+    if sources is None:
+        wanted = None
+    else:
+        requested = np.asarray(list(sources), dtype=np.int64)
+        bad = requested[(requested < 0) | (requested >= n)]
+        if bad.size:  # match the per-source generator's error, not a raw
+            raise InvalidParameterError(  # IndexError / negative aliasing
+                f"source {int(bad[0])} out of range [0, {n})"
+            )
+        wanted = np.zeros(n, dtype=bool)
+        wanted[requested] = True
+    groups: dict[bytes, tuple[ScheduleLayout, list[np.ndarray], list[np.ndarray]]] = {}
+    reps = coset_representatives(n, group)
+    for rep in reps:
+        coset = group ^ rep
+        if wanted is not None:
+            ts = group[wanted[coset]]
+            if not ts.size:
+                continue
+        else:
+            ts = group
+        layout, flat = flatten_schedule(broadcast_schedule(sh, rep))
+        # Order the translations by resulting source first, so the XOR
+        # broadcast materializes the row block directly in source order
+        # (no post-hoc fancy-index copy of the big array).
+        ts = ts[np.argsort(ts ^ rep)]
+        rows = flat[None, :] ^ ts[:, None]
+        srcs = ts ^ rep
+        entry = groups.get(layout.key())
+        if entry is None:
+            groups[layout.key()] = (layout, [srcs], [rows])
+        else:
+            entry[1].append(srcs)
+            entry[2].append(rows)
+    out = []
+    for layout, srcs_list, rows_list in groups.values():
+        if len(srcs_list) == 1:  # common case: avoid a full-array copy
+            srcs, rows = srcs_list[0], rows_list[0]
+        else:
+            srcs = np.concatenate(srcs_list)
+            rows = np.vstack(rows_list)
+            order = np.argsort(srcs)
+            srcs, rows = srcs[order], rows[order]
+        out.append(StackedSchedules(layout=layout, sources=srcs, flat=rows))
+    return out, len(reps)
+
+
+# ---------------------------------------------------------------------------
+# Batch validation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchReport:
+    """Verdicts for one stack: per-row ok flags plus exact reports.
+
+    ``reports[i]`` is identical (errors, statistics, verdict) to what the
+    reference validator returns for row ``i``'s schedule — rows passing
+    the aggregate checks get their report synthesized from the batch
+    arrays, failing rows are re-validated by the fast validator.
+    """
+
+    ok: np.ndarray
+    reports: list[ValidationReport]
+    max_call_length: int
+
+    @property
+    def all_ok(self) -> bool:
+        return bool(self.ok.all())
+
+
+class BatchValidator:
+    """Definition-1 validation over stacked schedule arrays.
+
+    Bound to one graph; reuses (or builds) a :class:`FastValidator` both
+    for its sorted edge-key array and as the exact fallback on failing
+    rows.  For validating many schedules on one graph, construct through
+    :func:`repro.engine.cache.batch_validator_for` so the edge keys are
+    shared process-wide.
+    """
+
+    def __init__(self, graph: Graph, fast: FastValidator | None = None) -> None:
+        self.graph = graph
+        self.fast = fast if fast is not None else FastValidator(graph)
+
+    # -- single stack -------------------------------------------------------
+
+    def validate_stacked(
+        self,
+        stack: StackedSchedules,
+        k: int,
+        *,
+        require_minimum_time: bool = True,
+        vertex_disjoint: bool = False,
+    ) -> BatchReport:
+        """Validate every row of ``stack``; reports match the reference."""
+        lay = stack.layout
+        n = self.graph.n_vertices
+        S = stack.n_schedules
+        if S == 0:
+            return BatchReport(
+                ok=np.zeros(0, dtype=bool), reports=[], max_call_length=0
+            )
+        R = lay.n_rounds
+        rows = np.arange(S)[:, None]
+        # Rows needing the exact fallback (any aggregate check failed).
+        bad = (stack.sources < 0) | (stack.sources >= n)
+        # Rows with out-of-range path vertices go to the exact fallback
+        # (which raises the reference's InvalidParameterError); clip a
+        # copy so the fancy indexing below stays in bounds for the rest.
+        flat = stack.flat
+        if flat.size:
+            oob = ((flat < 0) | (flat >= n)).any(axis=1)
+            if oob.any():
+                bad |= oob
+                flat = np.clip(flat, 0, n - 1)
+        # V2: call lengths are layout-level — one check covers every row.
+        if lay.n_calls and int(lay.lengths.max()) > k:
+            bad |= True
+        # V1: one batched searchsorted over the (S, E) edge-key matrix.
+        if lay.n_edges:
+            us = flat[:, lay.us_idx]
+            vs = flat[:, lay.vs_idx]
+            keys = np.minimum(us, vs) * n + np.maximum(us, vs)
+            edge_keys = self.fast.edge_keys
+            if edge_keys.size:
+                pos = np.searchsorted(edge_keys, keys)
+                pos_c = np.minimum(pos, edge_keys.size - 1)
+                missing = (pos != pos_c) | (edge_keys[pos_c] != keys)
+            else:
+                missing = np.ones_like(keys, dtype=bool)
+            bad |= missing.any(axis=1)
+        else:
+            keys = np.empty((S, 0), dtype=np.int64)
+
+        informed = np.zeros((S, n), dtype=bool)
+        valid_src = ~((stack.sources < 0) | (stack.sources >= n))
+        informed[valid_src, np.clip(stack.sources, 0, n - 1)[valid_src]] = True
+        informed_counts = np.empty((S, R), dtype=np.int64)
+        for r in range(R):
+            c0, c1 = int(lay.call_bounds[r]), int(lay.call_bounds[r + 1])
+            if c1 > c0:
+                e0, e1 = int(lay.edge_bounds[r]), int(lay.edge_bounds[r + 1])
+                srcs_r = flat[:, lay.path_starts[c0:c1]]
+                recv_r = flat[:, lay.path_ends[c0:c1] - 1]
+                # V3 + V4: callers informed, at most one call per caller.
+                round_bad = ~informed[rows, srcs_r].all(axis=1)
+                ss = np.sort(srcs_r, axis=1)
+                round_bad |= (ss[:, 1:] == ss[:, :-1]).any(axis=1)
+                # V6: receivers pairwise distinct and not yet informed.
+                rs = np.sort(recv_r, axis=1)
+                round_bad |= (rs[:, 1:] == rs[:, :-1]).any(axis=1)
+                round_bad |= informed[rows, recv_r].any(axis=1)
+                # V5: per-round edge-disjointness.
+                ks = np.sort(keys[:, e0:e1], axis=1)
+                round_bad |= (ks[:, 1:] == ks[:, :-1]).any(axis=1)
+                if vertex_disjoint:
+                    p0 = int(lay.path_starts[c0])
+                    p1 = int(lay.path_ends[c1 - 1])
+                    vv = np.sort(flat[:, p0:p1], axis=1)
+                    round_bad |= (vv[:, 1:] == vv[:, :-1]).any(axis=1)
+                bad |= round_bad
+                # Mirror the reference: receivers become informed even in
+                # an invalid round.
+                informed[rows, recv_r] = True
+            informed_counts[:, r] = informed.sum(axis=1)
+
+        complete = informed.all(axis=1)
+        need = minimum_broadcast_rounds(n)
+        max_len = lay.max_call_length
+        ok = np.empty(S, dtype=bool)
+        reports: list[ValidationReport] = []
+        for i in range(S):
+            if bad[i]:
+                report = self.fast.validate(
+                    stack.to_schedule(i),
+                    k,
+                    require_minimum_time=require_minimum_time,
+                    vertex_disjoint=vertex_disjoint,
+                )
+            else:
+                report = ValidationReport(
+                    ok=True,
+                    rounds=R,
+                    informed_per_round=informed_counts[i].tolist(),
+                    max_call_length=max_len,
+                )
+                if not complete[i]:
+                    report.errors.append(
+                        f"broadcast incomplete: {int(informed_counts[i, -1]) if R else 1}"
+                        f" of {n} informed"
+                    )
+                if require_minimum_time and R != need:
+                    report.errors.append(
+                        f"schedule uses {R} rounds, minimum time is {need}"
+                    )
+                report.ok = not report.errors
+            ok[i] = report.ok
+            reports.append(report)
+        return BatchReport(ok=ok, reports=reports, max_call_length=max_len)
+
+    # -- arbitrary schedule lists -------------------------------------------
+
+    def validate_many(
+        self,
+        schedules: list[Schedule],
+        k: int,
+        *,
+        require_minimum_time: bool = True,
+        vertex_disjoint: bool = False,
+    ) -> list[ValidationReport]:
+        """Reference-identical reports for a heterogeneous schedule list.
+
+        Schedules are grouped by layout, each group validated as one
+        stack; results come back in input order.
+        """
+        results: list[ValidationReport | None] = [None] * len(schedules)
+        for layout, indices, rows in _group_by_layout(schedules):
+            stack = StackedSchedules(
+                layout=layout,
+                sources=np.array(
+                    [schedules[idx].source for idx in indices], dtype=np.int64
+                ),
+                flat=rows,
+            )
+            report = self.validate_stacked(
+                stack,
+                k,
+                require_minimum_time=require_minimum_time,
+                vertex_disjoint=vertex_disjoint,
+            )
+            for row, idx in enumerate(indices):
+                results[idx] = report.reports[row]
+        return results  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# The all-sources pipeline (generation + validation + fallback)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AllSourcesOutcome:
+    """Per-source verdicts of the batch generate-and-validate pipeline."""
+
+    sources: list[int]
+    ok: list[bool]
+    rounds: list[int]
+    max_call_lengths: list[int]
+    n_cosets: int
+    n_stacks: int
+    n_fallback: int
+
+    @property
+    def all_ok(self) -> bool:
+        return all(self.ok)
+
+    @property
+    def max_call_length(self) -> int:
+        return max(self.max_call_lengths, default=0)
+
+
+def validate_all_sources(
+    sh,
+    *,
+    k: int | None = None,
+    sources=None,
+    require_minimum_time: bool = True,
+    vertex_disjoint: bool = False,
+) -> AllSourcesOutcome:
+    """Generate and validate the scheme's schedule for many sources.
+
+    The batch path end-to-end: coset-translated generation, stacked-array
+    validation, and — should a translated schedule ever fail — direct
+    per-source regeneration, so verdicts always equal the per-source loop
+    (``broadcast_schedule`` + fast validator) exactly.
+    """
+    from repro.core.broadcast import broadcast_schedule
+    from repro.engine.cache import batch_validator_for
+
+    if sources is not None:
+        sources = [int(s) for s in sources]  # materialize: iterated twice
+    k_eff = sh.k if k is None else k
+    validator = batch_validator_for(sh.graph)
+    stacks, n_cosets = _coset_stacks(sh, sources)
+    per_source: dict[int, tuple[bool, int, int]] = {}
+    n_fallback = 0
+    for stack in stacks:
+        batch = validator.validate_stacked(
+            stack,
+            k_eff,
+            require_minimum_time=require_minimum_time,
+            vertex_disjoint=vertex_disjoint,
+        )
+        for i in range(stack.n_schedules):
+            src = int(stack.sources[i])
+            if batch.ok[i]:
+                per_source[src] = (True, stack.layout.n_rounds, batch.max_call_length)
+            else:
+                # Correctness fallback: distrust the translation entirely
+                # and re-derive this source's verdict from scratch.
+                n_fallback += 1
+                sched = broadcast_schedule(sh, src)
+                report = validator.fast.validate(
+                    sched,
+                    k_eff,
+                    require_minimum_time=require_minimum_time,
+                    vertex_disjoint=vertex_disjoint,
+                )
+                per_source[src] = (
+                    report.ok, len(sched.rounds), report.max_call_length
+                )
+    ordered = sorted(per_source) if sources is None else sources
+    return AllSourcesOutcome(
+        sources=ordered,
+        ok=[per_source[s][0] for s in ordered],
+        rounds=[per_source[s][1] for s in ordered],
+        max_call_lengths=[per_source[s][2] for s in ordered],
+        n_cosets=n_cosets,
+        n_stacks=len(stacks),
+        n_fallback=n_fallback,
+    )

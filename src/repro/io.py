@@ -67,19 +67,28 @@ def certificate_for(
     sh, sources: list[int] | None = None
 ) -> dict[str, Any]:
     """A k-mlbg certificate for a sparse hypercube (all sources by
-    default; pass a sample for large instances)."""
-    from repro.core.broadcast import broadcast_schedule
+    default; pass a sample for large instances).
+
+    Schedules come from the batch engine — generated once per coset of
+    the translation group and XOR-translated to the remaining sources —
+    and materialize identically to per-source ``broadcast_schedule``
+    (calls sorted by caller within each round; pinned by the property
+    tests)."""
+    from repro.engine.batch import all_sources_schedules
 
     srcs = sources if sources is not None else list(range(sh.n_vertices))
+    by_source = {}
+    for stack in all_sources_schedules(sh, srcs):
+        for i in range(stack.n_schedules):
+            sched = stack.to_schedule(i, sort_calls=True)
+            by_source[sched.source] = schedule_to_dict(sched)
     return {
         "format": "repro-kmlbg-certificate/1",
         "k": sh.k,
         "n": sh.n,
         "thresholds": list(sh.thresholds),
         "graph": graph_to_dict(sh.graph),
-        "schedules": [
-            schedule_to_dict(broadcast_schedule(sh, s)) for s in srcs
-        ],
+        "schedules": [by_source[s] for s in srcs],
     }
 
 

@@ -94,10 +94,10 @@ class LineNetworkSimulator:
         """A bitset fast-validator report for ``schedule`` (bandwidth-1
         semantics; the validator's clauses are exactly the ones
         ``execute_round`` enforces per call)."""
-        from repro.model.validator_fast import FastValidator
+        from repro.engine.cache import fast_validator_for
 
         if self._fast_validator is None:
-            self._fast_validator = FastValidator(self.graph)
+            self._fast_validator = fast_validator_for(self.graph)
         return self._fast_validator.validate(
             schedule, self.k, require_minimum_time=False
         )

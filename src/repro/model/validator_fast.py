@@ -31,6 +31,7 @@ schedules.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from itertools import chain
 
 import numpy as np
@@ -39,12 +40,15 @@ from repro.graphs.base import Graph
 from repro.model.validator import (
     ValidationReport,
     minimum_broadcast_rounds,
+    validate_broadcast,
     validate_round,
 )
 from repro.types import Schedule
 
 __all__ = [
     "FastValidator",
+    "ScheduleLayout",
+    "flatten_schedule",
     "validate_broadcast_fast",
     "classify_error",
     "ERROR_CLASSES",
@@ -97,6 +101,97 @@ def _rounds_containing(flat_indices: np.ndarray, boundaries: np.ndarray) -> set[
     return set(np.searchsorted(boundaries, flat_indices, side="right").tolist())
 
 
+@dataclass(frozen=True)
+class ScheduleLayout:
+    """The source-independent shape of a schedule's call arrays.
+
+    Two schedules share a layout iff they have the same per-round call
+    counts and the same per-call path lengths, in order — exactly the
+    invariant the batch engine's XOR translation preserves.  All index
+    arrays address the flattened path-vertex row (length
+    :attr:`n_items`):
+
+    * call ``c`` occupies ``flat[path_starts[c]:path_ends[c]]``;
+    * round ``r`` owns calls ``call_bounds[r]:call_bounds[r+1]`` and
+      edges ``edge_bounds[r]:edge_bounds[r+1]``;
+    * edge ``e`` runs ``flat[us_idx[e]]`` – ``flat[vs_idx[e]]``.
+    """
+
+    n_rounds: int
+    counts: np.ndarray
+    lengths: np.ndarray
+    path_starts: np.ndarray
+    path_ends: np.ndarray
+    call_bounds: np.ndarray
+    edge_bounds: np.ndarray
+    us_idx: np.ndarray
+    vs_idx: np.ndarray
+
+    @property
+    def n_calls(self) -> int:
+        return int(self.lengths.size)
+
+    @property
+    def n_items(self) -> int:
+        return int(self.lengths.sum()) + self.n_calls
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.lengths.sum())
+
+    @property
+    def max_call_length(self) -> int:
+        return int(self.lengths.max()) if self.n_calls else 0
+
+    def key(self) -> bytes:
+        """Hashable grouping token: layouts with equal keys stack."""
+        return self.counts.tobytes() + b"|" + self.lengths.tobytes()
+
+    @staticmethod
+    def from_counts(counts: np.ndarray, lengths: np.ndarray) -> "ScheduleLayout":
+        counts = np.asarray(counts, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        path_ends = np.cumsum(lengths + 1)
+        path_starts = path_ends - lengths - 1
+        call_bounds = np.concatenate(([0], np.cumsum(counts)))
+        edge_bounds = np.concatenate(([0], np.cumsum(lengths)))[call_bounds]
+        n_items = int(path_ends[-1]) if lengths.size else 0
+        item_idx = np.arange(n_items, dtype=np.int64)
+        us_idx = np.delete(item_idx, path_ends - 1)
+        vs_idx = np.delete(item_idx, path_starts)
+        return ScheduleLayout(
+            n_rounds=int(counts.size),
+            counts=counts,
+            lengths=lengths,
+            path_starts=path_starts,
+            path_ends=path_ends,
+            call_bounds=call_bounds,
+            edge_bounds=edge_bounds,
+            us_idx=us_idx,
+            vs_idx=vs_idx,
+        )
+
+
+def flatten_schedule(schedule: Schedule) -> tuple[ScheduleLayout, np.ndarray]:
+    """One pass over a schedule: its layout plus the flat path-vertex row.
+
+    Shared by :class:`FastValidator` and the batch engine
+    (:mod:`repro.engine.batch`) — one implementation of the index
+    arithmetic, two consumers.
+    """
+    rounds = schedule.rounds
+    paths = [c.path for rnd in rounds for c in rnd.calls]
+    counts = np.fromiter(
+        (len(rnd.calls) for rnd in rounds), dtype=np.int64, count=len(rounds)
+    )
+    lengths = np.fromiter(map(len, paths), dtype=np.int64, count=len(paths)) - 1
+    layout = ScheduleLayout.from_counts(counts, lengths)
+    flat = np.fromiter(
+        chain.from_iterable(paths), dtype=np.int64, count=layout.n_items
+    )
+    return layout, flat
+
+
 class FastValidator:
     """Reusable fast validator bound to one graph.
 
@@ -118,6 +213,12 @@ class FastValidator:
         row = np.repeat(np.arange(self._n, dtype=np.int64), np.diff(indptr))
         upper = indices > row
         self._edge_keys = row[upper] * self._n + indices[upper]
+
+    @property
+    def edge_keys(self) -> np.ndarray:
+        """Sorted canonical edge keys ``min·N + max`` (shared with the
+        batch validator; callers must not mutate)."""
+        return self._edge_keys
 
     # -- bitmask helpers ----------------------------------------------------
 
@@ -160,28 +261,28 @@ class FastValidator:
 
         rounds = schedule.rounds
         n_rounds = len(rounds)
-        paths = [c.path for rnd in rounds for c in rnd.calls]
-        n_calls = len(paths)
-        counts = np.fromiter(
-            (len(rnd.calls) for rnd in rounds), dtype=np.int64, count=n_rounds
-        )
-        lengths = np.fromiter(map(len, paths), dtype=np.int64, count=n_calls) - 1
-        n_path_items = int(lengths.sum()) + n_calls
-        flat = np.fromiter(
-            chain.from_iterable(paths), dtype=np.int64, count=n_path_items
-        )
-        # Per-call offsets into ``flat`` / the edge arrays, then per-round
-        # boundaries derived from them (robust to empty rounds).
-        path_ends = np.cumsum(lengths + 1)
-        path_starts = path_ends - lengths - 1
-        sources = flat[path_starts]
-        receivers = flat[path_ends - 1]
-        us = np.delete(flat, path_ends - 1)
-        vs = np.delete(flat, path_starts)
+        layout, flat = flatten_schedule(schedule)
+        if flat.size and bool(((flat < 0) | (flat >= n)).any()):
+            # Out-of-range path vertices: the reference raises
+            # InvalidParameterError (Graph bounds check) rather than
+            # reporting; delegate wholesale to reproduce that exactly
+            # instead of crashing the bitmask scatter with IndexError.
+            return validate_broadcast(
+                self.graph,
+                schedule,
+                k,
+                require_minimum_time=require_minimum_time,
+                vertex_disjoint=vertex_disjoint,
+            )
+        n_calls = layout.n_calls
+        lengths = layout.lengths
+        sources = flat[layout.path_starts]
+        receivers = flat[layout.path_ends - 1]
+        us = flat[layout.us_idx]
+        vs = flat[layout.vs_idx]
         keys = np.minimum(us, vs) * n + np.maximum(us, vs)
-        call_bounds = np.concatenate(([0], np.cumsum(counts)))
-        edge_per_call = np.concatenate(([0], np.cumsum(lengths)))
-        edge_bounds = edge_per_call[call_bounds]
+        call_bounds = layout.call_bounds
+        edge_bounds = layout.edge_bounds
 
         # Global batches: call lengths (V2) and edge existence (V1); the
         # owning rounds of any offender fall back to the reference scan.

@@ -34,10 +34,10 @@ from __future__ import annotations
 
 import random
 
+from repro.engine.cache import fast_validator_for, kernels_for
 from repro.engine.kernels import UNREACHED, GraphKernels, PenaltyState
 from repro.graphs.base import Graph
 from repro.model.validator import minimum_broadcast_rounds
-from repro.model.validator_fast import FastValidator
 from repro.schedulers.registry import ScheduleRequest, scheduler
 from repro.types import Call, InvalidParameterError, Schedule
 from repro.util.bits import iter_bits, mask_to_indices
@@ -234,8 +234,8 @@ def heuristic_line_broadcast(
         raise InvalidParameterError(f"need k >= 1, got {k_eff}")
     budget = rounds if rounds is not None else minimum_broadcast_rounds(graph.n_vertices)
     n = graph.n_vertices
-    kern = GraphKernels(graph)
-    validator = FastValidator(graph)
+    kern = kernels_for(graph)
+    validator = fast_validator_for(graph)
     for attempt in range(restarts):
         if rng is not None:
             attempt_rng = random.Random(rng.getrandbits(64))

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.engine.kernels import GraphKernels
+from repro.engine.cache import kernels_for
 from repro.graphs.base import Graph
 from repro.model.validator import minimum_broadcast_rounds
 from repro.schedulers.registry import ScheduleRequest, scheduler
@@ -156,7 +156,7 @@ def find_multimessage_schedule(
     if n_messages < 1:
         raise InvalidParameterError(f"need n_messages >= 1, got {n_messages}")
     n = graph.n_vertices
-    kern = GraphKernels(graph)
+    kern = kernels_for(graph)
     full = kern.full_mask
     source_mask = 1 << source
     nodes = 0

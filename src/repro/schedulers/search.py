@@ -36,7 +36,7 @@ Complexity is exponential; intended for N ≲ 24 and small k.
 
 from __future__ import annotations
 
-from repro.engine.kernels import GraphKernels
+from repro.engine.cache import kernels_for
 from repro.graphs.base import Graph
 from repro.model.validator import minimum_broadcast_rounds
 from repro.schedulers.registry import ScheduleRequest, scheduler
@@ -77,7 +77,7 @@ def find_minimum_time_schedule(
         raise InvalidParameterError(f"need k >= 1, got {k}")
     budget = rounds if rounds is not None else minimum_broadcast_rounds(graph.n_vertices)
     n = graph.n_vertices
-    kern = GraphKernels(graph)
+    kern = kernels_for(graph)
     full = kern.full_mask
     # Failed (informed, round) states keyed by bitmask int — the engine's
     # shared state encoding (was: frozenset keys).

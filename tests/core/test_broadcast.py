@@ -120,3 +120,59 @@ class TestTheorem6:
             informed |= {c.receiver for c in rnd}
             prefixes = [u >> (dim - 1) for u in informed]
             assert sorted(prefixes) == list(range(1 << (6 - dim + 1)))
+
+
+class TestCallOrderPinned:
+    """broadcast_schedule keeps ``informed`` sorted across rounds instead
+    of re-sorting per round; the emitted call order must stay the
+    deterministic ascending-caller order of the original implementation."""
+
+    def test_rounds_are_in_ascending_caller_order(self):
+        for sh in (construct_base(6, 3), construct(3, 7, (2, 4))):
+            for source in (0, 1, sh.n_vertices - 1, 45 % sh.n_vertices):
+                sched = broadcast_schedule(sh, source)
+                for rnd in sched.rounds:
+                    sources = [c.source for c in rnd]
+                    assert sources == sorted(sources)
+
+    def test_matches_per_round_resort_reference(self):
+        """Recompute the schedule with the pre-fix per-round ``sorted()``
+        logic and pin exact equality."""
+        from repro.core.broadcast import phase1_round_calls
+        from repro.core.routing import reach_and_flip
+        from repro.types import Call, Schedule
+        from repro.util.bits import flip_dim
+
+        def reference(sh, source):
+            schedule = Schedule(source=source)
+            informed = [source]
+            for dim in range(sh.n, sh.base_dims, -1):
+                calls = [
+                    Call.via(reach_and_flip(sh, w, dim)) for w in sorted(informed)
+                ]
+                schedule.append_round(calls)
+                informed.extend(c.receiver for c in calls)
+            for dim in range(sh.base_dims, 0, -1):
+                calls = [Call.direct(w, flip_dim(w, dim)) for w in sorted(informed)]
+                schedule.append_round(calls)
+                informed.extend(c.receiver for c in calls)
+            return schedule
+
+        for sh in (construct_base(5, 2), construct(3, 7, (2, 4))):
+            for source in (0, 3, sh.n_vertices - 1):
+                assert broadcast_schedule(sh, source) == reference(sh, source)
+
+    def test_phase1_round_calls_iterates_in_given_order(self):
+        sh = construct_base(4, 2)
+        sched = broadcast_schedule(sh, 0)
+        first = sched.rounds[0].calls
+        # callers [0] then [0, r] sorted — the function must not re-sort,
+        # so a reversed informed list yields reversed call order
+        informed = [0, first[0].receiver]
+        from repro.core.broadcast import phase1_round_calls
+
+        forward = phase1_round_calls(sh, informed, sh.n - 1)
+        backward = phase1_round_calls(sh, list(reversed(informed)), sh.n - 1)
+        assert [c.source for c in forward] == [
+            c.source for c in reversed(backward)
+        ]

@@ -1,0 +1,255 @@
+"""Unit tests for the batch all-sources engine (`repro.engine.batch`)."""
+
+import numpy as np
+import pytest
+
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct, construct_base
+from repro.engine.batch import (
+    BatchValidator,
+    all_sources_schedules,
+    coset_representatives,
+    flatten_schedule,
+    stack_schedules,
+    translation_group,
+    validate_all_sources,
+)
+from repro.model.validator import validate_broadcast
+from repro.types import Call, InvalidParameterError, Round, Schedule
+
+
+def _instances():
+    return [
+        construct_base(4, 2),
+        construct_base(5, 3),
+        construct(3, 7, (2, 4)),
+    ]
+
+
+class TestTranslationGroup:
+    def test_contains_identity_and_free_dimensions(self):
+        sh = construct_base(5, 2)
+        group = set(translation_group(sh).tolist())
+        assert 0 in group
+        # translations supported above the last threshold are always in T
+        for t in range(1 << (sh.n - sh.thresholds[-1])):
+            assert (t << sh.thresholds[-1]) in group
+
+    @pytest.mark.parametrize("sh", _instances(), ids=lambda s: f"n{s.n}k{s.k}")
+    def test_subgroup_and_edge_preservation(self, sh):
+        group = translation_group(sh)
+        members = set(group.tolist())
+        for a in group[:8]:
+            for b in group[:8]:
+                assert int(a ^ b) in members
+        edges = sh.graph.edge_set()
+        for t in group.tolist():
+            assert {(min(u ^ t, v ^ t), max(u ^ t, v ^ t)) for u, v in edges} == edges
+
+    @pytest.mark.parametrize("sh", _instances(), ids=lambda s: f"n{s.n}k{s.k}")
+    def test_cosets_partition_the_vertices(self, sh):
+        group = translation_group(sh)
+        reps = coset_representatives(sh.n_vertices, group)
+        seen = set()
+        for r in reps:
+            coset = {int(r ^ t) for t in group.tolist()}
+            assert not (coset & seen)
+            seen |= coset
+        assert seen == set(range(sh.n_vertices))
+        assert len(reps) * group.size == sh.n_vertices
+
+
+class TestAllSourcesSchedules:
+    @pytest.mark.parametrize("sh", _instances(), ids=lambda s: f"n{s.n}k{s.k}")
+    def test_translated_equals_direct_generation(self, sh):
+        stacks = all_sources_schedules(sh)
+        assert sum(s.n_schedules for s in stacks) == sh.n_vertices
+        for stack in stacks:
+            for i in range(stack.n_schedules):
+                src = int(stack.sources[i])
+                assert stack.to_schedule(i, sort_calls=True) == broadcast_schedule(
+                    sh, src
+                )
+
+    def test_restricted_sources(self):
+        sh = construct_base(6, 3)
+        wanted = [0, 7, 63]
+        stacks = all_sources_schedules(sh, sources=wanted)
+        got = sorted(int(s) for stack in stacks for s in stack.sources)
+        assert got == wanted
+
+    def test_row_index_and_missing_source(self):
+        sh = construct_base(4, 2)
+        (stack, *_rest) = all_sources_schedules(sh, sources=[3])
+        assert int(stack.sources[stack.row_index(3)]) == 3
+        with pytest.raises(InvalidParameterError):
+            stack.row_index(5)
+
+    def test_out_of_range_sources_rejected(self):
+        """Same error class and message shape as broadcast_schedule."""
+        sh = construct_base(4, 2)
+        for bad in ([sh.n_vertices], [-1], [0, 99]):
+            with pytest.raises(InvalidParameterError, match="out of range"):
+                all_sources_schedules(sh, sources=bad)
+            with pytest.raises(InvalidParameterError, match="out of range"):
+                validate_all_sources(sh, sources=bad)
+
+    def test_generator_sources_accepted(self):
+        sh = construct_base(4, 2)
+        outcome = validate_all_sources(sh, sources=iter([2, 7]))
+        assert outcome.sources == [2, 7]
+        assert outcome.all_ok
+
+
+class TestStackSchedules:
+    def test_groups_by_layout_and_roundtrips(self):
+        sh = construct_base(4, 2)
+        scheds = [broadcast_schedule(sh, s) for s in range(sh.n_vertices)]
+        stacks = stack_schedules(scheds)
+        assert sum(s.n_schedules for s in stacks) == len(scheds)
+        by_source = {
+            int(stack.sources[i]): stack.to_schedule(i)
+            for stack in stacks
+            for i in range(stack.n_schedules)
+        }
+        for sched in scheds:
+            assert by_source[sched.source] == sched
+
+    def test_flatten_layout_key_discriminates(self):
+        sh = construct_base(4, 2)
+        a = broadcast_schedule(sh, 0)
+        b = Schedule(source=0, rounds=list(a.rounds[:-1]))
+        la, _ = flatten_schedule(a)
+        lb, _ = flatten_schedule(b)
+        assert la.key() != lb.key()
+
+
+class TestBatchValidator:
+    def test_valid_schedules_match_reference(self):
+        sh = construct_base(5, 2)
+        g = sh.graph
+        scheds = [broadcast_schedule(sh, s) for s in range(g.n_vertices)]
+        reports = BatchValidator(g).validate_many(scheds, 2)
+        for sched, rep in zip(scheds, reports):
+            ref = validate_broadcast(g, sched, 2)
+            assert rep.ok and ref.ok
+            assert rep.errors == ref.errors == []
+            assert rep.rounds == ref.rounds
+            assert rep.informed_per_round == ref.informed_per_round
+            assert rep.max_call_length == ref.max_call_length
+
+    def test_corruptions_match_reference(self):
+        sh = construct_base(4, 2)
+        g = sh.graph
+        base = broadcast_schedule(sh, 0)
+
+        def with_round(idx, calls):
+            out = Schedule(source=0, rounds=list(base.rounds))
+            out.rounds[idx] = Round(tuple(calls))
+            return out
+
+        first = base.rounds[0].calls
+        corrupted = [
+            base,
+            with_round(0, first + (first[0],)),  # duplicate call
+            with_round(0, ()),  # dropped round → incomplete
+            with_round(0, first + (Call.via((0, 15)),)),  # non-edge
+            Schedule(source=99, rounds=list(base.rounds)),  # bad source
+            Schedule(source=0, rounds=list(base.rounds) + [base.rounds[-1]]),
+        ]
+        for vertex_disjoint in (False, True):
+            reports = BatchValidator(g).validate_many(
+                corrupted, 2, vertex_disjoint=vertex_disjoint
+            )
+            for sched, rep in zip(corrupted, reports):
+                ref = validate_broadcast(
+                    g, sched, 2, vertex_disjoint=vertex_disjoint
+                )
+                assert rep.ok == ref.ok
+                assert rep.errors == ref.errors
+                assert rep.rounds == ref.rounds
+                assert rep.informed_per_round == ref.informed_per_round
+                assert rep.max_call_length == ref.max_call_length
+
+    def test_require_minimum_time_off(self):
+        sh = construct_base(4, 2)
+        g = sh.graph
+        padded = broadcast_schedule(sh, 0)
+        padded.rounds.append(Round(()))
+        [rep] = BatchValidator(g).validate_many(
+            [padded], 2, require_minimum_time=False
+        )
+        ref = validate_broadcast(g, padded, 2, require_minimum_time=False)
+        assert rep.ok == ref.ok is True
+        assert rep.informed_per_round == ref.informed_per_round
+
+    def test_validate_stacked_empty(self):
+        sh = construct_base(4, 2)
+        stacks = all_sources_schedules(sh, sources=[])
+        assert stacks == []
+
+    def test_out_of_range_path_vertex_raises_like_reference(self):
+        """A path vertex ≥ N (or < 0) raises the reference's
+        InvalidParameterError from all three validators — never a raw
+        numpy IndexError from the fancy-indexed batch arrays."""
+        from repro.model.validator_fast import FastValidator
+
+        sh = construct_base(3, 1)
+        g = sh.graph
+        for v in (g.n_vertices, -1):
+            sched = Schedule(source=0)
+            sched.append_round([Call.via((0, v))])
+            messages = set()
+            for fn in (
+                lambda: validate_broadcast(g, sched, 2),
+                lambda: FastValidator(g).validate(sched, 2),
+                lambda: BatchValidator(g).validate_many([sched], 2),
+            ):
+                with pytest.raises(InvalidParameterError) as exc:
+                    fn()
+                messages.add(str(exc.value))
+            assert len(messages) == 1
+
+
+class TestValidateAllSources:
+    @pytest.mark.parametrize("sh", _instances(), ids=lambda s: f"n{s.n}k{s.k}")
+    def test_matches_per_source_loop(self, sh):
+        outcome = validate_all_sources(sh)
+        assert outcome.sources == list(range(sh.n_vertices))
+        assert outcome.n_fallback == 0
+        for s in range(0, sh.n_vertices, max(1, sh.n_vertices // 8)):
+            sched = broadcast_schedule(sh, s)
+            ref = validate_broadcast(sh.graph, sched, sh.k)
+            i = outcome.sources.index(s)
+            assert outcome.ok[i] == ref.ok
+            assert outcome.rounds[i] == len(sched.rounds)
+            assert outcome.max_call_lengths[i] == ref.max_call_length
+
+    def test_source_order_follows_request(self):
+        sh = construct_base(5, 2)
+        outcome = validate_all_sources(sh, sources=[9, 0, 4])
+        assert outcome.sources == [9, 0, 4]
+        assert outcome.all_ok
+
+    def test_coset_stats(self):
+        sh = construct_base(5, 2)
+        outcome = validate_all_sources(sh)
+        group = translation_group(sh)
+        assert outcome.n_cosets == sh.n_vertices // group.size
+        assert outcome.n_stacks >= 1
+
+
+class TestStackedRepresentation:
+    def test_flat_rows_are_xor_translations_within_cosets(self):
+        sh = construct_base(4, 2)
+        group = set(translation_group(sh).tolist())
+        checked = 0
+        for stack in all_sources_schedules(sh):
+            base = stack.flat[0]
+            base_src = int(stack.sources[0])
+            for i in range(stack.n_schedules):
+                t = int(stack.sources[i]) ^ base_src
+                if t in group:  # same coset as row 0 (stacks can merge cosets)
+                    assert np.array_equal(stack.flat[i], base ^ t)
+                    checked += 1
+        assert checked > 1
