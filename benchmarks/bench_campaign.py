@@ -1,0 +1,100 @@
+"""Campaign-subsystem benchmarks: scenario throughput and cache warmth.
+
+Measures the scenario-campaign layer end-to-end (expansion, per-scenario
+execution through the engine hot paths, chunk materialization) on the
+``fault-robustness`` built-in — the grid that mixes the batch scheme
+path with greedy re-scheduling under edge faults:
+
+* cold throughput (scenarios/sec, no cache) at 1 worker and at 2,
+* warm throughput: a second run over a primed scenario cache, which is
+  the resume path sharded CI jobs and re-runs take.
+
+The measured rows land in ``BENCH_results.json`` via the shared
+conftest, so the campaign trajectory is diffable across runs; the cache
+speedup floor (warm >= 5x cold) is asserted at full size only.
+"""
+
+import os
+import time
+
+from repro.analysis.campaigns import BUILTIN_CAMPAIGNS, CampaignRunner
+
+FULL = int(os.environ.get("REPRO_BENCH_N", "12")) >= 12
+SPEC = BUILTIN_CAMPAIGNS["fault-robustness"]
+CACHE_SPEEDUP_FLOOR = 5.0
+
+
+def _run(jobs=1, cache_dir=None):
+    runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir)
+    outcomes = runner.run(SPEC)
+    assert len(outcomes) == SPEC.n_scenarios
+    return runner
+
+
+def test_campaign_rows_deterministic_across_workers():
+    """Pool size must never leak into the rows the benchmarks time."""
+    seq = [o.row for o in CampaignRunner(jobs=1).run(SPEC)]
+    par = [o.row for o in CampaignRunner(jobs=2).run(SPEC)]
+    assert seq == par
+
+
+def test_bench_campaign_cold_1_worker(benchmark):
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+
+def test_bench_campaign_cold_2_workers(benchmark):
+    benchmark.pedantic(lambda: _run(jobs=2), rounds=1, iterations=1)
+
+
+def test_bench_campaign_warm_cache(benchmark, tmp_path):
+    _run(cache_dir=tmp_path)  # prime
+    runner = benchmark.pedantic(
+        lambda: _run(cache_dir=tmp_path), rounds=1, iterations=1
+    )
+    assert runner.stats.executed == 0
+    assert runner.stats.cache_hits == SPEC.n_scenarios
+
+
+def test_campaign_throughput_and_cache_floor(print_once, bench_json, tmp_path):
+    """Headline numbers: scenarios/sec cold (1 and 2 workers) and warm."""
+
+    def best_of(fn, repeats=3):
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    t_cold_1 = best_of(_run)
+    t_cold_2 = best_of(lambda: _run(jobs=2))
+    _run(cache_dir=tmp_path)  # prime the scenario cache
+    t_warm = best_of(lambda: _run(cache_dir=tmp_path))
+    n = SPEC.n_scenarios
+    speedup = t_cold_1 / t_warm
+    row = {
+        "campaign": SPEC.name,
+        "scenarios": n,
+        "cold 1w (scen/s)": f"{n / t_cold_1:.1f}",
+        "cold 2w (scen/s)": f"{n / t_cold_2:.1f}",
+        "warm (scen/s)": f"{n / t_warm:.1f}",
+        "warm speedup": f"{speedup:.1f}x",
+    }
+    print_once("campaign-throughput", [row], title="campaign scenario throughput")
+    bench_json(
+        "bench_campaign",
+        "fault_robustness_throughput",
+        campaign=SPEC.name,
+        scenarios=n,
+        cold_1w_seconds=round(t_cold_1, 6),
+        cold_2w_seconds=round(t_cold_2, 6),
+        warm_seconds=round(t_warm, 6),
+        warm_speedup=round(speedup, 2),
+        floor=CACHE_SPEEDUP_FLOOR,
+        full_size=FULL,
+    )
+    if FULL:
+        assert speedup >= CACHE_SPEEDUP_FLOOR, (
+            f"warm campaign re-run only {speedup:.1f}x faster than cold "
+            f"(floor is {CACHE_SPEEDUP_FLOOR}x)"
+        )

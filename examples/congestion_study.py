@@ -15,7 +15,7 @@ Run:  python examples/congestion_study.py
 
 from repro.analysis.tables import print_table
 from repro.core.broadcast import broadcast_schedule
-from repro.core.construct import construct, construct_base
+from repro.core.construct import construct
 from repro.core.params import default_thresholds
 from repro.model.congestion import congestion_profile, min_feasible_bandwidth
 from repro.model.simulator import LineNetworkSimulator

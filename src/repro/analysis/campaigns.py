@@ -1,0 +1,723 @@
+"""Declarative scenario campaigns: sharded sweeps that merge byte-identically.
+
+A *campaign* is a cartesian grid over five axes — graph specs, scheduler
+names, call-length bounds ``k``, source-sampling policies, and injected
+conditions (:mod:`repro.analysis.scenarios`) — expanded into an indexed
+scenario list with per-scenario seeds derived deterministically from the
+campaign name and scenario identity.  Execution follows the experiment
+runner's architecture (:mod:`repro.analysis.runner`): scenarios fan out
+over the same ``multiprocessing`` pool policy (:func:`fan_out`) and each
+scenario is a resumable JSON cache entry whose key folds in the scenario
+definition **and** a code digest of the scenarios module, so editing
+scenario semantics invalidates stale entries.
+
+Sharding is deterministic: shard ``i`` of ``m`` owns the scenarios with
+``index % m == i``, so independent invocations (CI matrix jobs, separate
+machines) produce disjoint JSONL chunks.  :func:`merge_chunks` recombines
+chunks into one artifact that is **byte-identical** to an unsharded run —
+possible because scenario rows contain only values derived from the
+scenario definition (never wall-clock or host state; timing lives in each
+shard's provenance manifest).
+
+Four built-in campaigns ship in :data:`BUILTIN_CAMPAIGNS`; custom grids
+load from JSON files (:func:`load_campaign`).  The CLI surface is
+``repro campaign run|merge|list`` (:mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import re
+import time
+from dataclasses import dataclass
+from itertools import product
+from pathlib import Path
+
+from repro.analysis.scenarios import (
+    Scenario,
+    run_scenario,
+    scenario_id,
+    validate_scenario,
+)
+from repro.types import InvalidParameterError, ReproError
+
+__all__ = [
+    "CampaignExecutionError",
+    "CampaignSpec",
+    "ScenarioOutcome",
+    "CampaignRunner",
+    "BUILTIN_CAMPAIGNS",
+    "builtin_campaign_names",
+    "load_campaign",
+    "expand_campaign",
+    "parse_shard",
+    "shard_scenarios",
+    "campaign_digest",
+    "scenarios_code_digest",
+    "chunk_path",
+    "manifest_path",
+    "artifact_path",
+    "write_chunk",
+    "read_chunk_rows",
+    "merge_chunks",
+    "run_campaign_shard",
+]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_-]*$")
+_CHUNK_RE_TEMPLATE = r"^{name}-shard(\d+)of(\d+)\.jsonl$"
+
+MANIFEST_FORMAT = "repro-campaign-manifest/1"
+
+
+class CampaignExecutionError(ReproError):
+    """A scenario raised during campaign execution.
+
+    Raised *after* every completed scenario of the batch has been
+    cached, so fixing the cause and re-running resumes instead of
+    restarting.
+    """
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One declarative campaign: name, title, and the five grid axes."""
+
+    name: str
+    title: str
+    graphs: tuple[str, ...]
+    schedulers: tuple[str, ...]
+    k_values: tuple[int | None, ...] = (None,)
+    sources: tuple[str, ...] = ("sample:16",)
+    conditions: tuple[str, ...] = ("none",)
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise InvalidParameterError(
+                f"campaign name must match {_NAME_RE.pattern}: {self.name!r}"
+            )
+        for axis, values in (
+            ("graphs", self.graphs),
+            ("schedulers", self.schedulers),
+            ("k_values", self.k_values),
+            ("sources", self.sources),
+            ("conditions", self.conditions),
+        ):
+            if not values:
+                raise InvalidParameterError(
+                    f"campaign {self.name!r}: axis {axis!r} must be non-empty"
+                )
+
+    @property
+    def n_scenarios(self) -> int:
+        return (
+            len(self.graphs)
+            * len(self.schedulers)
+            * len(self.k_values)
+            * len(self.sources)
+            * len(self.conditions)
+        )
+
+    def axes(self) -> dict:
+        """The grid axes as a JSON-encodable mapping (manifest payload)."""
+        return {
+            "graphs": list(self.graphs),
+            "schedulers": list(self.schedulers),
+            "k_values": list(self.k_values),
+            "sources": list(self.sources),
+            "conditions": list(self.conditions),
+            "base_seed": self.base_seed,
+        }
+
+
+# -- built-in campaigns ------------------------------------------------------
+
+BUILTIN_CAMPAIGNS: dict[str, CampaignSpec] = {
+    spec.name: spec
+    for spec in (
+        CampaignSpec(
+            name="paper-grid",
+            title="Paper-regression grid: Theorem-1 trees, hypercubes, "
+            "Knödel and sparse graphs x greedy/search x k",
+            graphs=("theorem1:2", "hypercube:3", "knodel:3:8", "sparse:4:2"),
+            schedulers=("greedy", "search"),
+            # k = 1 rows double as the "not a 1-mlbg" check (found = 0 on
+            # trees and sparse hypercubes); k >= 4 would blow the exact
+            # searcher's node budget on the cyclic sparse graph.
+            k_values=(1, 2),
+            sources=("sample:3",),
+            conditions=("none",),
+        ),
+        CampaignSpec(
+            name="fault-robustness",
+            title="Scheduler robustness under edge faults on sparse "
+            "hypercubes (scheme repair vs greedy re-scheduling)",
+            graphs=("sparse:5:2", "sparse:6:3"),
+            schedulers=("scheme", "greedy"),
+            k_values=(None,),
+            sources=("sample:4",),
+            conditions=("none", "edge-faults:1", "edge-faults:3"),
+        ),
+        CampaignSpec(
+            name="congestion-sweep",
+            title="Edge-congestion sweep: load profiles and bandwidth-B "
+            "simulation across graph families",
+            graphs=("hypercube:3", "theorem1:2", "knodel:3:8"),
+            schedulers=("greedy",),
+            k_values=(None,),
+            sources=("sample:3",),
+            conditions=("congestion:1", "congestion:2"),
+        ),
+        CampaignSpec(
+            name="allsources-validation",
+            title="All-sources validation grid: Broadcast_2 through the "
+            "batch engine on every source of each sparse hypercube",
+            graphs=("sparse:4:2", "sparse:5:2", "sparse:6:3"),
+            schedulers=("scheme",),
+            k_values=(None,),
+            sources=("all",),
+            conditions=("none",),
+        ),
+    )
+}
+
+
+def builtin_campaign_names() -> list[str]:
+    return sorted(BUILTIN_CAMPAIGNS)
+
+
+def load_campaign(ref: str) -> CampaignSpec:
+    """Resolve ``ref`` to a campaign: a built-in name or a JSON spec file.
+
+    The JSON format mirrors :class:`CampaignSpec`::
+
+        {"name": "my-sweep", "title": "...",
+         "graphs": ["hypercube:3"], "schedulers": ["greedy"],
+         "k_values": [2, null], "sources": ["sample:4"],
+         "conditions": ["none", "edge-faults:2"], "base_seed": 0}
+
+    Axis values are validated upfront (graph specs, scheduler names,
+    condition/sources grammars) so a bad grid fails before anything runs.
+    """
+    if ref in BUILTIN_CAMPAIGNS:
+        return BUILTIN_CAMPAIGNS[ref]
+    path = Path(ref)
+    if path.suffix == ".json":
+        if not path.exists():
+            raise InvalidParameterError(f"campaign spec file not found: {ref}")
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise InvalidParameterError(
+                f"campaign spec {ref} is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise InvalidParameterError(f"campaign spec {ref} must be a JSON object")
+        return _spec_from_payload(payload, origin=ref)
+    raise InvalidParameterError(
+        f"unknown campaign {ref!r}; built-ins: "
+        + ", ".join(builtin_campaign_names())
+        + " (or a path to a .json spec file)"
+    )
+
+
+def _spec_from_payload(payload: dict, *, origin: str) -> CampaignSpec:
+    known = {
+        "name",
+        "title",
+        "graphs",
+        "schedulers",
+        "k_values",
+        "sources",
+        "conditions",
+        "base_seed",
+    }
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise InvalidParameterError(f"campaign spec {origin}: unknown keys {unknown}")
+    for req in ("name", "graphs", "schedulers"):
+        if req not in payload:
+            raise InvalidParameterError(
+                f"campaign spec {origin}: missing required key {req!r}"
+            )
+    for key in ("name", "title"):
+        if key in payload and not isinstance(payload[key], str):
+            raise InvalidParameterError(
+                f"campaign spec {origin}: {key!r} must be a string"
+            )
+
+    def str_tuple(key: str, default: tuple | None = None) -> tuple:
+        if key not in payload:
+            return default
+        values = payload[key]
+        ok = isinstance(values, list) and all(isinstance(v, str) for v in values)
+        if not ok:
+            raise InvalidParameterError(
+                f"campaign spec {origin}: {key!r} must be a list of strings"
+            )
+        return tuple(values)
+
+    k_values = payload.get("k_values", [None])
+    if not isinstance(k_values, list) or not all(
+        v is None or isinstance(v, int) for v in k_values
+    ):
+        raise InvalidParameterError(
+            f"campaign spec {origin}: 'k_values' must be a list of "
+            "integers or nulls"
+        )
+    base_seed = payload.get("base_seed", 0)
+    if not isinstance(base_seed, int):
+        raise InvalidParameterError(
+            f"campaign spec {origin}: 'base_seed' must be an integer"
+        )
+    spec = CampaignSpec(
+        name=payload["name"],
+        title=payload.get("title", payload["name"]),
+        graphs=str_tuple("graphs"),
+        schedulers=str_tuple("schedulers"),
+        k_values=tuple(k_values),
+        sources=str_tuple("sources", ("sample:16",)),
+        conditions=str_tuple("conditions", ("none",)),
+        base_seed=base_seed,
+    )
+    expand_campaign(spec)  # validates every grid point upfront
+    return spec
+
+
+# -- expansion, seeds, digests ----------------------------------------------
+
+
+def _scenario_seed(name: str, base_seed: int, sid: str) -> int:
+    """Deterministic per-scenario seed: stable across shard layouts,
+    machines, and processes (independent of PYTHONHASHSEED)."""
+    blob = f"{name}:{base_seed}:{sid}".encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:4], "big")
+
+
+def expand_campaign(spec: CampaignSpec) -> list[Scenario]:
+    """The full scenario list, in fixed grid order (graphs outermost,
+    conditions innermost); every scenario is validated."""
+    scenarios = []
+    grid = product(
+        spec.graphs, spec.schedulers, spec.k_values, spec.sources, spec.conditions
+    )
+    for index, (graph, sched, k, sources, condition) in enumerate(grid):
+        sid = scenario_id(graph, sched, k, sources, condition)
+        sc = Scenario(
+            campaign=spec.name,
+            index=index,
+            graph=graph,
+            scheduler=sched,
+            k=k,
+            sources=sources,
+            condition=condition,
+            seed=_scenario_seed(spec.name, spec.base_seed, sid),
+        )
+        validate_scenario(sc)
+        scenarios.append(sc)
+    return scenarios
+
+
+def _canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@functools.cache
+def scenarios_code_digest() -> str:
+    """Digest of the scenario executor's source — part of every scenario
+    cache key, so editing :mod:`repro.analysis.scenarios` invalidates
+    cached rows instead of silently serving results of the old code.
+    The scope is deliberately the scenarios module alone (mirroring
+    ``registry.code_digest``, which hashes the experiment function): a
+    digest over every transitive callee would churn on unrelated edits.
+    After editing deeper layers (schedulers, engine, model), clear the
+    cache (``repro clean-cache``) before trusting warm campaign runs.
+
+    Cached: the module source cannot change within a process, and the
+    digest is consulted once per scenario on the run startup path.
+    """
+    from repro.analysis import scenarios as scenarios_module
+    from repro.analysis.registry import source_digest
+
+    return source_digest(scenarios_module, scenarios_module.__name__)
+
+
+def campaign_digest(spec: CampaignSpec) -> str:
+    """Identity of (axes, code version): names the campaign's cache
+    entries and is recorded in every shard manifest so merge can refuse
+    chunks produced by a different grid or code version."""
+    blob = _canonical(
+        {"name": spec.name, "axes": spec.axes(), "code": scenarios_code_digest()}
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def _scenario_digest(spec: CampaignSpec, sc: Scenario) -> str:
+    blob = _canonical(
+        {
+            "campaign": spec.name,
+            "scenario": sc.scenario_id,
+            "seed": sc.seed,
+            "code": scenarios_code_digest(),
+        }
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# -- sharding ----------------------------------------------------------------
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``"i/m"`` into ``(i, m)``; i in [0, m), m >= 1."""
+    match = re.match(r"^(\d+)/(\d+)$", text.strip())
+    if not match:
+        raise InvalidParameterError(
+            f"shard must look like I/M (e.g. 0/2), got {text!r}"
+        )
+    i, m = int(match.group(1)), int(match.group(2))
+    if m < 1:
+        raise InvalidParameterError(f"shard count must be >= 1, got {text!r}")
+    if not 0 <= i < m:
+        raise InvalidParameterError(
+            f"shard index {i} out of range [0, {m}) in {text!r}"
+        )
+    return i, m
+
+
+def shard_scenarios(
+    scenarios: list[Scenario], shard: tuple[int, int]
+) -> list[Scenario]:
+    """The scenarios shard ``(i, m)`` owns: ``index % m == i``.
+
+    Round-robin keeps shard workloads balanced when expensive scenarios
+    cluster (grid order groups by graph, the dominant cost factor).
+    """
+    i, m = shard
+    if not 0 <= i < m:
+        raise InvalidParameterError(f"shard index {i} out of range [0, {m})")
+    return [sc for sc in scenarios if sc.index % m == i]
+
+
+# -- artifact paths and IO ---------------------------------------------------
+
+
+def chunk_path(out_dir: str | Path, spec: CampaignSpec, shard: tuple[int, int]) -> Path:
+    i, m = shard
+    return Path(out_dir) / f"{spec.name}-shard{i}of{m}.jsonl"
+
+
+def manifest_path(
+    out_dir: str | Path, spec: CampaignSpec, shard: tuple[int, int]
+) -> Path:
+    i, m = shard
+    return Path(out_dir) / f"{spec.name}-shard{i}of{m}.manifest.json"
+
+
+def artifact_path(out_dir: str | Path, spec: CampaignSpec) -> Path:
+    return Path(out_dir) / f"{spec.name}.jsonl"
+
+
+def _dump_rows(rows: list[dict]) -> str:
+    return "".join(_canonical(row) + "\n" for row in rows)
+
+
+def write_chunk(path: Path, rows: list[dict]) -> None:
+    """Write rows as canonical JSONL (sorted keys, compact separators) —
+    the byte format the merge determinism gate compares."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(_dump_rows(rows))
+
+
+def read_chunk_rows(path: Path) -> list[dict]:
+    rows = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise InvalidParameterError(
+                f"corrupt chunk {path} at line {lineno}: {exc}"
+            ) from None
+    return rows
+
+
+def merge_chunks(spec: CampaignSpec, out_dir: str | Path) -> tuple[Path, list[dict]]:
+    """Recombine the campaign's shard chunks in ``out_dir`` into the
+    merged artifact ``<name>.jsonl``.
+
+    Requires one consistent shard layout, full scenario coverage, no
+    duplicate indices, and fresh chunks: every row's scenario identity
+    and seed must match the current grid expansion, and any sibling
+    shard manifest must carry the current :func:`campaign_digest` —
+    chunks written by an older grid or an older scenarios-module version
+    are refused rather than silently interleaved.  The merged file is
+    byte-identical to what an unsharded run writes, because rows are
+    deterministic and the merge orders strictly by scenario index.
+    """
+    out_dir = Path(out_dir)
+    pattern = re.compile(_CHUNK_RE_TEMPLATE.format(name=re.escape(spec.name)))
+    chunks = sorted(
+        p for p in out_dir.glob(f"{spec.name}-shard*of*.jsonl")
+        if pattern.match(p.name)
+    )
+    if not chunks:
+        raise InvalidParameterError(
+            f"no chunks for campaign {spec.name!r} in {out_dir} "
+            f"(expected {spec.name}-shardIofM.jsonl files)"
+        )
+    layouts = {int(pattern.match(p.name).group(2)) for p in chunks}
+    if len(layouts) != 1:
+        raise InvalidParameterError(
+            f"mixed shard layouts in {out_dir}: found chunks for "
+            f"m in {sorted(layouts)}; merge one layout at a time"
+        )
+    rows_by_index: dict[int, dict] = {}
+    for path in chunks:
+        for row in read_chunk_rows(path):
+            idx = row.get("index")
+            if not isinstance(idx, int):
+                raise InvalidParameterError(
+                    f"chunk {path} has a row without an integer 'index'"
+                )
+            if idx in rows_by_index:
+                raise InvalidParameterError(
+                    f"duplicate scenario index {idx} across chunks in {out_dir}"
+                )
+            rows_by_index[idx] = row
+    expected = spec.n_scenarios
+    missing = sorted(set(range(expected)) - set(rows_by_index))
+    if missing:
+        raise InvalidParameterError(
+            f"incomplete campaign {spec.name!r}: missing scenario indices "
+            f"{missing[:8]}{'...' if len(missing) > 8 else ''} "
+            f"({len(missing)} of {expected}); run the remaining shards first"
+        )
+    extra = sorted(set(rows_by_index) - set(range(expected)))
+    if extra:
+        raise InvalidParameterError(
+            f"chunks in {out_dir} contain unknown scenario indices {extra[:8]} "
+            f"(campaign {spec.name!r} has {expected} scenarios — stale chunks "
+            "from an older grid?)"
+        )
+    scenarios = expand_campaign(spec)
+    for sc in scenarios:
+        row = rows_by_index[sc.index]
+        if row.get("scenario") != sc.scenario_id or row.get("seed") != sc.seed:
+            raise InvalidParameterError(
+                f"stale chunk row for scenario index {sc.index}: expected "
+                f"{sc.scenario_id!r} (seed {sc.seed}), found "
+                f"{row.get('scenario')!r} (seed {row.get('seed')}) — "
+                "re-run the shards against the current grid"
+            )
+    digest = campaign_digest(spec)
+    for path in chunks:
+        mpath = path.with_name(path.name[: -len(".jsonl")] + ".manifest.json")
+        if not mpath.exists():
+            continue
+        try:
+            manifest = json.loads(mpath.read_text())
+        except (json.JSONDecodeError, OSError):
+            continue  # unreadable manifest: row identity above still gates
+        found = manifest.get("digest")
+        if found is not None and found != digest:
+            raise InvalidParameterError(
+                f"chunk {path.name} was produced by campaign digest {found} "
+                f"but the current grid/code digest is {digest} — re-run the "
+                "shards (the scenarios module or the grid changed)"
+            )
+    rows = [rows_by_index[i] for i in range(expected)]
+    target = artifact_path(out_dir, spec)
+    write_chunk(target, rows)
+    return target, rows
+
+
+# -- execution ---------------------------------------------------------------
+
+
+@dataclass
+class ScenarioOutcome:
+    """One executed (or cache-served) scenario with provenance."""
+
+    scenario: Scenario
+    row: dict
+    digest: str
+    seconds: float
+    cached: bool
+
+
+@dataclass
+class CampaignStats:
+    executed: int = 0
+    cache_hits: int = 0
+    seconds: float = 0.0
+
+
+def _execute_scenario(sc: Scenario) -> tuple[str, object, float]:
+    """Worker entry point (top-level, picklable): run one scenario.
+
+    Failures come back as values instead of propagating, so the parent
+    can cache every *completed* scenario before re-raising — a crash in
+    scenario 99 of 100 must not discard 98 finished cache entries (the
+    resumable-run contract).
+    """
+    t0 = time.perf_counter()
+    try:
+        row = run_scenario(sc)
+    except Exception as exc:  # noqa: BLE001 — re-raised by the parent
+        message = f"{type(exc).__name__}: {exc}"
+        return "error", message, time.perf_counter() - t0
+    return "ok", row, time.perf_counter() - t0
+
+
+class CampaignRunner:
+    """Run a campaign shard through the experiment runner's pool policy,
+    with one resumable JSON cache entry per scenario.
+
+    Cache entries use the experiment cache's naming scheme
+    (``<prefix>-<16-hex-digest>.json`` under ``cache_dir``), so
+    ``repro clean-cache`` sweeps them too.
+    """
+
+    def __init__(
+        self, *, jobs: int = 1, cache_dir: str | Path | None = None
+    ) -> None:
+        if jobs < 1:
+            raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.stats = CampaignStats()
+
+    def _cache_path(self, spec: CampaignSpec, sc: Scenario, digest: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / (
+            f"campaign-{spec.name}-s{sc.index:03d}-{digest}.json"
+        )
+
+    def _cache_load(self, path: Path | None, digest: str) -> dict | None:
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return None
+        if not isinstance(payload, dict) or payload.get("digest") != digest:
+            return None
+        row = payload.get("row")
+        return row if isinstance(row, dict) else None
+
+    def _cache_store(self, path: Path | None, sc: Scenario, digest: str, row: dict) -> None:
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "campaign": sc.campaign,
+            "scenario": sc.scenario_id,
+            "index": sc.index,
+            "digest": digest,
+            "row": row,
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1))
+        tmp.replace(path)
+
+    def run(
+        self, spec: CampaignSpec, shard: tuple[int, int] = (0, 1)
+    ) -> list[ScenarioOutcome]:
+        """Execute the shard's scenarios; returns outcomes in index order."""
+        from repro.analysis.runner import fan_out
+
+        t_start = time.perf_counter()
+        owned = shard_scenarios(expand_campaign(spec), shard)
+        digests = {sc.index: _scenario_digest(spec, sc) for sc in owned}
+        outcomes: dict[int, ScenarioOutcome] = {}
+        to_run: list[Scenario] = []
+        for sc in owned:
+            digest = digests[sc.index]
+            row = self._cache_load(self._cache_path(spec, sc, digest), digest)
+            if row is not None:
+                self.stats.cache_hits += 1
+                outcomes[sc.index] = ScenarioOutcome(
+                    scenario=sc, row=row, digest=digest, seconds=0.0, cached=True
+                )
+            else:
+                to_run.append(sc)
+        results = fan_out(_execute_scenario, to_run, self.jobs)
+        failures: list[tuple[Scenario, str]] = []
+        for sc, (status, payload, seconds) in zip(to_run, results):
+            if status == "error":
+                failures.append((sc, str(payload)))
+                continue
+            row = payload
+            digest = digests[sc.index]
+            self.stats.executed += 1
+            self._cache_store(self._cache_path(spec, sc, digest), sc, digest, row)
+            outcomes[sc.index] = ScenarioOutcome(
+                scenario=sc, row=row, digest=digest, seconds=seconds, cached=False
+            )
+        self.stats.seconds += time.perf_counter() - t_start
+        if failures:
+            # every completed scenario is cached above, so the re-run
+            # after a fix only executes the failed ones
+            sc, message = failures[0]
+            more = f" (+{len(failures) - 1} more)" if len(failures) > 1 else ""
+            raise CampaignExecutionError(
+                f"scenario {sc.index} ({sc.scenario_id}) failed: "
+                f"{message}{more}"
+            )
+        return [outcomes[sc.index] for sc in owned]
+
+
+def run_campaign_shard(
+    spec: CampaignSpec,
+    *,
+    shard: tuple[int, int] = (0, 1),
+    out_dir: str | Path = "campaign-results",
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+) -> tuple[Path, dict, list[dict]]:
+    """Execute one shard end-to-end: run, write the JSONL chunk and the
+    provenance manifest, and — for an unsharded run — also write the
+    merged artifact directly (byte-identical to ``merge_chunks`` output).
+
+    Returns ``(chunk_path, manifest, rows)`` — the rows just written, so
+    callers (the CLI summary) need not re-read the chunk from disk.
+    """
+    runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir)
+    outcomes = runner.run(spec, shard)
+    rows = [o.row for o in outcomes]
+    chunk = chunk_path(out_dir, spec, shard)
+    write_chunk(chunk, rows)
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "campaign": spec.name,
+        "title": spec.title,
+        "digest": campaign_digest(spec),
+        "shard": list(shard),
+        "axes": spec.axes(),
+        "n_scenarios_total": spec.n_scenarios,
+        "n_scenarios_shard": len(outcomes),
+        "jobs": jobs,
+        "executed": runner.stats.executed,
+        "cache_hits": runner.stats.cache_hits,
+        "seconds": round(runner.stats.seconds, 6),
+        "scenarios": [
+            {
+                "index": o.scenario.index,
+                "id": o.scenario.scenario_id,
+                "seed": o.scenario.seed,
+                "digest": o.digest,
+                "seconds": round(o.seconds, 6),
+                "cached": o.cached,
+            }
+            for o in outcomes
+        ],
+    }
+    mpath = manifest_path(out_dir, spec, shard)
+    mpath.write_text(json.dumps(manifest, indent=1) + "\n")
+    if shard == (0, 1):
+        write_chunk(artifact_path(out_dir, spec), rows)
+    return chunk, manifest, rows

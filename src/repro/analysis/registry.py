@@ -31,6 +31,8 @@ __all__ = [
     "default_params",
     "effective_params",
     "jsonable",
+    "source_digest",
+    "code_digest",
     "params_digest",
     "run_experiment",
     "load_all",
@@ -151,10 +153,42 @@ def jsonable(value):
     return value
 
 
-def params_digest(name: str, params: dict) -> str:
-    """Stable short hash of (experiment id, effective params) — cache key."""
+def source_digest(obj, fallback: str) -> str:
+    """Short hash of ``obj``'s source text (function or module).
+
+    The one digest idiom shared by every code-version cache key — the
+    experiment runner (:func:`code_digest`) and the campaign scenario
+    cache (``campaigns.scenarios_code_digest``) — so invalidation
+    semantics cannot silently diverge.  ``fallback`` is hashed instead
+    when the source is unavailable (REPL, frozen builds) — weaker, but
+    never wrong for on-disk modules.
+    """
+    try:
+        source = inspect.getsource(obj)
+    except (OSError, TypeError):
+        source = fallback
+    return hashlib.sha256(source.encode()).hexdigest()[:16]
+
+
+def code_digest(spec: ExperimentSpec) -> str:
+    """Short hash of the experiment function's source text.
+
+    Folded into the cache key so editing an experiment's *body* (not just
+    its parameters) invalidates stale cache entries instead of silently
+    serving rows computed by the old code.
+    """
+    return source_digest(
+        spec.fn, f"{spec.fn.__module__}.{spec.fn.__qualname__}"
+    )
+
+
+def params_digest(name: str, params: dict, *, code: str = "") -> str:
+    """Stable short hash of (experiment id, effective params, code
+    version) — the runner's cache key.  ``code`` is the
+    :func:`code_digest` of the experiment (empty = ignore code version,
+    the pre-PR-4 behaviour)."""
     blob = json.dumps(
-        {"experiment": name, "params": jsonable(params)},
+        {"experiment": name, "params": jsonable(params), "code": code},
         sort_keys=True,
         separators=(",", ":"),
     )

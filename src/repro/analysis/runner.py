@@ -22,9 +22,29 @@ from pathlib import Path
 
 from repro.analysis import registry
 
-__all__ = ["RunResult", "RunnerStats", "ExperimentRunner", "DEFAULT_CACHE_DIR"]
+__all__ = [
+    "RunResult",
+    "RunnerStats",
+    "ExperimentRunner",
+    "DEFAULT_CACHE_DIR",
+    "fan_out",
+]
 
 DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+
+def fan_out(fn, tasks: list, jobs: int) -> list:
+    """Map ``fn`` over ``tasks`` across ``jobs`` worker processes.
+
+    The shared pool policy of the experiment runner and the campaign
+    runner: in-process when ``jobs == 1`` or there is at most one task
+    (no pool spin-up cost), a ``multiprocessing.Pool`` otherwise.  ``fn``
+    and the tasks must be picklable; results come back in task order.
+    """
+    if jobs > 1 and len(tasks) > 1:
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            return pool.map(fn, tasks)
+    return [fn(task) for task in tasks]
 
 
 @dataclass
@@ -165,7 +185,10 @@ class ExperimentRunner:
         plan: list[tuple[str, dict, str]] = []
         for spec in specs:
             params = registry.effective_params(spec, (overrides or {}).get(spec.name))
-            plan.append((spec.name, params, registry.params_digest(spec.name, params)))
+            digest = registry.params_digest(
+                spec.name, params, code=registry.code_digest(spec)
+            )
+            plan.append((spec.name, params, digest))
 
         results: dict[int, RunResult] = {}
         to_run: list[tuple[int, str, dict, str]] = []
@@ -189,11 +212,7 @@ class ExperimentRunner:
 
         if to_run:
             tasks = [(name, params) for _, name, params, _ in to_run]
-            if self.jobs > 1 and len(tasks) > 1:
-                with multiprocessing.Pool(processes=min(self.jobs, len(tasks))) as pool:
-                    outcomes = pool.map(_execute, tasks)
-            else:
-                outcomes = [_execute(task) for task in tasks]
+            outcomes = fan_out(_execute, tasks, self.jobs)
             for (idx, name, params, digest), (_, rows, seconds) in zip(to_run, outcomes):
                 self.stats.executed += 1
                 self.stats.per_experiment[name] = seconds

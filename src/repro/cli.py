@@ -33,6 +33,15 @@ runner — see :mod:`repro.analysis.registry` / :mod:`repro.analysis.runner`):
     ``--engine loop`` forces the per-source reference path for
     comparison; the default samples 16 sources.
 
+``campaign``
+    Declarative scenario sweeps (:mod:`repro.analysis.campaigns`):
+    ``repro campaign list`` shows the built-in campaigns,
+    ``repro campaign run SPEC --shard 0/2 --jobs 4`` executes one
+    deterministic shard of a campaign grid into a JSONL chunk plus a
+    provenance manifest, and ``repro campaign merge SPEC`` recombines
+    the chunks into one artifact byte-identical to an unsharded run.
+    ``SPEC`` is a built-in name or a path to a JSON campaign file.
+
 Legacy spellings from the sequential CLI era keep working:
 ``python -m repro e06``, ``python -m repro all``, ``--list`` and
 ``--export-csv DIR``.
@@ -46,7 +55,15 @@ import sys
 from repro.analysis import format_table, registry
 from repro.analysis.runner import DEFAULT_CACHE_DIR, ExperimentRunner
 
-_SUBCOMMANDS = ("run", "list", "clean-cache", "export-csv", "schedule", "validate")
+_SUBCOMMANDS = (
+    "run",
+    "list",
+    "clean-cache",
+    "export-csv",
+    "schedule",
+    "validate",
+    "campaign",
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -149,6 +166,48 @@ def _build_parser() -> argparse.ArgumentParser:
         help="batch = coset-translated generation + stacked validation "
         "(default); loop = per-source generation + fast validator",
     )
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="declarative scenario sweeps: sharded runs + deterministic merge",
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_action")
+    camp_sub.add_parser("list", help="list built-in campaigns")
+    p_camp_run = camp_sub.add_parser(
+        "run", help="run one shard of a campaign grid"
+    )
+    p_camp_run.add_argument(
+        "spec", metavar="SPEC",
+        help="built-in campaign name or path to a .json campaign file",
+    )
+    p_camp_run.add_argument(
+        "--shard", default="0/1", metavar="I/M",
+        help="deterministic shard to run (default 0/1 = the whole grid)",
+    )
+    p_camp_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = sequential)",
+    )
+    p_camp_run.add_argument(
+        "--out-dir", default="campaign-results", metavar="DIR",
+        help="chunk/manifest/artifact directory (default campaign-results)",
+    )
+    p_camp_run.add_argument(
+        "--cache-dir", default=str(DEFAULT_CACHE_DIR), metavar="DIR",
+        help=f"scenario cache location (default {DEFAULT_CACHE_DIR})",
+    )
+    p_camp_run.add_argument(
+        "--no-cache", action="store_true",
+        help="always execute; do not read or write the scenario cache",
+    )
+    p_camp_merge = camp_sub.add_parser(
+        "merge", help="merge shard chunks into the campaign artifact"
+    )
+    p_camp_merge.add_argument("spec", metavar="SPEC", help="campaign name or file")
+    p_camp_merge.add_argument(
+        "--out-dir", default="campaign-results", metavar="DIR",
+        help="directory holding the shard chunks (default campaign-results)",
+    )
     return parser
 
 
@@ -205,7 +264,11 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             params=params,
         )
         result = sched_registry.run_scheduler(args.scheduler, request)
-    except (ReproError, KeyError) as exc:
+    except KeyError as exc:  # registry lookup: unwrap the message string
+        message = exc.args[0] if exc.args else exc
+        print(f"schedule failed: {message}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
         print(f"schedule failed: {exc}", file=sys.stderr)
         return 2
     row = {
@@ -295,6 +358,65 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.analysis import campaigns
+    from repro.analysis.tables import campaign_summary
+    from repro.types import ReproError
+
+    if args.campaign_action is None:
+        print(
+            "campaign needs an action: list, run, or merge "
+            "(e.g. `repro campaign run paper-grid --shard 0/2`)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.campaign_action == "list":
+        for name in campaigns.builtin_campaign_names():
+            spec = campaigns.BUILTIN_CAMPAIGNS[name]
+            print(f"{name}: {spec.title} ({spec.n_scenarios} scenarios)")
+        return 0
+    try:
+        spec = campaigns.load_campaign(args.spec)
+        if args.campaign_action == "run":
+            shard = campaigns.parse_shard(args.shard)
+            if args.jobs < 1:
+                print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+                return 2
+            chunk, manifest, rows = campaigns.run_campaign_shard(
+                spec,
+                shard=shard,
+                out_dir=args.out_dir,
+                jobs=args.jobs,
+                cache_dir=None if args.no_cache else args.cache_dir,
+            )
+            print(
+                format_table(
+                    campaign_summary(rows),
+                    title=f"[CAMPAIGN] {spec.name} shard {shard[0]}/{shard[1]} "
+                    f"({manifest['executed']} executed, "
+                    f"{manifest['cache_hits']} cached, "
+                    f"{manifest['seconds']:.2f}s)",
+                )
+            )
+            print(f"chunk: {chunk}")
+            if shard == (0, 1):
+                print(f"artifact: {campaigns.artifact_path(args.out_dir, spec)}")
+            return 0
+        # merge
+        target, rows = campaigns.merge_chunks(spec, args.out_dir)
+        print(
+            format_table(
+                campaign_summary(rows),
+                title=f"[CAMPAIGN] {spec.name} merged ({len(rows)} scenarios)",
+            )
+        )
+        print(f"artifact: {target}")
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_run(names: list[str], *, jobs: int, cache: bool, cache_dir: str) -> int:
     known = registry.experiment_ids()
     if not names:
@@ -357,6 +479,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_schedule(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     # "run"
     names = list(args.experiments)
     if args.all:

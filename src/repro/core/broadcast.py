@@ -29,7 +29,7 @@ from heapq import merge
 
 from repro.core.routing import reach_and_flip
 from repro.core.sparse_hypercube import SparseHypercube
-from repro.types import Call, InvalidParameterError, Round, Schedule
+from repro.types import Call, InvalidParameterError, Schedule
 from repro.util.bits import flip_dim
 
 __all__ = ["broadcast_schedule", "broadcast_2", "broadcast_k", "phase1_round_calls"]

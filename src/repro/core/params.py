@@ -25,7 +25,6 @@ from __future__ import annotations
 import math
 from itertools import combinations
 
-from repro.domination.labeling import best_available_labeling
 from repro.types import InvalidParameterError
 
 __all__ = [

@@ -46,7 +46,6 @@ claim (recorded in EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from repro.graphs.base import Graph
 from repro.graphs.trees import balanced_ternary_core_tree
 from repro.types import Call, InvalidParameterError, Schedule
 

@@ -11,8 +11,6 @@ Lemma-2 lower bound is tight at m = 2 (λ_2 = 2 = ⌊2/2⌋+1 < 3).
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.graphs.base import Graph
 from repro.types import InvalidParameterError
 
@@ -76,7 +74,6 @@ def feasible_domatic_partition(g: Graph, t: int, *, node_budget: int = 5_000_000
                 if not seen[y]:
                     seen[y] = True
                     dq.append(y)
-    pos_in_order = {v: i for i, v in enumerate(order)}
 
     def assign(u: int, c: int) -> bool:
         """Apply assignment; return False if some neighbourhood goes dead."""

@@ -30,7 +30,6 @@ import numpy as np
 
 from repro.coding.hamming import hamming_syndrome_table
 from repro.types import InvalidParameterError
-from repro.util.bits import suffix_value
 
 __all__ = [
     "ConditionALabeling",

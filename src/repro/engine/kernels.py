@@ -35,7 +35,6 @@ import numpy as np
 
 from repro.graphs.base import Graph
 from repro.types import InvalidParameterError, canonical_edge
-from repro.util.bits import iter_bits
 
 __all__ = [
     "GraphKernels",

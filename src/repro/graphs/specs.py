@@ -10,12 +10,13 @@ always builds the same (frozen) graph.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from repro.graphs.base import Graph
 from repro.types import InvalidParameterError
 
-__all__ = ["graph_from_spec", "spec_names"]
+__all__ = ["graph_from_spec", "parse_spec", "spec_names", "validate_spec"]
 
 
 def _sparse(n: int, m: int) -> Graph:
@@ -98,21 +99,53 @@ def spec_names() -> list[str]:
     return [usage for _fn, usage in _BUILDERS.values()]
 
 
-def graph_from_spec(spec: str) -> Graph:
-    """Build the graph named by ``spec`` (``family[:int[:int...]]``)."""
+def parse_spec(spec: str) -> tuple[str, list[int]]:
+    """Split ``spec`` into its family name and integer arguments.
+
+    Raises :class:`InvalidParameterError` for unknown families and
+    non-integer arguments; does **not** build the graph, so callers (the
+    campaign expander) can reject a whole grid of bad specs upfront.
+    """
     name, _, rest = spec.partition(":")
     name = name.strip().lower()
     if name not in _BUILDERS:
         raise InvalidParameterError(
             f"unknown graph spec {spec!r}; known: {', '.join(sorted(_BUILDERS))}"
         )
-    fn, usage = _BUILDERS[name]
+    usage = _BUILDERS[name][1]
     try:
         args = [int(a) for a in rest.split(":")] if rest else []
     except ValueError:
         raise InvalidParameterError(
             f"graph spec arguments must be integers: {spec!r} (usage: {usage})"
         ) from None
+    return name, args
+
+
+def validate_spec(spec: str) -> None:
+    """Check ``spec`` names a known family with a plausible argument count.
+
+    A build-free sanity check: family and integer parsing via
+    :func:`parse_spec`, arity against the builder's signature.  Value
+    errors (e.g. a hypercube dimension of -3) still surface at build
+    time.
+    """
+    name, args = parse_spec(spec)
+    fn, usage = _BUILDERS[name]
+    params = inspect.signature(fn).parameters
+    required = sum(
+        1 for p in params.values() if p.default is inspect.Parameter.empty
+    )
+    if not required <= len(args) <= len(params):
+        raise InvalidParameterError(
+            f"wrong argument count in {spec!r} (usage: {usage})"
+        )
+
+
+def graph_from_spec(spec: str) -> Graph:
+    """Build the graph named by ``spec`` (``family[:int[:int...]]``)."""
+    name, args = parse_spec(spec)
+    fn, usage = _BUILDERS[name]
     try:
         return fn(*args)
     except TypeError:

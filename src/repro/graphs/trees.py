@@ -48,7 +48,7 @@ def star(n: int) -> Graph:
 
 def spider(leg_lengths: list[int]) -> Graph:
     """A spider: centre 0 with legs (paths) of the given lengths."""
-    if not leg_lengths or any(l < 1 for l in leg_lengths):
+    if not leg_lengths or any(length < 1 for length in leg_lengths):
         raise InvalidParameterError(f"leg lengths must be >= 1: {leg_lengths}")
     n = 1 + sum(leg_lengths)
     g = Graph(n)

@@ -50,6 +50,18 @@ class CongestionProfile:
         hist: Counter = Counter(self.total_load.values())
         return dict(sorted(hist.items()))
 
+    def as_row(self) -> dict[str, object]:
+        """The profile's headline numbers as JSON scalars (campaign rows,
+        CSV export) — deterministic for a given schedule."""
+        return {
+            "used_edges": self.used_edges,
+            "graph_edges": self.graph_edges,
+            "edge_utilization": round(self.edge_utilization, 4),
+            "peak_concurrency": self.peak_concurrency,
+            "max_total_load": self.max_total_load,
+            "total_edge_occupancy": self.total_edge_occupancy,
+        }
+
 
 def congestion_profile(graph: Graph, schedule: Schedule) -> CongestionProfile:
     """Edge-load statistics of ``schedule`` on ``graph``.

@@ -32,6 +32,7 @@ from repro.util.bits import flip_dim
 __all__ = [
     "remove_edges",
     "failed_edge_sample",
+    "faulted_graph",
     "reach_and_flip_avoiding",
     "attempt_broadcast_with_failures",
 ]
@@ -52,6 +53,19 @@ def failed_edge_sample(graph: Graph, count: int, seed: int) -> set[Edge]:
     edges = list(graph.edges())
     count = min(count, len(edges))
     return set(rng.sample(edges, count))
+
+
+def faulted_graph(
+    graph: Graph, count: int, seed: int
+) -> tuple[Graph, tuple[Edge, ...]]:
+    """Sample ``count`` edges to fail and return the surviving graph.
+
+    One-call convenience over :func:`failed_edge_sample` +
+    :func:`remove_edges` for scenario drivers; the failed edges come back
+    sorted so downstream records are deterministic.
+    """
+    failed = failed_edge_sample(graph, count, seed)
+    return remove_edges(graph, failed), tuple(sorted(failed))
 
 
 def _edge_ok(failed: set[Edge], a: int, b: int) -> bool:

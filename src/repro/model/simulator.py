@@ -26,7 +26,6 @@ from dataclasses import dataclass, field
 from repro.graphs.base import Graph
 from repro.types import (
     Call,
-    Edge,
     InvalidScheduleError,
     Round,
     Schedule,

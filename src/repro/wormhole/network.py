@@ -23,7 +23,7 @@ blocking when they are not.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.graphs.base import Graph
 from repro.types import Edge, InvalidParameterError, canonical_edge

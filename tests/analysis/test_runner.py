@@ -124,6 +124,63 @@ class TestCache:
         assert runner.stats.cache_hits == 0 and runner.stats.cache_misses == 0
 
 
+class TestCodeVersionInCacheKey:
+    """Editing an experiment's body must invalidate its cache entries —
+    the params hash alone cannot see code changes (PR 4 bugfix)."""
+
+    def test_params_digest_folds_in_code(self):
+        params = {"a": 1}
+        base = registry.params_digest("e04", params, code="aaaa")
+        assert registry.params_digest("e04", params, code="bbbb") != base
+        assert registry.params_digest("e04", params, code="aaaa") == base
+
+    def test_code_digest_tracks_source(self, tmp_path):
+        import importlib.util
+        import sys
+
+        def load(body: str, stem: str):
+            # one file per version: rewriting in place can dodge
+            # linecache's size+mtime staleness check on coarse-mtime
+            # filesystems and serve the old source to inspect.getsource
+            module_path = tmp_path / f"{stem}.py"
+            module_path.write_text(
+                "def fake_experiment(*, n=3):\n" f"    return [{body}]\n"
+            )
+            spec = importlib.util.spec_from_file_location(
+                "fake_experiment_mod", module_path
+            )
+            mod = importlib.util.module_from_spec(spec)
+            sys.modules["fake_experiment_mod"] = mod
+            spec.loader.exec_module(mod)
+            return registry.ExperimentSpec(
+                name="efake", title="fake", fn=mod.fake_experiment
+            )
+
+        try:
+            digest_v1 = registry.code_digest(load('{"v": 1}', "mod_v1"))
+            assert digest_v1 == registry.code_digest(load('{"v": 1}', "mod_v1b"))
+            digest_v2 = registry.code_digest(load('{"v": 2}', "mod_v2"))
+            assert digest_v2 != digest_v1
+        finally:
+            sys.modules.pop("fake_experiment_mod", None)
+
+    def test_changed_code_digest_misses_cache(self, tmp_path, monkeypatch):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        runner.run(["e04"])
+        assert runner.stats.executed == 1
+
+        warm = ExperimentRunner(cache_dir=tmp_path)
+        warm.run(["e04"])
+        assert warm.stats.executed == 0 and warm.stats.cache_hits == 1
+
+        # simulate an edited experiment body: the code digest changes, so
+        # the stale entry must not be served
+        monkeypatch.setattr(registry, "code_digest", lambda spec: "f" * 16)
+        stale = ExperimentRunner(cache_dir=tmp_path)
+        stale.run(["e04"])
+        assert stale.stats.executed == 1 and stale.stats.cache_hits == 0
+
+
 class TestParallel:
     def test_parallel_results_match_sequential(self, tmp_path):
         names = ["e02", "e04", "e06", "e08"]

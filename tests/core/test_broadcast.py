@@ -7,7 +7,6 @@ from repro.core.construct import construct, construct_base
 from repro.domination.labeling import paper_example_labeling_q2
 from repro.model.validator import validate_broadcast
 from repro.types import InvalidParameterError
-from repro.util.bits import to_bitstring
 
 
 def paper_g42():

@@ -1,6 +1,5 @@
 """Unit tests for the graph kernel."""
 
-import numpy as np
 import pytest
 
 from repro.graphs.base import Graph

@@ -168,10 +168,12 @@ class TestCLISubcommands:
         assert "ran 0 experiment(s), 2 cache hit(s)" in second
         assert "(cache)" in second
         # tables themselves identical across the cached re-run
-        strip = lambda s: [
-            line for line in s.splitlines()
-            if not line.startswith("ran ") and "(" not in line
-        ]
+        def strip(s):
+            return [
+                line for line in s.splitlines()
+                if not line.startswith("ran ") and "(" not in line
+            ]
+
         assert strip(first) == strip(second)
 
     def test_clean_cache_subcommand(self, tmp_path, capsys):

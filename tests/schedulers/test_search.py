@@ -7,7 +7,7 @@ from repro.graphs.base import Graph
 from repro.graphs.hypercube import hypercube
 from repro.graphs.trees import balanced_ternary_core_tree, path_graph, star
 from repro.graphs.variants import cycle_graph
-from repro.model.validator import assert_valid_broadcast, minimum_broadcast_rounds
+from repro.model.validator import assert_valid_broadcast
 from repro.schedulers.search import (
     SearchBudgetExceeded,
     find_minimum_time_schedule,

@@ -57,8 +57,8 @@ class TestContention:
     def test_disjoint_worms_run_in_parallel(self):
         g = hypercube(3)
         net = WormholeNetwork(g)
-        a = net.add_worm((0, 1), 8)
-        b = net.add_worm((6, 7), 8)
+        net.add_worm((0, 1), 8)
+        net.add_worm((6, 7), 8)
         total = net.run()
         assert total == 8  # both finish together: 1 link + 8 flits − 1
 
