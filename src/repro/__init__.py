@@ -18,6 +18,8 @@ True
 
 Package map
 -----------
+``repro.api``         the public facade: build_graph/schedule/validate/…
+``repro.frame``       columnar ScheduleFrame — the canonical interchange
 ``repro.core``        constructions, schemes, bounds (the paper's results)
 ``repro.graphs``      graph kernel, Q_n, classic topologies, trees
 ``repro.domination``  Condition-A labelings / domatic machinery
@@ -28,6 +30,7 @@ Package map
 ``repro.analysis``    experiment harness (tables E01–E16)
 """
 
+from repro import api
 from repro.core import (
     SparseHypercube,
     broadcast_2,
@@ -43,6 +46,7 @@ from repro.core import (
     upper_bound_theorem5,
     upper_bound_theorem7,
 )
+from repro.frame import ScheduleBuilder, ScheduleFrame
 from repro.graphs import Graph, hypercube
 from repro.model import (
     LineNetworkSimulator,
@@ -55,11 +59,14 @@ from repro.types import Call, Round, Schedule
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "SparseHypercube",
     "Graph",
     "Call",
     "Round",
     "Schedule",
+    "ScheduleFrame",
+    "ScheduleBuilder",
     "hypercube",
     "construct_base",
     "construct_rec",

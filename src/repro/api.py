@@ -1,0 +1,255 @@
+"""The public facade: one module for the whole schedule pipeline.
+
+Everything a consumer needs to build graphs, produce broadcast
+schedules, validate them, and export machine-checkable artifacts lives
+behind five functions::
+
+    import repro.api as api
+
+    graph = api.build_graph("hypercube:4")
+    result = api.schedule(graph, scheduler="greedy", k=2, seed=1)
+    report = api.validate(graph, result.frame, k=2)
+    assert report.ok
+
+The interchange format between the stages is the columnar
+:class:`~repro.frame.ScheduleFrame`; the object API
+(:class:`~repro.types.Schedule`) remains available everywhere as a lazy
+view over a frame, and every function here accepts both.
+
+Engine selection (``api.validate(..., engine=...)``)
+----------------------------------------------------
+
+``"reference"``
+    the pure-Python oracle (:mod:`repro.model.validator`): walks every
+    call with sets and per-edge lookups.  Legible, slow, and the
+    repository's source of truth.
+``"fast"``
+    the bitset/NumPy validator (:mod:`repro.model.validator_fast`).
+    Verdicts, error strings, and statistics are identical to the
+    reference by construction (failing rounds re-scan through the
+    reference; pinned by the property tests), at vectorized speed.
+``"batch"``
+    the stacked-array validator (:mod:`repro.engine.batch`): groups the
+    input by layout and checks whole ``(n_schedules, n_items)`` stacks
+    per pass.  The right choice for lists; a single schedule degrades
+    to a 1-row stack.
+``"auto"`` (default)
+    picks for you: a list input routes to ``batch``; a single schedule
+    or frame routes to ``fast`` when the graph is frozen (so the
+    per-graph edge-key arrays are shared through the process-wide
+    engine cache) and to ``reference`` otherwise.  Because all engines
+    agree exactly, ``auto`` never changes a verdict — only its speed.
+
+All functions raise :class:`repro.types.ReproError` subtypes on invalid
+input, matching the rest of the library.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.frame import ScheduleFrame, as_frame, as_schedule
+from repro.graphs.base import Graph
+from repro.model.validator import ValidationReport
+from repro.types import InvalidParameterError
+
+__all__ = [
+    "ENGINES",
+    "build_graph",
+    "schedule",
+    "validate",
+    "certificate",
+    "run_campaign",
+    "frames_of",
+]
+
+ENGINES = ("auto", "reference", "fast", "batch")
+
+
+def build_graph(spec: str | Graph) -> Graph:
+    """A frozen graph from a textual spec (``family:arg[:arg...]``).
+
+    Known families come from :mod:`repro.graphs.specs` (``hypercube:N``,
+    ``sparse:N:M``, ``theorem1:K``, ``path:N``, ``random-tree:N:SEED``,
+    …).  A ``Graph`` passes through unchanged, so callers can be
+    spec-or-graph agnostic.
+    """
+    if isinstance(spec, Graph):
+        return spec
+    from repro.graphs.specs import graph_from_spec
+
+    return graph_from_spec(spec)
+
+
+def schedule(
+    graph: str | Graph,
+    scheduler: str = "greedy",
+    *,
+    source: int = 0,
+    k: int | None = None,
+    rounds: int | None = None,
+    seed: int = 0,
+    params: Mapping[str, Any] | None = None,
+    validate_result: bool = True,
+):
+    """Run one registered scheduling strategy; returns its
+    :class:`~repro.schedulers.registry.ScheduleResult`.
+
+    The result carries both representations of a found schedule: a
+    frozen columnar ``frame`` (the canonical interchange format) and the
+    frozen object view ``schedule``.  ``validate_result=True`` (default)
+    checks the result through :func:`validate` before it is returned.
+    """
+    from repro.schedulers.registry import ScheduleRequest, run_scheduler
+
+    request = ScheduleRequest(
+        graph=build_graph(graph),
+        source=source,
+        k=k,
+        rounds=rounds,
+        seed=seed,
+        params=dict(params) if params else {},
+    )
+    return run_scheduler(scheduler, request, validate=validate_result)
+
+
+def _validate_one(
+    graph: Graph,
+    sched,
+    k: int,
+    engine: str,
+    *,
+    require_minimum_time: bool,
+    vertex_disjoint: bool,
+) -> ValidationReport:
+    if engine == "auto":
+        engine = "fast" if graph.frozen else "reference"
+    if engine == "reference":
+        from repro.model.validator import validate_broadcast
+
+        return validate_broadcast(
+            graph,
+            as_schedule(sched),
+            k,
+            require_minimum_time=require_minimum_time,
+            vertex_disjoint=vertex_disjoint,
+        )
+    if engine == "fast":
+        from repro.engine.cache import fast_validator_for
+
+        return fast_validator_for(graph).validate(
+            sched,
+            k,
+            require_minimum_time=require_minimum_time,
+            vertex_disjoint=vertex_disjoint,
+        )
+    from repro.engine.cache import batch_validator_for
+
+    return batch_validator_for(graph).validate_many(
+        [sched],
+        k,
+        require_minimum_time=require_minimum_time,
+        vertex_disjoint=vertex_disjoint,
+    )[0]
+
+
+def validate(
+    graph: Graph,
+    schedules,
+    k: int,
+    *,
+    engine: str = "auto",
+    require_minimum_time: bool = True,
+    vertex_disjoint: bool = False,
+):
+    """Validate schedule(s) against Definition 1 on ``graph`` under ``k``.
+
+    ``schedules`` may be a single :class:`~repro.types.Schedule` or
+    :class:`~repro.frame.ScheduleFrame` (returns one
+    :class:`~repro.model.validator.ValidationReport`) or a list of
+    either (returns a list of reports in input order).  ``engine``
+    selects the implementation — see the module docstring; every engine
+    produces byte-identical verdicts and error strings.
+    """
+    if engine not in ENGINES:
+        raise InvalidParameterError(
+            f"unknown engine {engine!r}; known: {', '.join(ENGINES)}"
+        )
+    single = isinstance(schedules, ScheduleFrame) or hasattr(schedules, "rounds")
+    if single:
+        return _validate_one(
+            graph,
+            schedules,
+            k,
+            engine,
+            require_minimum_time=require_minimum_time,
+            vertex_disjoint=vertex_disjoint,
+        )
+    items = list(schedules)
+    if engine in ("auto", "batch") and graph.frozen:
+        from repro.engine.cache import batch_validator_for
+
+        return batch_validator_for(graph).validate_many(
+            items,
+            k,
+            require_minimum_time=require_minimum_time,
+            vertex_disjoint=vertex_disjoint,
+        )
+    return [
+        _validate_one(
+            graph,
+            item,
+            k,
+            engine,
+            require_minimum_time=require_minimum_time,
+            vertex_disjoint=vertex_disjoint,
+        )
+        for item in items
+    ]
+
+
+def certificate(sh, sources: Sequence[int] | None = None) -> dict:
+    """A machine-checkable k-mlbg certificate for a sparse hypercube.
+
+    Schedules come from the batch all-sources engine (coset-translated
+    generation); :func:`repro.io.verify_certificate` re-validates the
+    payload from JSON alone.
+    """
+    from repro.io import certificate_for
+
+    return certificate_for(sh, list(sources) if sources is not None else None)
+
+
+def run_campaign(
+    spec,
+    *,
+    shard: tuple[int, int] = (0, 1),
+    out_dir: str = "campaign-results",
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> list[dict]:
+    """Execute one shard of a scenario campaign; returns the result rows.
+
+    ``spec`` is a built-in campaign name, a path to a campaign JSON
+    file, or a :class:`~repro.analysis.campaigns.CampaignSpec`.  Chunks
+    and provenance manifests land in ``out_dir`` exactly as with
+    ``repro campaign run`` (merge shards with
+    :func:`repro.analysis.campaigns.merge_chunks`).
+    """
+    from repro.analysis import campaigns
+
+    if isinstance(spec, str):
+        spec = campaigns.load_campaign(spec)
+    _chunk, _manifest, rows = campaigns.run_campaign_shard(
+        spec, shard=shard, out_dir=out_dir, jobs=jobs, cache_dir=cache_dir
+    )
+    return rows
+
+
+def frames_of(results: Iterable) -> list[ScheduleFrame]:
+    """Convenience: the frames of an iterable of schedules/frames/results."""
+    out = []
+    for item in results:
+        frame = getattr(item, "frame", None)
+        out.append(frame if frame is not None else as_frame(item))
+    return out

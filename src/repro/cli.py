@@ -22,8 +22,10 @@ runner — see :mod:`repro.analysis.registry` / :mod:`repro.analysis.runner`):
     Run one registered scheduler on a named graph family:
     ``repro schedule --graph hypercube:3 --scheduler search --k 2``.
     ``--list`` shows every scheduler in the registry
-    (:mod:`repro.schedulers.registry`); results are validated by the
-    reference validator before being reported.
+    (:mod:`repro.schedulers.registry`); results are validated through
+    :func:`repro.api.validate` before being reported, and ``--out FILE``
+    writes the found schedule as a self-contained columnar file
+    (graph + v2 payload, :func:`repro.io.save_schedule`).
 
 ``validate``
     Machine-check a construction's broadcast scheme over many sources:
@@ -31,7 +33,10 @@ runner — see :mod:`repro.analysis.registry` / :mod:`repro.analysis.runner`):
     sources through the batch engine (:mod:`repro.engine.batch`) —
     coset-translated generation plus stacked-array validation.
     ``--engine loop`` forces the per-source reference path for
-    comparison; the default samples 16 sources.
+    comparison; the default samples 16 sources.  Alternatively
+    ``repro validate --schedule FILE`` re-checks a schedule file written
+    by ``repro schedule --out`` via :func:`repro.api.validate`
+    (``--engine auto|reference|fast|batch``).
 
 ``campaign``
     Declarative scenario sweeps (:mod:`repro.analysis.campaigns`):
@@ -131,6 +136,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="message count for multimsg_search",
     )
     p_sched.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the found schedule (graph + columnar v2 payload) to FILE",
+    )
+    p_sched.add_argument(
         "--list", action="store_true", help="list registered schedulers"
     )
 
@@ -139,7 +148,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="batch-validate a construction's broadcast scheme over many sources",
     )
     p_val.add_argument(
-        "--n", type=int, required=True, metavar="N", help="hypercube dimension"
+        "--n", type=int, default=None, metavar="N", help="hypercube dimension"
+    )
+    p_val.add_argument(
+        "--schedule", default=None, metavar="FILE",
+        help="validate a schedule file written by `repro schedule --out` "
+        "instead of sweeping a construction",
+    )
+    p_val.add_argument(
+        "--no-min-time", action="store_true",
+        help="with --schedule: do not require the minimum ⌈log₂N⌉ rounds",
     )
     p_val.add_argument(
         "--m", type=int, default=None, metavar="M",
@@ -162,9 +180,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sample size when --all-sources is not given (default 16)",
     )
     p_val.add_argument(
-        "--engine", choices=("batch", "loop"), default="batch",
-        help="batch = coset-translated generation + stacked validation "
-        "(default); loop = per-source generation + fast validator",
+        "--engine",
+        choices=("batch", "loop", "auto", "reference", "fast"),
+        default=None,
+        help="sweep mode: batch (default) = coset-translated generation + "
+        "stacked validation, loop = per-source generation + fast validator; "
+        "--schedule mode: auto (default) | reference | fast | batch, the "
+        "repro.api.validate engines (identical verdicts)",
     )
 
     p_camp = sub.add_parser(
@@ -233,7 +255,8 @@ def _cmd_clean_cache(cache_dir: str) -> int:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
-    from repro.graphs.specs import graph_from_spec, spec_names
+    from repro import api
+    from repro.graphs.specs import spec_names
     from repro.schedulers import registry as sched_registry
     from repro.types import ReproError
 
@@ -254,21 +277,25 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     if args.n_messages is not None:
         params["n_messages"] = args.n_messages
     try:
-        graph = graph_from_spec(args.graph)
-        request = sched_registry.ScheduleRequest(
-            graph=graph,
+        graph = api.build_graph(args.graph)
+        result = api.schedule(
+            graph,
+            args.scheduler,
             source=args.source,
             k=args.k,
             rounds=args.rounds,
             seed=args.seed,
             params=params,
         )
-        result = sched_registry.run_scheduler(args.scheduler, request)
+        if args.out is not None and result.frame is not None:
+            from repro.io import save_schedule
+
+            save_schedule(args.out, graph, result.frame, k=args.k)
     except KeyError as exc:  # registry lookup: unwrap the message string
         message = exc.args[0] if exc.args else exc
         print(f"schedule failed: {message}", file=sys.stderr)
         return 2
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
         print(f"schedule failed: {exc}", file=sys.stderr)
         return 2
     row = {
@@ -279,13 +306,83 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         "k": args.k if args.k is not None else "inf",
         "found": result.found,
         "rounds": result.rounds if result.rounds is not None else "-",
-        "calls": result.schedule.num_calls if result.schedule else "-",
-        "max_len": result.schedule.max_call_length() if result.schedule else "-",
+        "calls": result.frame.n_calls if result.frame is not None else "-",
+        "max_len": (
+            result.frame.max_call_length() if result.frame is not None else "-"
+        ),
         "valid": result.valid if result.valid is not None else "-",
         "seconds": f"{result.seconds:.3f}",
     }
     print(format_table([row], title=f"[SCHEDULE] {result.scheduler} on {args.graph}"))
+    if args.out is not None and result.frame is not None:
+        print(f"wrote {args.out}")
     return 0 if result.found and result.valid is not False else 1
+
+
+def _cmd_validate_file(args: argparse.Namespace) -> int:
+    """Validate one schedule file through the repro.api facade."""
+    import time
+
+    from repro import api
+    from repro.io import load_schedule
+    from repro.types import ReproError
+
+    sweep_flags = [
+        ("--n", args.n is not None),
+        ("--m", args.m is not None),
+        ("--thresholds", args.thresholds is not None),
+        ("--all-sources", args.all_sources),
+    ]
+    conflicting = [flag for flag, given in sweep_flags if given]
+    if conflicting:
+        print(
+            f"--schedule FILE cannot be combined with {conflicting[0]} "
+            "(construction-sweep flags)",
+            file=sys.stderr,
+        )
+        return 2
+    engine = args.engine if args.engine is not None else "auto"
+    if engine == "loop":
+        print(
+            "--engine loop applies to construction sweeps; "
+            "--schedule FILE takes auto, reference, fast, or batch",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        graph, frame, k_file = load_schedule(args.schedule)
+        k_eff = args.k if args.k is not None else k_file
+        if k_eff is None:
+            k_eff = max(1, graph.n_vertices - 1)  # unbounded call length
+        t0 = time.perf_counter()
+        report = api.validate(
+            graph,
+            frame,
+            k_eff,
+            engine=engine,
+            require_minimum_time=not args.no_min_time,
+        )
+        seconds = time.perf_counter() - t0
+    except (ReproError, OSError) as exc:
+        print(f"validate failed: {exc}", file=sys.stderr)
+        return 2
+    row = {
+        "file": args.schedule,
+        "N": graph.n_vertices,
+        "source": frame.source,
+        "rounds": frame.n_rounds,
+        "calls": frame.n_calls,
+        "max call len": frame.max_call_length(),
+        f"valid (≤{k_eff})": report.ok,
+        "engine": engine,
+        "seconds": f"{seconds:.3f}",
+    }
+    print(format_table([row], title="[VALIDATE] schedule file"))
+    for error in report.errors[:5]:
+        print(f"error: {error}")
+    if len(report.errors) > 5:
+        print(f"... and {len(report.errors) - 5} more")
+    return 0 if report.ok else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -296,6 +393,22 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.core.params import theorem5_m_star
     from repro.types import ReproError
 
+    if args.schedule is not None:
+        return _cmd_validate_file(args)
+    if args.n is None:
+        print(
+            "validate needs --n N (construction sweep) or --schedule FILE",
+            file=sys.stderr,
+        )
+        return 2
+    engine = args.engine if args.engine is not None else "batch"
+    if engine not in ("batch", "loop"):
+        print(
+            f"--engine {engine} applies to --schedule FILE mode; "
+            "construction sweeps take batch or loop",
+            file=sys.stderr,
+        )
+        return 2
     try:
         if args.thresholds is not None:
             if args.k is None:
@@ -323,7 +436,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         else sample_sources(n_vertices, args.sources_cap)
     )
     t0 = time.perf_counter()
-    if args.engine == "batch":
+    if engine == "batch":
         from repro.engine.batch import validate_all_sources
 
         outcome = validate_all_sources(sh, k=sh.k, sources=srcs)
@@ -351,7 +464,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         "rounds": sh.n,
         "max call len": max_len,
         f"valid (≤{sh.k})": ok,
-        "engine": f"{args.engine} ({provenance})",
+        "engine": f"{engine} ({provenance})",
         "seconds": f"{seconds:.3f}",
     }
     print(format_table([row], title=f"[VALIDATE] Broadcast_{sh.k} source sweep"))

@@ -45,6 +45,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.frame import ScheduleBuilder, ScheduleFrame
 from repro.graphs.base import Graph
 from repro.model.validator import ValidationReport, minimum_broadcast_rounds
 from repro.model.validator_fast import (
@@ -52,7 +53,7 @@ from repro.model.validator_fast import (
     ScheduleLayout,
     flatten_schedule,
 )
-from repro.types import Call, InvalidParameterError, Schedule
+from repro.types import InvalidParameterError, Schedule
 
 __all__ = [
     "ScheduleLayout",
@@ -103,36 +104,53 @@ class StackedSchedules:
             raise InvalidParameterError(f"source {source} not in this stack")
         return int(hits[0])
 
-    def to_schedule(self, i: int, *, sort_calls: bool = False) -> Schedule:
-        """Materialize row ``i`` as a :class:`Schedule` object.
+    def to_frame(self, i: int, *, sort_calls: bool = False) -> ScheduleFrame:
+        """Row ``i`` as a columnar :class:`~repro.frame.ScheduleFrame`.
 
         By default calls keep their stored order — the exact inverse of
         :func:`flatten_schedule`, which validation fallbacks rely on to
-        reproduce reference error ordering.  ``sort_calls=True`` orders
-        each round's calls by ascending caller instead, which is
+        reproduce reference error ordering; the frame then shares the
+        stack's arrays with zero per-call work.  ``sort_calls=True``
+        orders each round's calls by ascending caller instead, which is
         :func:`repro.core.broadcast.broadcast_schedule`'s order — XOR
         translation permutes callers, so translated rows need the re-sort
         to match direct generation (pinned by the property tests).
         """
         lay = self.layout
         row = self.flat[i]
-        schedule = Schedule(source=int(self.sources[i]))
+        source = int(self.sources[i])
+        if not sort_calls:
+            return ScheduleFrame(
+                source=source,
+                path_verts=row.copy(),
+                call_offsets=np.concatenate(([0], lay.path_ends)),
+                round_offsets=lay.call_bounds.copy(),
+            )
+        builder = ScheduleBuilder(source)
         for r in range(lay.n_rounds):
             c0, c1 = int(lay.call_bounds[r]), int(lay.call_bounds[r + 1])
             paths = [
                 tuple(int(v) for v in row[lay.path_starts[c] : lay.path_ends[c]])
                 for c in range(c0, c1)
             ]
-            if sort_calls:
-                paths.sort()
-            schedule.append_round([Call.via(p) for p in paths])
-        return schedule
+            paths.sort()
+            builder.add_round(paths)
+        return builder.build()
+
+    def to_schedule(self, i: int, *, sort_calls: bool = False) -> Schedule:
+        """Materialize row ``i`` as a frozen frame-backed :class:`Schedule`.
+
+        See :meth:`to_frame` for call ordering; the object view is lazy,
+        so consumers that only read counts or re-validate never pay
+        object-per-call cost.
+        """
+        return Schedule.from_frame(self.to_frame(i, sort_calls=sort_calls))
 
 
 def _group_by_layout(
-    schedules: list[Schedule],
+    schedules: list[Schedule | ScheduleFrame],
 ) -> list[tuple[ScheduleLayout, list[int], np.ndarray]]:
-    """Flatten and group schedules by layout key, in first-seen order.
+    """Flatten and group schedules/frames by layout key, in first-seen order.
 
     Returns ``(layout, input_indices, stacked_flat_rows)`` per distinct
     layout; rows keep input order within their group.
@@ -152,8 +170,10 @@ def _group_by_layout(
     ]
 
 
-def stack_schedules(schedules: list[Schedule]) -> list[StackedSchedules]:
-    """Group arbitrary schedules by layout and stack each group.
+def stack_schedules(
+    schedules: list[Schedule | ScheduleFrame],
+) -> list[StackedSchedules]:
+    """Group arbitrary schedules (or frames) by layout and stack each group.
 
     Returns one stack per distinct layout, in first-seen order; every
     input schedule appears in exactly one stack (rows keep input order
@@ -438,7 +458,7 @@ class BatchValidator:
 
     def validate_many(
         self,
-        schedules: list[Schedule],
+        schedules: list[Schedule | ScheduleFrame],
         k: int,
         *,
         require_minimum_time: bool = True,
@@ -446,8 +466,9 @@ class BatchValidator:
     ) -> list[ValidationReport]:
         """Reference-identical reports for a heterogeneous schedule list.
 
-        Schedules are grouped by layout, each group validated as one
-        stack; results come back in input order.
+        Accepts ``Schedule`` objects and columnar frames interchangeably;
+        schedules are grouped by layout, each group validated as one
+        stack, and results come back in input order.
         """
         results: list[ValidationReport | None] = [None] * len(schedules)
         for layout, indices, rows in _group_by_layout(schedules):

@@ -5,6 +5,21 @@ the graph's edge list, the claimed k, and one minimum-time schedule per
 source.  ``verify_certificate`` re-validates everything from the JSON
 alone — so a certificate produced here can be checked by a third party
 with no trust in the construction code.
+
+Schedule payloads come in two versions:
+
+* **v1** (``{"source": s, "rounds": [[path, ...], ...]}``) — the
+  historical nested-lists form, still written by default inside
+  certificates and always readable;
+* **v2** (``repro-schedule/2``) — the columnar form mirroring
+  :class:`repro.frame.ScheduleFrame` exactly: one flat ``path_verts``
+  list plus ``call_offsets``/``round_offsets``.  Compact (no per-call
+  nesting) and loadable straight into NumPy arrays without touching a
+  single ``Call`` object.  ``schedule_from_dict`` sniffs the version.
+
+``save_schedule``/``load_schedule`` wrap a v2 schedule together with its
+graph and call-length bound into one self-contained file — what
+``repro schedule --out`` writes and ``repro validate --schedule`` reads.
 """
 
 from __future__ import annotations
@@ -12,20 +27,31 @@ from __future__ import annotations
 import json
 from typing import Any
 
+import numpy as np
+
+from repro.frame import ScheduleFrame, as_frame
 from repro.graphs.base import Graph
-from repro.model.validator import validate_broadcast
 from repro.types import Call, InvalidParameterError, Schedule
 
 __all__ = [
+    "SCHEDULE_FORMAT_V2",
+    "SCHEDULE_FILE_FORMAT",
     "graph_to_dict",
     "graph_from_dict",
     "schedule_to_dict",
     "schedule_from_dict",
+    "frame_to_dict",
+    "frame_from_dict",
+    "save_schedule",
+    "load_schedule",
     "certificate_for",
     "verify_certificate",
     "dump_certificate",
     "load_certificate",
 ]
+
+SCHEDULE_FORMAT_V2 = "repro-schedule/2"
+SCHEDULE_FILE_FORMAT = "repro-schedule-file/1"
 
 
 def graph_to_dict(graph: Graph) -> dict[str, Any]:
@@ -44,7 +70,56 @@ def graph_from_dict(data: dict[str, Any]) -> Graph:
     return Graph(n, edges).freeze()
 
 
-def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+def frame_to_dict(frame: ScheduleFrame | Schedule) -> dict[str, Any]:
+    """The compact columnar (v2) payload of a schedule or frame."""
+    frame = as_frame(frame)
+    return {
+        "format": SCHEDULE_FORMAT_V2,
+        "source": frame.source,
+        "path_verts": frame.path_verts.tolist(),
+        "call_offsets": frame.call_offsets.tolist(),
+        "round_offsets": frame.round_offsets.tolist(),
+    }
+
+
+def frame_from_dict(data: dict[str, Any]) -> ScheduleFrame:
+    """Load a v2 payload straight into a frame (offsets are re-checked)."""
+    if data.get("format") != SCHEDULE_FORMAT_V2:
+        raise InvalidParameterError(
+            f"not a {SCHEDULE_FORMAT_V2} payload: format="
+            f"{data.get('format')!r}"
+        )
+    try:
+        return ScheduleFrame(
+            source=int(data["source"]),
+            path_verts=np.asarray(data["path_verts"], dtype=np.int64),
+            call_offsets=np.asarray(data["call_offsets"], dtype=np.int64),
+            round_offsets=np.asarray(data["round_offsets"], dtype=np.int64),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"malformed schedule payload: {exc}") from exc
+
+
+def schedule_to_dict(
+    schedule: Schedule | ScheduleFrame, *, version: int = 1
+) -> dict[str, Any]:
+    """Serialize a schedule; ``version=2`` emits the columnar form.
+
+    v1 stays the default so existing artifacts (certificates) remain
+    byte-identical; both versions round-trip losslessly.
+    """
+    if version == 2:
+        return frame_to_dict(schedule)
+    if version != 1:
+        raise InvalidParameterError(f"unknown schedule payload version {version}")
+    if isinstance(schedule, ScheduleFrame):
+        return {
+            "source": schedule.source,
+            "rounds": [
+                [list(path) for path in paths]
+                for paths in schedule.iter_round_paths()
+            ],
+        }
     return {
         "source": schedule.source,
         "rounds": [
@@ -54,6 +129,9 @@ def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
 
 
 def schedule_from_dict(data: dict[str, Any]) -> Schedule:
+    """Deserialize a schedule payload of either version (sniffed)."""
+    if data.get("format") == SCHEDULE_FORMAT_V2:
+        return Schedule.from_frame(frame_from_dict(data))
     try:
         schedule = Schedule(source=int(data["source"]))
         for rnd in data["rounds"]:
@@ -61,6 +139,46 @@ def schedule_from_dict(data: dict[str, Any]) -> Schedule:
     except (KeyError, TypeError, ValueError) as exc:
         raise InvalidParameterError(f"malformed schedule payload: {exc}") from exc
     return schedule
+
+
+def save_schedule(
+    path: str,
+    graph: Graph,
+    schedule: Schedule | ScheduleFrame,
+    *,
+    k: int | None = None,
+) -> None:
+    """Write one self-contained schedule file (graph + columnar schedule).
+
+    ``k`` records the call-length bound the schedule claims to respect
+    (``None`` = unbounded); ``repro validate --schedule FILE`` re-checks
+    the claim without any other inputs.
+    """
+    payload = {
+        "format": SCHEDULE_FILE_FORMAT,
+        "k": k,
+        "graph": graph_to_dict(graph),
+        "schedule": frame_to_dict(schedule),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, separators=(",", ":"))
+
+
+def load_schedule(path: str) -> tuple[Graph, ScheduleFrame, int | None]:
+    """Read a file written by :func:`save_schedule`."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise InvalidParameterError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != SCHEDULE_FILE_FORMAT:
+        raise InvalidParameterError(
+            f"{path} is not a {SCHEDULE_FILE_FORMAT} file"
+        )
+    graph = graph_from_dict(payload.get("graph", {}))
+    frame = frame_from_dict(payload.get("schedule", {}))
+    k = payload.get("k")
+    return graph, frame, None if k is None else int(k)
 
 
 def certificate_for(
@@ -80,8 +198,8 @@ def certificate_for(
     by_source = {}
     for stack in all_sources_schedules(sh, srcs):
         for i in range(stack.n_schedules):
-            sched = stack.to_schedule(i, sort_calls=True)
-            by_source[sched.source] = schedule_to_dict(sched)
+            frame = stack.to_frame(i, sort_calls=True)
+            by_source[frame.source] = schedule_to_dict(frame)
     return {
         "format": "repro-kmlbg-certificate/1",
         "k": sh.k,
@@ -93,16 +211,18 @@ def certificate_for(
 
 
 def verify_certificate(payload: dict[str, Any]) -> bool:
-    """Re-validate a certificate from its JSON-compatible payload alone."""
+    """Re-validate a certificate from its JSON-compatible payload alone.
+
+    Validation goes through :func:`repro.api.validate` (engine ``auto``,
+    verdict-identical to the reference validator)."""
+    from repro.api import validate as api_validate
+
     if payload.get("format") != "repro-kmlbg-certificate/1":
         raise InvalidParameterError("unknown certificate format")
     graph = graph_from_dict(payload["graph"])
     k = int(payload["k"])
-    for sched_data in payload["schedules"]:
-        schedule = schedule_from_dict(sched_data)
-        if not validate_broadcast(graph, schedule, k).ok:
-            return False
-    return True
+    schedules = [schedule_from_dict(d) for d in payload["schedules"]]
+    return all(r.ok for r in api_validate(graph, schedules, k))
 
 
 def dump_certificate(payload: dict[str, Any], path: str) -> None:

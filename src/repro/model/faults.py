@@ -25,8 +25,9 @@ from __future__ import annotations
 import random
 
 from repro.core.sparse_hypercube import SparseHypercube
+from repro.frame import ScheduleBuilder
 from repro.graphs.base import Graph
-from repro.types import Call, Edge, Schedule, canonical_edge
+from repro.types import Edge, Schedule, canonical_edge
 from repro.util.bits import flip_dim
 
 __all__ = [
@@ -111,24 +112,24 @@ def attempt_broadcast_with_failures(
     unroutable (the schedule shape — one dimension per round — is kept,
     so a ``None`` does not prove the surviving graph is not a k-mlbg, only
     that the paper's scheme shape cannot be repaired)."""
-    schedule = Schedule(source=source)
+    builder = ScheduleBuilder(source)
     informed = [source]
     for dim in range(sh.n, sh.base_dims, -1):
-        calls = []
+        paths = []
         for w in sorted(informed):
             path = reach_and_flip_avoiding(sh, w, dim, failed)
             if path is None:
                 return None
-            calls.append(Call.via(path))
-        schedule.append_round(calls)
-        informed.extend(c.receiver for c in calls)
+            paths.append(path)
+        builder.add_round(paths)
+        informed.extend(p[-1] for p in paths)
     for dim in range(sh.base_dims, 0, -1):
-        calls = []
+        paths = []
         for w in sorted(informed):
             v = flip_dim(w, dim)
             if not _edge_ok(failed, w, v):
                 return None  # core edge failure is fatal at call length 1
-            calls.append(Call.direct(w, v))
-        schedule.append_round(calls)
-        informed.extend(c.receiver for c in calls)
-    return schedule
+            paths.append((w, v))
+        builder.add_round(paths)
+        informed.extend(p[-1] for p in paths)
+    return Schedule.from_frame(builder.build())

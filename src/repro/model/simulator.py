@@ -168,7 +168,14 @@ class LineNetworkSimulator:
 
         In strict mode an infeasible call raises; otherwise infeasible
         calls are dropped (their receivers stay uninformed) and recorded.
+        Accepts a columnar :class:`~repro.frame.ScheduleFrame` too; the
+        executor is inherently per-call, so the frame is walked through
+        its object view.
         """
+        if not hasattr(schedule, "rounds"):  # a ScheduleFrame
+            from repro.frame import as_schedule
+
+            schedule = as_schedule(schedule)
         if not (0 <= schedule.source < self.graph.n_vertices):
             raise InvalidScheduleError(f"source {schedule.source} not a vertex")
         informed: set[int] = {schedule.source}
@@ -208,9 +215,11 @@ class LineNetworkSimulator:
         Fast path: at bandwidth 1 a schedule the bitset validator accepts
         (completeness included, minimum-time not required) is exactly one
         the simulator would run without a single rejection, so the
-        per-call Python walk is skipped.  Anything the validator flags
-        falls through to :meth:`run` for the exact strict/lenient
-        semantics (strict mode still raises on the offending call).
+        per-call Python walk is skipped — for frames and frame-backed
+        schedules that path is purely columnar (no ``Call`` objects).
+        Anything the validator flags falls through to :meth:`run` for the
+        exact strict/lenient semantics (strict mode still raises on the
+        offending call).
         """
         if (
             self.bandwidth == 1

@@ -129,8 +129,16 @@ def validate_broadcast(
     """Check V1–V8 for a complete broadcast schedule.
 
     ``vertex_disjoint=True`` checks the Section-5 vertex-disjoint variant
-    of the model (see :func:`validate_round`).
+    of the model (see :func:`validate_round`).  Accepts a columnar
+    :class:`~repro.frame.ScheduleFrame` as well — the reference path
+    materializes the object view and walks it call by call (that
+    legibility is the point of the oracle; array-speed lives in
+    :mod:`repro.model.validator_fast` and :mod:`repro.engine.batch`).
     """
+    if not hasattr(schedule, "rounds"):  # a ScheduleFrame
+        from repro.frame import as_schedule
+
+        schedule = as_schedule(schedule)
     report = ValidationReport(ok=True, rounds=len(schedule.rounds))
     if not (0 <= schedule.source < graph.n_vertices):
         report.errors.append(f"source {schedule.source} not a vertex")

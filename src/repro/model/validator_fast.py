@@ -31,11 +31,13 @@ schedules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import weakref
+from dataclasses import dataclass, field
 from itertools import chain
 
 import numpy as np
 
+from repro.frame import ScheduleFrame, as_schedule
 from repro.graphs.base import Graph
 from repro.model.validator import (
     ValidationReport,
@@ -49,6 +51,7 @@ __all__ = [
     "FastValidator",
     "ScheduleLayout",
     "flatten_schedule",
+    "flatten_frame",
     "validate_broadcast_fast",
     "classify_error",
     "ERROR_CLASSES",
@@ -172,13 +175,38 @@ class ScheduleLayout:
         )
 
 
-def flatten_schedule(schedule: Schedule) -> tuple[ScheduleLayout, np.ndarray]:
+def flatten_frame(frame: ScheduleFrame) -> tuple[ScheduleLayout, np.ndarray]:
+    """A frame's layout plus its flat path-vertex row — no per-call work.
+
+    The layout is pure offset arithmetic over the frame's columnar
+    arrays; it is cached on the (frozen) frame, so repeated validation of
+    the same frame skips even that.
+    """
+    layout = getattr(frame, "_layout", None)
+    if layout is None:
+        layout = ScheduleLayout.from_counts(
+            frame.call_counts(), frame.call_lengths()
+        )
+        object.__setattr__(frame, "_layout", layout)
+    return layout, frame.path_verts
+
+
+def flatten_schedule(
+    schedule: Schedule | ScheduleFrame,
+) -> tuple[ScheduleLayout, np.ndarray]:
     """One pass over a schedule: its layout plus the flat path-vertex row.
 
     Shared by :class:`FastValidator` and the batch engine
     (:mod:`repro.engine.batch`) — one implementation of the index
-    arithmetic, two consumers.
+    arithmetic, two consumers.  Frames (and frame-backed schedules) take
+    the columnar shortcut: their layout derives from the offset arrays
+    without touching a single ``Call`` object.
     """
+    if isinstance(schedule, ScheduleFrame):
+        return flatten_frame(schedule)
+    frame = schedule.frame_or_none()
+    if frame is not None:
+        return flatten_frame(frame)
     rounds = schedule.rounds
     paths = [c.path for rnd in rounds for c in rnd.calls]
     counts = np.fromiter(
@@ -190,6 +218,23 @@ def flatten_schedule(schedule: Schedule) -> tuple[ScheduleLayout, np.ndarray]:
         chain.from_iterable(paths), dtype=np.int64, count=layout.n_items
     )
     return layout, flat
+
+
+@dataclass
+class _FrameScreenState:
+    """Validation state derived from one (frame, graph) pair.
+
+    Attached to the immutable frame (like its cached layout); holds the
+    call endpoints, canonical edge keys, the V1 missing-edge verdict,
+    and — per vertex-disjoint flag — the V3–V6 screen outcome
+    (informed-count trajectory, or None when some round fails)."""
+
+    graph_ref: "weakref.ref"
+    sources: np.ndarray
+    receivers: np.ndarray
+    keys: np.ndarray
+    missing_rounds: frozenset
+    screen: dict = field(default_factory=dict)
 
 
 class FastValidator:
@@ -213,6 +258,9 @@ class FastValidator:
         row = np.repeat(np.arange(self._n, dtype=np.int64), np.diff(indptr))
         upper = indices > row
         self._edge_keys = row[upper] * self._n + indices[upper]
+        # Sentinel-extended copy: searchsorted positions index it directly
+        # (position == size lands on the -1 sentinel, never a match).
+        self._edge_keys_sentinel = np.append(self._edge_keys, np.int64(-1))
 
     @property
     def edge_keys(self) -> np.ndarray:
@@ -236,11 +284,145 @@ class FastValidator:
         bits = np.unpackbits(raw, bitorder="little")[: self._n]
         return set(np.flatnonzero(bits).tolist())
 
+    # -- columnar happy-path screen -----------------------------------------
+
+    def _missing_edge_rounds(
+        self, keys: np.ndarray, layout: ScheduleLayout
+    ) -> frozenset[int]:
+        """Round indices containing a traversed non-edge (V1), batched."""
+        if not keys.size:
+            return frozenset()
+        if self._edge_keys.size:
+            pos = np.searchsorted(self._edge_keys, keys)
+            bad = self._edge_keys_sentinel[pos] != keys
+            if not bad.any():
+                return frozenset()
+            missing = np.flatnonzero(bad)
+        else:
+            missing = np.arange(keys.size)
+        return frozenset(_rounds_containing(missing, layout.edge_bounds[1:]))
+
+    def _frame_state(
+        self, frame: ScheduleFrame, layout: ScheduleLayout, flat: np.ndarray
+    ) -> "_FrameScreenState":
+        """The per-(frame, graph) validation state, cached on the frame.
+
+        Frames are immutable and validators are per-graph, so call
+        endpoints, canonical edge keys, the V1 verdict, and the V3–V6
+        screen results are all pure functions of the pair — computed on
+        first validation, reused by every later one (any graph, k, or
+        flag change recomputes what it must)."""
+        state = getattr(frame, "_screen_state", None)
+        if state is not None and state.graph_ref() is self.graph:
+            return state
+        n = self._n
+        sources = flat[layout.path_starts]
+        receivers = flat[layout.path_ends - 1]
+        us = flat[layout.us_idx]
+        vs = flat[layout.vs_idx]
+        keys = np.minimum(us, vs) * n + np.maximum(us, vs)
+        state = _FrameScreenState(
+            graph_ref=weakref.ref(self.graph),
+            sources=sources,
+            receivers=receivers,
+            keys=keys,
+            missing_rounds=self._missing_edge_rounds(keys, layout),
+            screen={},
+        )
+        object.__setattr__(frame, "_screen_state", state)
+        return state
+
+    def _screen_counts(
+        self,
+        source: int,
+        layout: ScheduleLayout,
+        flat: np.ndarray,
+        sources: np.ndarray,
+        receivers: np.ndarray,
+        keys: np.ndarray,
+        vertex_disjoint: bool,
+    ) -> np.ndarray | None:
+        """Per-round conditions V3–V6, vectorized across all rounds.
+
+        Returns the informed-count trajectory — identical to what the
+        round loop records — when every round passes; returns None when
+        *any* check fails, in which case the round loop decides.  Purely
+        an accept-path shortcut: it can never change a verdict, an error
+        string, or a statistic.  ``k`` plays no part in V3–V6 (V1/V2 are
+        screened by the caller), so a cached result holds for every k.
+        """
+        n = self._n
+        n_rounds = layout.n_rounds
+        round_of_call = np.repeat(
+            np.arange(n_rounds, dtype=np.int64), layout.counts
+        )
+        if receivers.size:
+            # V6 across all rounds at once: in a valid broadcast receivers
+            # are globally distinct and never the (pre-informed) source.
+            rs = np.sort(receivers)
+            if bool((rs[1:] == rs[:-1]).any()) or bool((receivers == source).any()):
+                return None
+        # Round in which each vertex becomes informed (source: before any).
+        inform_round = np.full(n, n_rounds, dtype=np.int64)
+        inform_round[source] = -1
+        inform_round[receivers] = round_of_call
+        if sources.size:
+            # V3: informed strictly before calling; V4: one call per caller
+            # per round (duplicate (round, caller) pairs sort adjacent).
+            if bool((inform_round[sources] >= round_of_call).any()):
+                return None
+            sk = np.sort(round_of_call * n + sources)
+            if bool((sk[1:] == sk[:-1]).any()):
+                return None
+        if keys.size:
+            # V5: edge-disjoint within each round.
+            round_of_edge = np.repeat(round_of_call, layout.lengths)
+            ek = np.sort(round_of_edge * (n * n) + keys)
+            if bool((ek[1:] == ek[:-1]).any()):
+                return None
+        if vertex_disjoint and flat.size:
+            round_of_item = np.repeat(round_of_call, layout.lengths + 1)
+            vk = np.sort(round_of_item * n + flat)
+            if bool((vk[1:] == vk[:-1]).any()):
+                return None
+        received = np.bincount(round_of_call, minlength=n_rounds)
+        return 1 + np.cumsum(received)
+
+    def _screened_report(
+        self,
+        counts: np.ndarray,
+        layout: ScheduleLayout,
+        *,
+        require_minimum_time: bool,
+    ) -> ValidationReport:
+        """The exact report for a schedule whose every round passed."""
+        n = self._n
+        n_rounds = layout.n_rounds
+        report = ValidationReport(
+            ok=True,
+            rounds=n_rounds,
+            informed_per_round=counts.tolist(),
+            max_call_length=layout.max_call_length,
+        )
+        n_informed = int(counts[-1]) if n_rounds else 1
+        if n_informed != n:
+            report.errors.append(
+                f"broadcast incomplete: {n_informed} of {n} informed"
+            )
+        if require_minimum_time:
+            need = minimum_broadcast_rounds(n)
+            if n_rounds != need:
+                report.errors.append(
+                    f"schedule uses {n_rounds} rounds, minimum time is {need}"
+                )
+        report.ok = not report.errors
+        return report
+
     # -- public API ---------------------------------------------------------
 
     def validate(
         self,
-        schedule: Schedule,
+        schedule: Schedule | ScheduleFrame,
         k: int,
         *,
         require_minimum_time: bool = True,
@@ -250,18 +432,31 @@ class FastValidator:
 
         Same :class:`ValidationReport`, same error strings (failing rounds
         are re-scanned with the reference ``validate_round``), same
-        verdict — just faster on valid schedules.
+        verdict — just faster on valid schedules.  Accepts the columnar
+        :class:`~repro.frame.ScheduleFrame` directly (or a frame-backed
+        ``Schedule`` view): the happy path then never materializes a
+        ``Call`` object — rounds are only built if one of them fails and
+        needs the reference re-scan for its exact error strings.
         """
         n = self._n
-        report = ValidationReport(ok=True, rounds=len(schedule.rounds))
+        report = ValidationReport(ok=True, rounds=len(schedule))
         if not (0 <= schedule.source < n):
             report.errors.append(f"source {schedule.source} not a vertex")
             report.ok = False
             return report
 
-        rounds = schedule.rounds
-        n_rounds = len(rounds)
+        sched_obj: Schedule | None = (
+            None if isinstance(schedule, ScheduleFrame) else schedule
+        )
+
+        def round_obj(idx: int):
+            nonlocal sched_obj
+            if sched_obj is None:
+                sched_obj = as_schedule(schedule)
+            return sched_obj.rounds[idx]
+
         layout, flat = flatten_schedule(schedule)
+        n_rounds = layout.n_rounds
         if flat.size and bool(((flat < 0) | (flat >= n)).any()):
             # Out-of-range path vertices: the reference raises
             # InvalidParameterError (Graph bounds check) rather than
@@ -269,42 +464,68 @@ class FastValidator:
             # instead of crashing the bitmask scatter with IndexError.
             return validate_broadcast(
                 self.graph,
-                schedule,
+                as_schedule(schedule),
                 k,
                 require_minimum_time=require_minimum_time,
                 vertex_disjoint=vertex_disjoint,
             )
         n_calls = layout.n_calls
         lengths = layout.lengths
-        sources = flat[layout.path_starts]
-        receivers = flat[layout.path_ends - 1]
-        us = flat[layout.us_idx]
-        vs = flat[layout.vs_idx]
-        keys = np.minimum(us, vs) * n + np.maximum(us, vs)
         call_bounds = layout.call_bounds
         edge_bounds = layout.edge_bounds
+        frame = (
+            schedule
+            if isinstance(schedule, ScheduleFrame)
+            else schedule.frame_or_none()
+        )
+        if frame is not None:
+            state = self._frame_state(frame, layout, flat)
+            sources, receivers, keys = state.sources, state.receivers, state.keys
+            missing_rounds = state.missing_rounds
+        else:
+            state = None
+            sources = flat[layout.path_starts]
+            receivers = flat[layout.path_ends - 1]
+            us = flat[layout.us_idx]
+            vs = flat[layout.vs_idx]
+            keys = np.minimum(us, vs) * n + np.maximum(us, vs)
+            missing_rounds = self._missing_edge_rounds(keys, layout)
 
         # Global batches: call lengths (V2) and edge existence (V1); the
         # owning rounds of any offender fall back to the reference scan.
-        suspect_rounds: set[int] = set()
-        overlong = np.flatnonzero(lengths > k)
-        if overlong.size:
-            suspect_rounds |= _rounds_containing(overlong, call_bounds[1:])
-        if keys.size:
-            if self._edge_keys.size:
-                pos = np.searchsorted(self._edge_keys, keys)
-                pos_c = np.minimum(pos, self._edge_keys.size - 1)
-                missing = np.flatnonzero(
-                    (pos != pos_c) | (self._edge_keys[pos_c] != keys)
-                )
+        suspect_rounds: set[int] = set(missing_rounds)
+        if n_calls and int(lengths.max()) > k:
+            suspect_rounds |= _rounds_containing(
+                np.flatnonzero(lengths > k), call_bounds[1:]
+            )
+
+        if not suspect_rounds:
+            # V1/V2 are clean everywhere: try the fully columnar accept
+            # path (per-round checks vectorized across rounds, cached on
+            # frames); fall through to the round loop only if some round
+            # fails one of them.
+            if state is not None and vertex_disjoint in state.screen:
+                counts = state.screen[vertex_disjoint]
             else:
-                missing = np.arange(keys.size)
-            if missing.size:
-                suspect_rounds |= _rounds_containing(missing, edge_bounds[1:])
+                counts = self._screen_counts(
+                    schedule.source,
+                    layout,
+                    flat,
+                    sources,
+                    receivers,
+                    keys,
+                    vertex_disjoint,
+                )
+                if state is not None:
+                    state.screen[vertex_disjoint] = counts
+            if counts is not None:
+                return self._screened_report(
+                    counts, layout, require_minimum_time=require_minimum_time
+                )
 
         informed = 1 << schedule.source
         full = self._full_mask
-        for idx, rnd in enumerate(rounds):
+        for idx in range(n_rounds):
             c0, c1 = int(call_bounds[idx]), int(call_bounds[idx + 1])
             e0, e1 = int(edge_bounds[idx]), int(edge_bounds[idx + 1])
             m = c1 - c0
@@ -328,7 +549,7 @@ class FastValidator:
                 report.errors.extend(
                     validate_round(
                         self.graph,
-                        rnd,
+                        round_obj(idx),
                         self._mask_to_set(informed),
                         k,
                         round_index=idx + 1,
@@ -357,7 +578,7 @@ class FastValidator:
 
 def validate_broadcast_fast(
     graph: Graph,
-    schedule: Schedule,
+    schedule: Schedule | ScheduleFrame,
     k: int,
     *,
     require_minimum_time: bool = True,

@@ -36,10 +36,11 @@ import random
 
 from repro.engine.cache import fast_validator_for, kernels_for
 from repro.engine.kernels import UNREACHED, GraphKernels, PenaltyState
+from repro.frame import ScheduleBuilder
 from repro.graphs.base import Graph
 from repro.model.validator import minimum_broadcast_rounds
 from repro.schedulers.registry import ScheduleRequest, scheduler
-from repro.types import Call, InvalidParameterError, Schedule
+from repro.types import InvalidParameterError, Schedule
 from repro.util.bits import iter_bits, mask_to_indices
 
 __all__ = ["heuristic_line_broadcast"]
@@ -47,11 +48,11 @@ __all__ = ["heuristic_line_broadcast"]
 
 def _final_round_by_flow(
     graph: Graph, informed: set[int], k: int
-) -> list[Call] | None:
+) -> list[tuple[int, ...]] | None:
     """Cover *all* remaining uninformed vertices in one round via max-flow
     path packing (the last round must inform everyone; greedy pairing is
-    easily suboptimal there).  Returns None if packing falls short or some
-    packed path exceeds k."""
+    easily suboptimal there).  Returns the call paths, or None if packing
+    falls short or some packed path exceeds k."""
     from repro.flows.paths import decompose_paths
 
     uninformed = set(graph.vertices()) - informed
@@ -62,10 +63,9 @@ def _final_round_by_flow(
     paths = decompose_paths(graph, informed, uninformed)
     if len(paths) < len(uninformed):
         return None
-    calls = [Call.via(p) for p in paths]
-    if any(c.length > k for c in calls):
+    if any(len(p) - 1 > k for p in paths):
         return None
-    return calls
+    return [tuple(p) for p in paths]
 
 
 def _pick_target(
@@ -100,8 +100,8 @@ def _build_round(
     *,
     shuffle: bool,
     sample_cap: int = 24,
-) -> list[Call]:
-    """One greedy round.
+) -> list[tuple[int, ...]]:
+    """One greedy round, as a list of call paths.
 
     Strategy (the order matters — it encodes the scheduling insights the
     tight cases need):
@@ -116,17 +116,17 @@ def _build_round(
     n = kern.n
     uninformed_count = n - informed_mask.bit_count()
     if rounds_left_after == 0:
-        flow_calls = _final_round_by_flow(
+        flow_paths = _final_round_by_flow(
             kern.graph, set(iter_bits(informed_mask)), k
         )
-        if flow_calls is not None:
-            return flow_calls
+        if flow_paths is not None:
+            return flow_paths
     callers = mask_to_indices(informed_mask)
     if shuffle:
         rng.shuffle(callers)
     used_mask = 0
     claimed_mask = 0
-    calls: list[Call] = []
+    calls: list[tuple[int, ...]] = []
     summary = kern.components(informed_mask)
     pstate = PenaltyState(
         kern, informed_mask, rounds_left_after, summary=summary
@@ -136,7 +136,7 @@ def _build_round(
     def place(caller: int, path: tuple[int, ...]) -> None:
         nonlocal used_mask, claimed_mask
         target = path[-1]
-        calls.append(Call.via(path))
+        calls.append(path)
         claimed_mask |= 1 << target
         pstate.commit(target)
         used_mask |= kern.path_edges_mask(path)
@@ -213,6 +213,8 @@ def heuristic_line_broadcast(
     ``k = None`` means unbounded call length (the general line model of
     [14]; equivalently k = N−1).  Returns a schedule informing all
     vertices within ``rounds`` (default ⌈log₂N⌉) rounds, or ``None``.
+    The result is a frozen frame-backed view (rounds are accumulated in
+    a :class:`~repro.frame.ScheduleBuilder`, never as per-call objects).
 
     Randomness is fully explicit: attempt 0 is deterministic (sorted
     callers, seeded scorer); later attempts shuffle caller order and
@@ -242,11 +244,11 @@ def heuristic_line_broadcast(
         else:
             attempt_rng = random.Random((seed << 20) ^ attempt)
         informed_mask = 1 << source
-        schedule = Schedule(source=source)
+        builder = ScheduleBuilder(source)
         ok = True
         for r in range(budget):
             remaining_after = budget - r - 1
-            calls = _build_round(
+            paths = _build_round(
                 kern,
                 informed_mask,
                 k_eff,
@@ -255,13 +257,13 @@ def heuristic_line_broadcast(
                 shuffle=(attempt > 0),
                 sample_cap=sample_cap,
             )
-            uninformed_left = n - informed_mask.bit_count() - len(calls)
-            if uninformed_left > 0 and not calls:
+            uninformed_left = n - informed_mask.bit_count() - len(paths)
+            if uninformed_left > 0 and not paths:
                 ok = False
                 break
-            schedule.append_round(calls)
-            for c in calls:
-                informed_mask |= 1 << c.receiver
+            builder.add_round(paths)
+            for p in paths:
+                informed_mask |= 1 << p[-1]
             if informed_mask == kern.full_mask:
                 break  # done — don't pad a surplus budget with empty rounds
             # early infeasibility: doubling + capacity prunes
@@ -269,11 +271,12 @@ def heuristic_line_broadcast(
                 ok = False
                 break
         if ok and informed_mask == kern.full_mask:
+            frame = builder.build()
             report = validator.validate(
-                schedule, k_eff, require_minimum_time=False
+                frame, k_eff, require_minimum_time=False
             )
             if report.ok:
-                return schedule
+                return Schedule.from_frame(frame)
     return None
 
 

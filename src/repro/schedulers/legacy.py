@@ -368,5 +368,7 @@ def heuristic_line_broadcast_legacy(
                 ok = False
                 break
         if ok and len(informed) == n:
-            return schedule
+            # The oracle boundary matches the engine schedulers: results
+            # are frozen once handed out (builders mutate, results don't).
+            return schedule.freeze()
     return None

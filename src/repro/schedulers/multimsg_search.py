@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.engine.cache import kernels_for
+from repro.frame import ScheduleBuilder
 from repro.graphs.base import Graph
 from repro.model.validator import minimum_broadcast_rounds
 from repro.schedulers.registry import ScheduleRequest, scheduler
@@ -281,10 +282,10 @@ def _multimsg_strategy(request: ScheduleRequest) -> tuple[Schedule | None, dict]
         return None, stats
     if n_messages == 1:
         # M = 1 is exactly Definition-1 broadcast: flatten to a Schedule.
-        sched = Schedule(source=request.source)
+        builder = ScheduleBuilder(request.source)
         for rnd in multi.rounds:
-            sched.append_round([mc.call for mc in rnd])
-        return sched, stats
+            builder.add_round([mc.call.path for mc in rnd])
+        return Schedule.from_frame(builder.build()), stats
     errors = validate_multimessage(request.graph, multi, request.k_effective)
     # An M > 1 schedule is not a Definition-1 Schedule, so the registry's
     # reference-validation step cannot apply; the multi-message validator

@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+from repro.frame import ScheduleFrame
 from repro.graphs.base import Graph
 from repro.model.validator import minimum_broadcast_rounds
 from repro.types import InvalidParameterError, Schedule
@@ -68,7 +69,13 @@ class ScheduleRequest:
 
 @dataclass
 class ScheduleResult:
-    """A strategy's answer to a :class:`ScheduleRequest`."""
+    """A strategy's answer to a :class:`ScheduleRequest`.
+
+    A found schedule is carried in both representations: ``frame`` is
+    the canonical columnar :class:`~repro.frame.ScheduleFrame` (what io,
+    the validators, and the batch engine consume), ``schedule`` the
+    frozen object view over the same frame.
+    """
 
     scheduler: str
     source: int
@@ -79,6 +86,7 @@ class ScheduleResult:
     seconds: float
     valid: bool | None = None
     stats: dict[str, Any] = field(default_factory=dict)
+    frame: "ScheduleFrame | None" = None
 
 
 # A strategy maps a request to (schedule-or-None, stats); the registry
@@ -155,21 +163,27 @@ def run_scheduler(
     """Run one registered strategy and wrap its answer in a
     :class:`ScheduleResult`.
 
-    With ``validate=True`` (the default) a returned schedule is checked by
-    the **reference** validator — minimum-time is required exactly when the
-    request left the round budget at the minimum.
+    Every found schedule comes back **frozen** (builder mutates, result
+    doesn't) with its columnar frame attached.  With ``validate=True``
+    (the default) the result is checked through :func:`repro.api.validate`
+    — engine ``auto``, whose verdicts and error strings equal the
+    reference validator's exactly — and minimum-time is required exactly
+    when the request left the round budget at the minimum.
     """
     spec = get_scheduler(name)
     t0 = time.perf_counter()
     sched, stats = spec.fn(request)
     seconds = time.perf_counter() - t0
     valid: bool | None = None
+    frame: ScheduleFrame | None = None
+    if sched is not None:
+        frame = sched.freeze().to_frame()
     if validate and sched is not None:
-        from repro.model.validator import validate_broadcast
+        from repro.api import validate as api_validate
 
-        report = validate_broadcast(
+        report = api_validate(
             request.graph,
-            sched,
+            frame,
             request.k_effective,
             require_minimum_time=(request.rounds is None),
         )
@@ -183,8 +197,9 @@ def run_scheduler(
         k=request.k,
         found=sched is not None or bool(stats.get("found")),
         schedule=sched,
-        rounds=len(sched.rounds) if sched is not None else stats.get("rounds"),
+        rounds=sched.num_rounds if sched is not None else stats.get("rounds"),
         seconds=seconds,
         valid=valid,
         stats=dict(stats),
+        frame=frame,
     )

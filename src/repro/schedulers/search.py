@@ -37,10 +37,11 @@ Complexity is exponential; intended for N ≲ 24 and small k.
 from __future__ import annotations
 
 from repro.engine.cache import kernels_for
+from repro.frame import ScheduleBuilder
 from repro.graphs.base import Graph
 from repro.model.validator import minimum_broadcast_rounds
 from repro.schedulers.registry import ScheduleRequest, scheduler
-from repro.types import Call, InvalidParameterError, ReproError, Schedule
+from repro.types import InvalidParameterError, ReproError, Schedule
 from repro.util.bits import mask_to_indices
 
 __all__ = [
@@ -84,7 +85,7 @@ def find_minimum_time_schedule(
     failed: set[tuple[int, int]] = set()
     nodes = 0
 
-    def solve(informed: int, r: int) -> list[list[Call]] | None:
+    def solve(informed: int, r: int) -> list[list[tuple[int, ...]]] | None:
         nonlocal nodes
         nodes += 1
         if nodes > node_budget:
@@ -101,13 +102,13 @@ def find_minimum_time_schedule(
             return None
         callers = mask_to_indices(informed)
         targets_all = full ^ informed
-        result: list[list[Call]] | None = None
+        result: list[list[tuple[int, ...]]] | None = None
 
         def assign(
             idx: int,
             used: int,
             claimed: int,
-            calls: list[Call],
+            calls: list[tuple[int, ...]],
         ) -> bool:
             nonlocal result
             nonlocal nodes
@@ -120,8 +121,8 @@ def find_minimum_time_schedule(
                 if not calls:
                     return False  # no progress: dead round
                 new_informed = informed
-                for c in calls:
-                    new_informed |= 1 << c.receiver
+                for p in calls:
+                    new_informed |= 1 << p[-1]
                 rest = solve(new_informed, r + 1)
                 if rest is not None:
                     result = [calls[:]] + rest
@@ -131,7 +132,7 @@ def find_minimum_time_schedule(
             available = targets_all & ~claimed
             for path in kern.enumerate_paths(caller, k, used, available):
                 edges = kern.path_edges_mask(path)
-                calls.append(Call.via(path))
+                calls.append(path)
                 if assign(
                     idx + 1, used | edges, claimed | (1 << path[-1]), calls
                 ):
@@ -146,13 +147,13 @@ def find_minimum_time_schedule(
         failed.add(key)
         return None
 
-    rounds_calls = solve(1 << source, 0)
-    if rounds_calls is None:
+    rounds_paths = solve(1 << source, 0)
+    if rounds_paths is None:
         return None
-    schedule = Schedule(source=source)
-    for calls in rounds_calls:
-        schedule.append_round(calls)
-    return schedule
+    builder = ScheduleBuilder(source)
+    for paths in rounds_paths:
+        builder.add_round(paths)
+    return Schedule.from_frame(builder.build())
 
 
 def minimum_kline_rounds(

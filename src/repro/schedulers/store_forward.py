@@ -12,9 +12,10 @@ a 1-mlbg (the deleted dimension edges are irreplaceable at k = 1).
 
 from __future__ import annotations
 
+from repro.frame import ScheduleBuilder
 from repro.graphs.base import Graph
 from repro.schedulers.registry import ScheduleRequest, scheduler
-from repro.types import Call, InvalidParameterError, Schedule
+from repro.types import InvalidParameterError, Schedule
 from repro.util.bits import flip_dim
 
 __all__ = ["binomial_hypercube_broadcast", "dimension_order_broadcast"]
@@ -45,13 +46,13 @@ def dimension_order_broadcast(n: int, source: int, dims: list[int]) -> Schedule:
         raise InvalidParameterError(
             f"dims must be a permutation of 1..{n}, got {dims}"
         )
-    schedule = Schedule(source=source)
+    builder = ScheduleBuilder(source)
     informed = [source]
     for dim in dims:
-        calls = [Call.direct(w, flip_dim(w, dim)) for w in sorted(informed)]
-        schedule.append_round(calls)
-        informed.extend(c.receiver for c in calls)
-    return schedule
+        paths = [(w, flip_dim(w, dim)) for w in sorted(informed)]
+        builder.add_round(paths)
+        informed.extend(p[-1] for p in paths)
+    return Schedule.from_frame(builder.build())
 
 
 def hypercube_graph_for(n: int) -> Graph:

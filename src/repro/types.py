@@ -26,7 +26,7 @@ paper (1-indexed, dimension 1 = least significant bit) corresponds to bit
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 Vertex = int
@@ -157,35 +157,179 @@ class Round:
         return max((c.length for c in self.calls), default=0)
 
 
-@dataclass
+class _FrozenRounds(list):
+    """A list view that rejects mutation (rounds of a frozen schedule)."""
+
+    def _reject(self, *_args, **_kwargs):
+        raise InvalidParameterError(
+            "schedule is frozen; its rounds cannot be mutated"
+        )
+
+    append = extend = insert = remove = clear = _reject
+    pop = sort = reverse = _reject
+    __setitem__ = __delitem__ = __iadd__ = __imul__ = _reject
+
+
 class Schedule:
     """A complete broadcast schedule: the source plus an ordered round list.
 
     A schedule makes **no** claims about its own validity; use
-    :func:`repro.model.validator.validate_broadcast` (or the simulator) to
-    check it against a graph and a call-length bound ``k``.
+    :func:`repro.api.validate` (or the simulator) to check it against a
+    graph and a call-length bound ``k``.
+
+    Since the columnar redesign a ``Schedule`` is a *view* over the
+    canonical interchange format, :class:`repro.frame.ScheduleFrame`:
+
+    * ``Schedule.from_frame(frame)`` wraps a frame without materializing
+      any ``Call`` objects — rounds are built lazily on first access, so
+      array-native consumers (the fast/batch validators) never pay
+      object-per-call cost;
+    * ``schedule.to_frame()`` is the lossless inverse (property-pinned);
+    * schedulers and engines return **frozen** schedules (builder mutates,
+      result doesn't): ``append_round`` and round-list mutation raise on a
+      frozen schedule, exactly like ``Graph`` after ``freeze()``.
     """
 
-    source: Vertex
-    rounds: list[Round] = field(default_factory=list)
+    __slots__ = ("source", "_rounds", "_frame", "_frozen")
+
+    def __init__(
+        self,
+        source: Vertex,
+        rounds: Sequence[Round] | None = None,
+    ) -> None:
+        self.source = source
+        self._rounds: list[Round] | None = list(rounds) if rounds is not None else []
+        self._frame = None
+        self._frozen = False
+
+    # -- frame interop ------------------------------------------------------
+
+    @classmethod
+    def from_frame(cls, frame) -> "Schedule":
+        """A frozen object view over a :class:`~repro.frame.ScheduleFrame`.
+
+        No ``Call``/``Round`` objects are created until ``rounds`` is
+        first touched; consumers that speak arrays (the fast validator,
+        the batch engine, io) read the frame directly.
+        """
+        schedule = cls.__new__(cls)
+        schedule.source = frame.source
+        schedule._rounds = None
+        schedule._frame = frame
+        schedule._frozen = True
+        return schedule
+
+    def to_frame(self):
+        """The columnar form of this schedule (lossless round-trip).
+
+        Frozen schedules cache the frame; mutable ones rebuild it per
+        call (the rounds may change under us).
+        """
+        if self._frame is not None:
+            return self._frame
+        from repro.frame import ScheduleFrame
+
+        frame = ScheduleFrame.from_paths(
+            self.source, ([c.path for c in rnd] for rnd in self._rounds)
+        )
+        if self._frozen:
+            self._frame = frame
+        return frame
+
+    def frame_or_none(self):
+        """The cached frame if this schedule already has one (no build)."""
+        return self._frame
+
+    # -- rounds view --------------------------------------------------------
+
+    @property
+    def rounds(self) -> list[Round]:
+        if self._rounds is None:
+            self._rounds = _FrozenRounds(
+                Round(tuple(Call.via(p) for p in paths))
+                for paths in self._frame.iter_round_paths()
+            )
+        return self._rounds
+
+    @rounds.setter
+    def rounds(self, value: Sequence[Round]) -> None:
+        if self._frozen:
+            raise InvalidParameterError(
+                "schedule is frozen; cannot replace its rounds"
+            )
+        self._rounds = list(value)
+        self._frame = None
+
+    def append_round(self, calls: Sequence[Call]) -> None:
+        if self._frozen:
+            raise InvalidParameterError(
+                "schedule is frozen; cannot append rounds"
+            )
+        self._frame = None
+        self._rounds.append(Round(tuple(calls)))
+
+    # -- freezing -----------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> "Schedule":
+        """Mark the schedule immutable and return ``self`` (for chaining).
+
+        Schedulers and the batch engine freeze every schedule they hand
+        out, so a validated result cannot be silently edited afterwards.
+        """
+        if not self._frozen:
+            self._frozen = True
+            if self._rounds is not None and not isinstance(
+                self._rounds, _FrozenRounds
+            ):
+                self._rounds = _FrozenRounds(self._rounds)
+        return self
+
+    # -- inspection ---------------------------------------------------------
 
     def __iter__(self) -> Iterator[Round]:
         return iter(self.rounds)
 
     def __len__(self) -> int:
-        return len(self.rounds)
+        if self._rounds is None:
+            return self._frame.n_rounds
+        return len(self._rounds)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        if self.source != other.source:
+            return False
+        if self._frame is not None and self._frame is other._frame:
+            return True
+        return list(self.rounds) == list(other.rounds)
+
+    __hash__ = None  # mutable container semantics, like list
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(source={self.source}, rounds={len(self)}"
+            f"{', frozen' if self._frozen else ''})"
+        )
 
     @property
     def num_rounds(self) -> int:
-        return len(self.rounds)
+        return len(self)
 
     @property
     def num_calls(self) -> int:
-        return sum(len(r) for r in self.rounds)
+        if self._rounds is None:
+            return self._frame.n_calls
+        return sum(len(r) for r in self._rounds)
 
     def max_call_length(self) -> int:
         """The longest call in the schedule (the schedule's effective ``k``)."""
-        return max((r.max_call_length() for r in self.rounds), default=0)
+        if self._rounds is None:
+            return self._frame.max_call_length()
+        return max((r.max_call_length() for r in self._rounds), default=0)
 
     def informed_after(self, t: int) -> set[Vertex]:
         """Vertices informed after the first ``t`` rounds (source included).
@@ -193,13 +337,12 @@ class Schedule:
         This replays receivers without checking feasibility; it is a
         convenience for inspection, not a validator.
         """
+        if self._rounds is None:
+            return self._frame.informed_after(t)
         informed = {self.source}
-        for r in self.rounds[:t]:
+        for r in self._rounds[:t]:
             informed.update(r.receivers())
         return informed
 
     def all_informed(self) -> set[Vertex]:
-        return self.informed_after(len(self.rounds))
-
-    def append_round(self, calls: Sequence[Call]) -> None:
-        self.rounds.append(Round(tuple(calls)))
+        return self.informed_after(len(self))

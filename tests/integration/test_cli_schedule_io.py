@@ -1,0 +1,116 @@
+"""Subprocess round-trip for the schedule-file CLI:
+``repro schedule --out FILE`` → ``repro validate --schedule FILE``.
+
+Error paths follow the repository-wide convention: exit code 2, one
+line on stderr, never a traceback (see test_cli_errors.py)."""
+
+import json
+
+from test_cli_errors import assert_clean_failure, run_cli
+
+
+class TestScheduleOutValidateRoundTrip:
+    def test_roundtrip_all_engines(self, tmp_path):
+        out = tmp_path / "sched.json"
+        proc = run_cli(
+            "schedule",
+            "--graph",
+            "hypercube:3",
+            "--scheduler",
+            "search",
+            "--k",
+            "1",
+            "--out",
+            str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert f"wrote {out}" in proc.stdout
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "repro-schedule-file/1"
+        assert payload["schedule"]["format"] == "repro-schedule/2"
+        assert payload["k"] == 1
+        for engine in ("auto", "reference", "fast", "batch"):
+            check = run_cli("validate", "--schedule", str(out), "--engine", engine)
+            assert check.returncode == 0, (engine, check.stderr)
+            assert "yes" in check.stdout
+
+    def test_invalid_schedule_exits_one(self, tmp_path):
+        out = tmp_path / "sched.json"
+        proc = run_cli(
+            "schedule",
+            "--graph",
+            "hypercube:3",
+            "--scheduler",
+            "store_forward",
+            "--out",
+            str(out),
+        )
+        assert proc.returncode == 0
+        payload = json.loads(out.read_text())
+        # claim k = 0 < every call's length: the file now lies
+        payload["k"] = 0
+        out.write_text(json.dumps(payload))
+        proc = run_cli("validate", "--schedule", str(out))
+        assert proc.returncode == 1, proc.stdout
+        assert "error:" in proc.stdout
+        assert "Traceback" not in proc.stderr
+
+    def test_malformed_json_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert_clean_failure(
+            run_cli("validate", "--schedule", str(bad)), needle="not valid JSON"
+        )
+
+    def test_wrong_format_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "bogus"}))
+        assert_clean_failure(
+            run_cli("validate", "--schedule", str(bad)),
+            needle="repro-schedule-file/1",
+        )
+
+    def test_missing_file_exits_two(self, tmp_path):
+        assert_clean_failure(
+            run_cli("validate", "--schedule", str(tmp_path / "nope.json"))
+        )
+
+    def test_loop_engine_rejected_in_file_mode(self, tmp_path):
+        out = tmp_path / "sched.json"
+        proc = run_cli(
+            "schedule",
+            "--graph",
+            "hypercube:3",
+            "--scheduler",
+            "search",
+            "--k",
+            "1",
+            "--out",
+            str(out),
+        )
+        assert proc.returncode == 0
+        assert_clean_failure(
+            run_cli("validate", "--schedule", str(out), "--engine", "loop"),
+            needle="loop",
+        )
+
+    def test_validate_without_inputs_exits_two(self):
+        assert_clean_failure(run_cli("validate"), needle="--schedule")
+
+    def test_sweep_flags_rejected_in_file_mode(self, tmp_path):
+        out = tmp_path / "sched.json"
+        out.write_text("{}")  # never opened: the flag conflict wins
+        assert_clean_failure(
+            run_cli("validate", "--schedule", str(out), "--n", "6"),
+            needle="cannot be combined",
+        )
+        assert_clean_failure(
+            run_cli("validate", "--schedule", str(out), "--all-sources"),
+            needle="cannot be combined",
+        )
+
+    def test_api_engine_rejected_in_sweep_mode(self):
+        assert_clean_failure(
+            run_cli("validate", "--n", "4", "--engine", "fast"),
+            needle="--engine fast",
+        )

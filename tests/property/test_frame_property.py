@@ -1,0 +1,146 @@
+"""Property pins for the columnar schedule core.
+
+Two contracts from the redesign:
+
+* **Lossless round-trip** — random scheme-generated schedules survive
+  ``Schedule ⇄ ScheduleFrame ⇄ JSON(v2)`` byte-exactly (same source,
+  same per-round call paths, equal frames), and the v1 codec still reads
+  what it always wrote.
+* **Engine agreement** — ``repro.api.validate`` returns the same verdict
+  and the same error-string list for every engine
+  (reference/fast/batch/auto) on randomly corrupted schedules, whether
+  the input is the object view or the frame.
+
+Corruptions reuse the structural mutations of
+``test_validator_fast_property`` (shared-edge, duplicate caller,
+dropped/duplicated rounds, over-length, bad-path, …).
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from test_validator_fast_property import MUTATIONS
+
+from repro import api
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct_base
+from repro.frame import ScheduleFrame
+from repro.io import (
+    frame_from_dict,
+    frame_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.types import Schedule
+
+COMMON = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def random_schedule(n, m_seed, src_seed):
+    m = 1 + m_seed % (n - 1)
+    sh = construct_base(n, m)
+    return sh.graph, broadcast_schedule(sh, src_seed % sh.n_vertices)
+
+
+def paths_of(schedule: Schedule):
+    return [[c.path for c in rnd] for rnd in schedule.rounds]
+
+
+class TestLosslessRoundTrip:
+    @COMMON
+    @given(
+        n=st.integers(3, 6),
+        m_seed=st.integers(0, 10**6),
+        src_seed=st.integers(0, 10**6),
+    )
+    def test_schedule_frame_json_v2(self, n, m_seed, src_seed):
+        _g, sched = random_schedule(n, m_seed, src_seed)
+        frame = sched.to_frame()
+
+        # Schedule -> frame -> Schedule
+        view = Schedule.from_frame(frame)
+        assert view == sched
+        assert paths_of(view) == paths_of(sched)
+
+        # frame -> JSON(v2) text -> frame (exact arrays)
+        payload = json.loads(json.dumps(frame_to_dict(frame)))
+        assert frame_from_dict(payload) == frame
+
+        # the sniffing loader agrees for both codec versions
+        for version in (1, 2):
+            data = json.loads(json.dumps(schedule_to_dict(sched, version=version)))
+            loaded = schedule_from_dict(data)
+            assert loaded == sched
+            assert loaded.to_frame() == frame
+
+    @COMMON
+    @given(
+        n=st.integers(3, 6),
+        m_seed=st.integers(0, 10**6),
+        src_seed=st.integers(0, 10**6),
+    )
+    def test_v1_and_v2_payload_equivalence(self, n, m_seed, src_seed):
+        """Both codecs describe the same schedule; v2 is never larger
+        than ~the flat vertex data it must carry."""
+        _g, sched = random_schedule(n, m_seed, src_seed)
+        v1 = schedule_to_dict(sched, version=1)
+        v2 = schedule_to_dict(sched, version=2)
+        assert schedule_from_dict(v1) == schedule_from_dict(v2)
+        assert v2["path_verts"] == [v for rnd in v1["rounds"] for p in rnd for v in p]
+
+
+class TestEngineAgreement:
+    @COMMON
+    @given(
+        n=st.integers(3, 6),
+        m_seed=st.integers(0, 10**6),
+        src_seed=st.integers(0, 10**6),
+        mut_idx=st.integers(0, len(MUTATIONS) - 1),
+        rng_seed=st.integers(0, 10**6),
+        as_frame_input=st.booleans(),
+    )
+    def test_same_verdict_and_errors_across_engines(
+        self, n, m_seed, src_seed, mut_idx, rng_seed, as_frame_input
+    ):
+        import random
+
+        g, sched = random_schedule(n, m_seed, src_seed)
+        rng = random.Random(rng_seed)
+        mutated, k = MUTATIONS[mut_idx](g, sched, 2, rng)
+        subject = mutated.to_frame() if as_frame_input else mutated
+
+        reports = {
+            engine: api.validate(g, subject, k, engine=engine)
+            for engine in api.ENGINES
+        }
+        reference = reports["reference"]
+        for engine, report in reports.items():
+            assert report.ok == reference.ok, engine
+            assert report.errors == reference.errors, engine
+            assert report.rounds == reference.rounds, engine
+            assert report.informed_per_round == reference.informed_per_round
+            assert report.max_call_length == reference.max_call_length
+        if mut_idx == 0:
+            assert reference.ok  # the schemes generate valid schedules
+
+    @COMMON
+    @given(
+        n=st.integers(3, 5),
+        m_seed=st.integers(0, 10**6),
+        srcs_seed=st.integers(0, 10**6),
+    )
+    def test_list_validation_matches_singles(self, n, m_seed, srcs_seed):
+        m = 1 + m_seed % (n - 1)
+        sh = construct_base(n, m)
+        g = sh.graph
+        sources = [(srcs_seed + i) % sh.n_vertices for i in range(3)]
+        frames = [broadcast_schedule(sh, s).to_frame() for s in sources]
+        batch_reports = api.validate(g, frames, 2, engine="batch")
+        for frame, report in zip(frames, batch_reports):
+            single = api.validate(g, frame, 2, engine="fast")
+            assert report.ok == single.ok
+            assert report.errors == single.errors
+            assert isinstance(frame, ScheduleFrame)

@@ -7,9 +7,13 @@ from repro.core.construct import construct, construct_base
 from repro.io import (
     certificate_for,
     dump_certificate,
+    frame_from_dict,
+    frame_to_dict,
     graph_from_dict,
     graph_to_dict,
     load_certificate,
+    load_schedule,
+    save_schedule,
     schedule_from_dict,
     schedule_to_dict,
     verify_certificate,
@@ -42,6 +46,54 @@ class TestScheduleRoundtrip:
     def test_malformed_rejected(self):
         with pytest.raises(InvalidParameterError):
             schedule_from_dict({"rounds": []})
+
+
+class TestColumnarCodecV2:
+    def make(self):
+        sh = construct_base(5, 2)
+        return sh.graph, broadcast_schedule(sh, 3)
+
+    def test_frame_roundtrip(self):
+        _g, sched = self.make()
+        frame = sched.to_frame()
+        assert frame_from_dict(frame_to_dict(frame)) == frame
+
+    def test_v2_sniffed_by_schedule_loader(self):
+        _g, sched = self.make()
+        loaded = schedule_from_dict(schedule_to_dict(sched, version=2))
+        assert loaded == sched
+
+    def test_v1_output_unchanged_by_redesign(self):
+        _g, sched = self.make()
+        v1 = schedule_to_dict(sched)
+        assert set(v1) == {"source", "rounds"}  # no format marker: legacy shape
+        assert schedule_to_dict(sched.to_frame(), version=1) == v1
+
+    def test_unknown_version_rejected(self):
+        _g, sched = self.make()
+        with pytest.raises(InvalidParameterError):
+            schedule_to_dict(sched, version=3)
+
+    def test_malformed_v2_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            frame_from_dict({"format": "repro-schedule/2", "source": 0})
+        with pytest.raises(InvalidParameterError):
+            frame_from_dict({"format": "bogus"})
+
+    def test_schedule_file_roundtrip(self, tmp_path):
+        graph, sched = self.make()
+        path = str(tmp_path / "sched.json")
+        save_schedule(path, graph, sched, k=2)
+        g2, frame, k = load_schedule(path)
+        assert g2 == graph
+        assert k == 2
+        assert frame == sched.to_frame()
+
+    def test_schedule_file_bad_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(InvalidParameterError):
+            load_schedule(str(path))
 
 
 class TestCertificates:
