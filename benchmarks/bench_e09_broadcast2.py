@@ -11,7 +11,9 @@ def test_e09_broadcast2_sweep(benchmark, print_once):
         rounds=1,
         iterations=1,
     )
-    print_once("e09", rows, "[E09] Theorem 4: Broadcast_2 sweep (valid ⇔ Definition 1 at k=2)")
+    print_once(
+        "e09", rows, "[E09] Theorem 4: Broadcast_2 sweep (valid ⇔ Definition 1 at k=2)"
+    )
     assert rows
     for row in rows:
         assert row["valid (≤2)"], row

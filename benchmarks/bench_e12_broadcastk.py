@@ -7,7 +7,9 @@ def test_e12_broadcastk_sweep(benchmark, print_once):
     rows = benchmark.pedantic(
         lambda: experiment_e12_broadcastk(sources_cap=10), rounds=1, iterations=1
     )
-    print_once("e12", rows, "[E12] Theorem 6: Broadcast_k sweep (valid ⇔ Definition 1 at k)")
+    print_once(
+        "e12", rows, "[E12] Theorem 6: Broadcast_k sweep (valid ⇔ Definition 1 at k)"
+    )
     assert rows
     for row in rows:
         assert row["valid (≤k)"], row

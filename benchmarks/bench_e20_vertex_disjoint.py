@@ -4,9 +4,7 @@ from repro.analysis.experiments import experiment_e20_vertex_disjoint
 
 
 def test_e20_vertex_disjoint(benchmark, print_once):
-    rows = benchmark.pedantic(
-        experiment_e20_vertex_disjoint, rounds=1, iterations=1
-    )
+    rows = benchmark.pedantic(experiment_e20_vertex_disjoint, rounds=1, iterations=1)
     print_once("e20", rows, "[E20] §5: vertex-disjoint k-line model")
     construct_rows = [r for r in rows if r["instance"].startswith("Construct")]
     tree_rows = [r for r in rows if r["instance"].startswith("Theorem-1")]

@@ -5,7 +5,11 @@ from repro.analysis.experiments import experiment_e21_wormhole
 
 def test_e21_wormhole(benchmark, print_once):
     rows = benchmark.pedantic(experiment_e21_wormhole, rounds=1, iterations=1)
-    print_once("e21", rows, "[E21] Wormhole cycles: Q_n (k=1) vs sparse (k=2,3), by message size")
+    print_once(
+        "e21",
+        rows,
+        "[E21] Wormhole cycles: Q_n (k=1) vs sparse (k=2,3), by message size",
+    )
     q_key = "Q_n cycles (Δ=10)"
     sparse_keys = [k for k in rows[0] if k.startswith("sparse k=2")]
     assert sparse_keys

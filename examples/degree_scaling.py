@@ -38,9 +38,7 @@ def main() -> None:
             d_analytic = degree_formula_for_thresholds(n, analytic)
             opt = optimized_params(k, n, exhaustive_limit=30_000)
             d_opt = degree_formula_for_thresholds(n, opt)
-            bound = (
-                upper_bound_theorem5(n) if k == 2 else upper_bound_theorem7(n, k)
-            )
+            bound = upper_bound_theorem5(n) if k == 2 else upper_bound_theorem7(n, k)
             lower = degree_lower_bound(n, k)
             rows.append(
                 {

@@ -19,8 +19,17 @@ from repro.core.broadcast import broadcast_schedule
 from repro.core.construct import construct_base
 from repro.gossip import hypercube_gossip, sparse_hypercube_gossip, validate_gossip
 from repro.graphs.hypercube import hypercube
-from repro.io import certificate_for, dump_certificate, load_certificate, verify_certificate
-from repro.model.faults import attempt_broadcast_with_failures, failed_edge_sample, remove_edges
+from repro.io import (
+    certificate_for,
+    dump_certificate,
+    load_certificate,
+    verify_certificate,
+)
+from repro.model.faults import (
+    attempt_broadcast_with_failures,
+    failed_edge_sample,
+    remove_edges,
+)
 from repro.model.validator import validate_broadcast
 from repro.schedulers.multimsg_search import (
     find_multimessage_schedule,
@@ -40,8 +49,10 @@ def main() -> None:
     q_rounds = hypercube_gossip(n).num_rounds
     s_sched = sparse_hypercube_gossip(sh)
     rep = validate_gossip(g, s_sched, 3)
-    print(f"1. gossip: Q_{n} sweeps in {q_rounds} rounds (k=1); sparse needs "
-          f"{s_sched.num_rounds} rounds at k=3 (valid={rep.ok}, complete={rep.complete})")
+    print(
+        f"1. gossip: Q_{n} sweeps in {q_rounds} rounds (k=1); sparse needs "
+        f"{s_sched.num_rounds} rounds at k=3 (valid={rep.ok}, complete={rep.complete})"
+    )
 
     # 2. vertex-disjoint model
     sched = broadcast_schedule(sh, 0)
@@ -58,8 +69,10 @@ def main() -> None:
         else:
             assert validate_broadcast(remove_edges(g, failed), fixed, 2).ok
             repaired += 1
-    print(f"3. failures (f=2, 20 trials): repaired {repaired}, fatal {unrepaired} "
-          f"(every repair independently validated)")
+    print(
+        f"3. failures (f=2, 20 trials): repaired {repaired}, fatal {unrepaired} "
+        f"(every repair independently validated)"
+    )
 
     # 4. wormhole cycles
     for flits in (1, 32):
@@ -67,9 +80,13 @@ def main() -> None:
         q = hypercube(n)
         from repro.schedulers.store_forward import binomial_hypercube_broadcast
 
-        lat_q = schedule_latency(q, binomial_hypercube_broadcast(n, 0), flits).total_cycles
-        print(f"4. wormhole @{flits:>2} flits: Q_{n} {lat_q} cycles, sparse {lat_sparse} "
-              f"(+{100 * (lat_sparse / lat_q - 1):.0f}%)")
+        lat_q = schedule_latency(
+            q, binomial_hypercube_broadcast(n, 0), flits
+        ).total_cycles
+        print(
+            f"4. wormhole @{flits:>2} flits: Q_{n} {lat_q} cycles, "
+            f"sparse {lat_sparse} (+{100 * (lat_sparse / lat_q - 1):.0f}%)"
+        )
 
     # 5. multi-message optimum on Q3
     q3 = hypercube(3)
@@ -77,16 +94,20 @@ def main() -> None:
     assert find_multimessage_schedule(q3, 0, 1, 2, lb - 1) is None
     mm = find_multimessage_schedule(q3, 0, 1, 2, lb)
     assert mm is not None and validate_multimessage(q3, mm, 1) == []
-    print(f"5. multi-message: T(Q_3, 2 msgs, k=1) = {lb} exactly "
-          f"({lb - 1} refuted; serial would take 6)")
+    print(
+        f"5. multi-message: T(Q_3, 2 msgs, k=1) = {lb} exactly "
+        f"({lb - 1} refuted; serial would take 6)"
+    )
 
     # 6. certificates
     cert = certificate_for(construct_base(4, 2))
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as fh:
         path = fh.name
     dump_certificate(cert, path)
-    print(f"6. certificate: 16-source k-mlbg proof written to JSON and "
-          f"re-verified from disk: {verify_certificate(load_certificate(path))}")
+    print(
+        f"6. certificate: 16-source k-mlbg proof written to JSON and "
+        f"re-verified from disk: {verify_certificate(load_certificate(path))}"
+    )
 
 
 if __name__ == "__main__":

@@ -35,9 +35,7 @@ def main() -> None:
             via = "" if call.length == 1 else f"   (length-{call.length} call)"
             print(f"    {arrow}{via}")
         informed |= {c.receiver for c in rnd}
-        bits = " ".join(
-            to_bitstring(v, 4) for v in sorted(informed)
-        )
+        bits = " ".join(to_bitstring(v, 4) for v in sorted(informed))
         print(f"    informed ({len(informed)}): {bits}")
 
     print("\nAll 16 vertices informed in 4 = log2(16) rounds — minimum time.")

@@ -29,7 +29,8 @@ N_DIMS = 10  # the network has 2^10 = 1024 nodes
 def main() -> None:
     # 1. parameters: Theorem 5's m* minimizes the degree bound for k = 2
     m = theorem5_m_star(N_DIMS)
-    print(f"n = {N_DIMS}, m* = {m}, Theorem-5 bound: Δ ≤ {upper_bound_theorem5(N_DIMS)}")
+    bound = upper_bound_theorem5(N_DIMS)
+    print(f"n = {N_DIMS}, m* = {m}, Theorem-5 bound: Δ ≤ {bound}")
 
     # 2. construction
     sh = construct_base(N_DIMS, m)
@@ -44,8 +45,10 @@ def main() -> None:
     # 3. the scheme: one call list per round, ⌈log₂N⌉ rounds total
     source = 0b1100100101
     sched = broadcast_schedule(sh, source)
-    print(f"\nbroadcast from {source:0{N_DIMS}b}: {len(sched.rounds)} rounds, "
-          f"{sched.num_calls} calls, longest call {sched.max_call_length()} edges")
+    print(
+        f"\nbroadcast from {source:0{N_DIMS}b}: {len(sched.rounds)} rounds, "
+        f"{sched.num_calls} calls, longest call {sched.max_call_length()} edges"
+    )
 
     # 4. independent validation against Definition 1 (k = 2)
     report = validate_broadcast(g, sched, k=2)
@@ -55,9 +58,11 @@ def main() -> None:
     # 5. simulation with statistics
     sim = LineNetworkSimulator(g, k=2)
     result = sim.run(sched)
-    print(f"simulator: {len(result.informed)}/{g.n_vertices} informed, "
-          f"call-length histogram {result.call_length_histogram}, "
-          f"peak edge load {max(result.max_edge_load_per_round)}")
+    print(
+        f"simulator: {len(result.informed)}/{g.n_vertices} informed, "
+        f"call-length histogram {result.call_length_histogram}, "
+        f"peak edge load {max(result.max_edge_load_per_round)}"
+    )
 
 
 if __name__ == "__main__":

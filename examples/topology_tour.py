@@ -68,10 +68,14 @@ def main() -> None:
     print(f"  G_{{8,3}} broadcasts in minimum time at k=2:          {ok}")
 
     # small instances, exact search
-    print(f"  C_8 is a 2-mlbg (exact search):                     "
-          f"{is_k_mlbg_exact(cycle_graph(8), 2)}")
-    print(f"  K_{{1,7}} is a 2-mlbg but not a 1-mlbg:               "
-          f"{is_k_mlbg_exact(star(8), 2)} / {not is_k_mlbg_exact(star(8), 1)}")
+    print(
+        f"  C_8 is a 2-mlbg (exact search):                     "
+        f"{is_k_mlbg_exact(cycle_graph(8), 2)}"
+    )
+    print(
+        f"  K_{{1,7}} is a 2-mlbg but not a 1-mlbg:               "
+        f"{is_k_mlbg_exact(star(8), 2)} / {not is_k_mlbg_exact(star(8), 1)}"
+    )
 
 
 if __name__ == "__main__":

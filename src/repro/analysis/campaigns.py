@@ -566,7 +566,7 @@ def _execute_scenario(sc: Scenario) -> tuple[str, object, float]:
     t0 = time.perf_counter()
     try:
         row = run_scenario(sc)
-    except Exception as exc:  # noqa: BLE001 — re-raised by the parent
+    except Exception as exc:  # broad by design: re-raised by the parent
         message = f"{type(exc).__name__}: {exc}"
         return "error", message, time.perf_counter() - t0
     return "ok", row, time.perf_counter() - t0
@@ -581,9 +581,7 @@ class CampaignRunner:
     ``repro clean-cache`` sweeps them too.
     """
 
-    def __init__(
-        self, *, jobs: int = 1, cache_dir: str | Path | None = None
-    ) -> None:
+    def __init__(self, *, jobs: int = 1, cache_dir: str | Path | None = None) -> None:
         if jobs < 1:
             raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
@@ -593,9 +591,7 @@ class CampaignRunner:
     def _cache_path(self, spec: CampaignSpec, sc: Scenario, digest: str) -> Path | None:
         if self.cache_dir is None:
             return None
-        return self.cache_dir / (
-            f"campaign-{spec.name}-s{sc.index:03d}-{digest}.json"
-        )
+        return self.cache_dir / (f"campaign-{spec.name}-s{sc.index:03d}-{digest}.json")
 
     def _cache_load(self, path: Path | None, digest: str) -> dict | None:
         if path is None or not path.exists():
@@ -609,7 +605,9 @@ class CampaignRunner:
         row = payload.get("row")
         return row if isinstance(row, dict) else None
 
-    def _cache_store(self, path: Path | None, sc: Scenario, digest: str, row: dict) -> None:
+    def _cache_store(
+        self, path: Path | None, sc: Scenario, digest: str, row: dict
+    ) -> None:
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -621,7 +619,7 @@ class CampaignRunner:
             "row": row,
         }
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(payload, indent=1))
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
         tmp.replace(path)
 
     def run(
@@ -717,7 +715,7 @@ def run_campaign_shard(
         ],
     }
     mpath = manifest_path(out_dir, spec, shard)
-    mpath.write_text(json.dumps(manifest, indent=1) + "\n")
+    mpath.write_text(json.dumps(manifest, indent=1, sort_keys=True) + "\n")
     if shard == (0, 1):
         write_chunk(artifact_path(out_dir, spec), rows)
     return chunk, manifest, rows

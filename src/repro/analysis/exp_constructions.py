@@ -48,9 +48,7 @@ def experiment_e06_g42() -> list[dict]:
     """G_{4,2}: structure versus the values stated/drawable from Figs 2–3."""
     sh = paper_g42()
     g = sh.graph
-    rule1_edges = sum(
-        1 for (u, v) in g.edges() if (u ^ v) in (1, 2)
-    )
+    rule1_edges = sum(1 for (u, v) in g.edges() if (u ^ v) in (1, 2))
     rule2_edges = g.n_edges - rule1_edges
     # Fig. 3 spot checks (paper coordinates, u_4u_3u_2u_1)
     fig3_pairs = [
@@ -286,7 +284,10 @@ def experiment_e14_topology_compare(*, n: int = 9) -> list[dict]:
 
     entries: list[tuple[str, object]] = [
         (f"Q_{n} (1-mlbg)", hypercube(n)),
-        (f"sparse k=2 (m*={theorem5_m_star(n)})", construct_base(n, theorem5_m_star(n)).graph),
+        (
+            f"sparse k=2 (m*={theorem5_m_star(n)})",
+            construct_base(n, theorem5_m_star(n)).graph,
+        ),
         ("sparse k=3", construct(3, n, theorem7_params(3, n)).graph),
         (f"folded Q_{n}", folded_hypercube(n)),
         (f"crossed CQ_{n}", crossed_cube(n)),
@@ -320,13 +321,16 @@ def experiment_e14_topology_compare(*, n: int = 9) -> list[dict]:
 # ---------------------------------------------------------------------------
 
 @experiment("e18", "Footnote 1: diameters vs k·log2 N")
-def experiment_e18_diameter(*, cases: tuple[tuple[int, int, tuple[int, ...]], ...] = (
-    (2, 8, (3,)),
-    (2, 10, (3,)),
-    (3, 8, (2, 5)),
-    (3, 10, (2, 5)),
-    (4, 10, (2, 4, 7)),
-)) -> list[dict]:
+def experiment_e18_diameter(
+    *,
+    cases: tuple[tuple[int, int, tuple[int, ...]], ...] = (
+        (2, 8, (3,)),
+        (2, 10, (3,)),
+        (3, 8, (2, 5)),
+        (3, 10, (2, 5)),
+        (4, 10, (2, 4, 7)),
+    ),
+) -> list[dict]:
     """Footnote 1: any k-mlbg has diameter ≤ k·log₂N.  Measured diameters
     of the constructions sit far below the bound (and modestly above
     Q_n's n), locating the open problem the footnote raises."""

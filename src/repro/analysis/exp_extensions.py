@@ -47,11 +47,11 @@ def experiment_e15_congestion(
         # merge two broadcasts from different sources into shared rounds:
         # round i = calls of both schedules (conflicts intended)
         other = broadcast_schedule(sh, g.n_vertices - 1)
-        from repro.types import Round, Schedule
+        from repro.types import Schedule
 
         merged = Schedule(source=0)
         for r1, r2 in zip(sched.rounds, other.rounds):
-            merged.rounds.append(Round(tuple(r1.calls + r2.calls)))
+            merged.append_round(r1.calls + r2.calls)
         needed = min_feasible_bandwidth(g, merged)
         # static conflict count: (round, edge) slots that exceed bandwidth 1
         # when the two broadcasts share rounds — the dilation Section 5 asks
@@ -89,7 +89,9 @@ def experiment_e15_congestion(
 # ---------------------------------------------------------------------------
 
 @experiment("e17", "Section 5: gossip under the k-line model")
-def experiment_e17_gossip(*, cases: tuple[tuple[int, int], ...] = ((4, 2), (6, 2), (8, 3), (10, 3))) -> list[dict]:
+def experiment_e17_gossip(
+    *, cases: tuple[tuple[int, int], ...] = ((4, 2), (6, 2), (8, 3), (10, 3))
+) -> list[dict]:
     """Gossip round counts: Q_n dimension sweep (optimal) vs the sparse
     hypercube's relayed sweep — quantifying why §5 flags gossip as a
     separate problem."""
@@ -166,6 +168,7 @@ def experiment_e19_faults(
             survivor = remove_edges(g, failed)
             if validate_broadcast(survivor, sched, sh.k).ok:
                 valid += 1
+        sound = "1.0" if repaired == valid else f"{valid}/{repaired}"
         rows.append(
             {
                 "graph": f"G_{{{n},{m}}}",
@@ -175,7 +178,7 @@ def experiment_e19_faults(
                 "repaired": repaired,
                 "repair rate": round(repaired / trials, 3),
                 "repaired & valid": valid,
-                "soundness (valid/repaired)": "1.0" if repaired == valid else f"{valid}/{repaired}",
+                "soundness (valid/repaired)": sound,
             }
         )
     return rows
@@ -253,7 +256,7 @@ def experiment_e21_wormhole(
     sparse graphs pay (k−1) extra cycles per round — an overhead fraction
     that *vanishes* as messages grow, while the degree saving is constant.
     """
-    from repro.schedulers.store_forward import binomial_hypercube_broadcast
+    from repro.schedulers import binomial_hypercube_broadcast
     from repro.wormhole import schedule_latency
 
     q = hypercube(n)
@@ -268,14 +271,15 @@ def experiment_e21_wormhole(
         lat_q = schedule_latency(q, q_sched, flits)
         lat_2 = schedule_latency(sh2.graph, sh2_sched, flits)
         lat_3 = schedule_latency(sh3.graph, sh3_sched, flits)
+        base = lat_q.total_cycles
         rows.append(
             {
                 "message flits": flits,
                 "Q_n cycles (Δ=10)": lat_q.total_cycles,
                 f"sparse k=2 cycles (Δ={sh2.degree_formula()})": lat_2.total_cycles,
                 f"sparse k=3 cycles (Δ={sh3.degree_formula()})": lat_3.total_cycles,
-                "k=2 overhead": f"{100 * (lat_2.total_cycles / lat_q.total_cycles - 1):.0f}%",
-                "k=3 overhead": f"{100 * (lat_3.total_cycles / lat_q.total_cycles - 1):.0f}%",
+                "k=2 overhead": f"{100 * (lat_2.total_cycles / base - 1):.0f}%",
+                "k=3 overhead": f"{100 * (lat_3.total_cycles / base - 1):.0f}%",
             }
         )
     return rows
@@ -291,7 +295,7 @@ def experiment_e22_multimessage() -> list[dict]:
     impossible (saturated callers), but genuine multi-message schedules
     beat serial — exact results on small instances."""
     from repro.multimsg import minimal_valid_stagger
-    from repro.schedulers.multimsg_search import (
+    from repro.schedulers import (
         find_multimessage_schedule,
         multimessage_lower_bound,
         validate_multimessage,
@@ -324,7 +328,10 @@ def experiment_e22_multimessage() -> list[dict]:
     )
     sh31 = construct_base(3, 1)
     found_sparse = find_multimessage_schedule(sh31.graph, 0, 2, 2, 5)
-    ok = found_sparse is not None and validate_multimessage(sh31.graph, found_sparse, 2) == []
+    ok = (
+        found_sparse is not None
+        and validate_multimessage(sh31.graph, found_sparse, 2) == []
+    )
     rows.append(
         {
             "instance": "G_{3,1}, M=2, k=2 (exact search)",

@@ -40,7 +40,9 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 @experiment("e01", "Fig. 1 + Theorem 1: Δ≤3 trees")
-def experiment_e01_theorem1(*, max_h: int = 6, schedule_h: int = 5, sources_cap: int = 12) -> list[dict]:
+def experiment_e01_theorem1(
+    *, max_h: int = 6, schedule_h: int = 5, sources_cap: int = 12
+) -> list[dict]:
     """Theorem 1: B_h structure for h ≤ max_h; minimum-time schedules
     machine-checked for h ≤ schedule_h (sampled sources above a cap)."""
     rows = []
@@ -74,7 +76,9 @@ def experiment_e01_theorem1(*, max_h: int = 6, schedule_h: int = 5, sources_cap:
 # ---------------------------------------------------------------------------
 
 @experiment("e02", "Theorems 2–3: degree lower bounds")
-def experiment_e02_lower_bounds(*, n_values: tuple[int, ...] = (4, 9, 16, 25, 36, 49, 64)) -> list[dict]:
+def experiment_e02_lower_bounds(
+    *, n_values: tuple[int, ...] = (4, 9, 16, 25, 36, 49, 64)
+) -> list[dict]:
     """Degree lower bounds: paper closed forms vs the exact ball bound."""
     rows = []
     for n in n_values:

@@ -54,9 +54,7 @@ def experiment_e23_scheduler_registry(
             params = {"restarts": restarts} if name == "greedy" else {}
             result = run_scheduler(
                 name,
-                ScheduleRequest(
-                    graph=graph, source=0, k=k, seed=seed, params=params
-                ),
+                ScheduleRequest(graph=graph, source=0, k=k, seed=seed, params=params),
             )
             row[f"rounds_{name}"] = (
                 result.rounds if result.schedule is not None else -1

@@ -37,7 +37,7 @@ from repro.core.params import (
 from repro.engine.batch import validate_all_sources
 from repro.engine.cache import fast_validator_for
 from repro.graphs.hypercube import hypercube
-from repro.schedulers.store_forward import binomial_hypercube_broadcast
+from repro.schedulers import binomial_hypercube_broadcast
 
 __all__ = [
     "experiment_e09_broadcast2",
@@ -87,7 +87,9 @@ def experiment_e09_broadcast2(
 # ---------------------------------------------------------------------------
 
 @experiment("e10", "Theorem 5: k=2 degree bound")
-def experiment_e10_theorem5(*, n_values: tuple[int, ...] = tuple(range(2, 65, 4))) -> list[dict]:
+def experiment_e10_theorem5(
+    *, n_values: tuple[int, ...] = tuple(range(2, 65, 4))
+) -> list[dict]:
     """Δ of Construct_BASE(n, m*) vs Theorem 5's bound and the Theorem 2
     lower bound; plus the n = m(m+2) remark rows (Δ = 2m < 2√n)."""
     rows = []
@@ -173,7 +175,9 @@ def experiment_e12_broadcastk(
 
 @experiment("e13", "Theorem 7 + corollaries: general k")
 def experiment_e13_theorem7(
-    *, ks: tuple[int, ...] = (3, 4, 5), n_values: tuple[int, ...] = (8, 16, 24, 32, 48, 64)
+    *,
+    ks: tuple[int, ...] = (3, 4, 5),
+    n_values: tuple[int, ...] = (8, 16, 24, 32, 48, 64),
 ) -> list[dict]:
     """Δ with Theorem 7's analytic parameters vs the bound, the improved
     k = 3 parameters, and the exhaustively optimized thresholds."""
@@ -227,7 +231,9 @@ def experiment_e13_theorem7(
 # ---------------------------------------------------------------------------
 
 @experiment("e16", "k=1 store-and-forward baseline")
-def experiment_e16_baseline_k1(*, n_values: tuple[int, ...] = (4, 6, 8, 10)) -> list[dict]:
+def experiment_e16_baseline_k1(
+    *, n_values: tuple[int, ...] = (4, 6, 8, 10)
+) -> list[dict]:
     """Store-and-forward baseline: Q_n broadcasts in n rounds at k = 1;
     the sparse hypercube needs k = 2 (its schedule contains length-2
     calls, and at k = 1 the validator rejects it)."""

@@ -177,9 +177,7 @@ def code_digest(spec: ExperimentSpec) -> str:
     its parameters) invalidates stale cache entries instead of silently
     serving rows computed by the old code.
     """
-    return source_digest(
-        spec.fn, f"{spec.fn.__module__}.{spec.fn.__qualname__}"
-    )
+    return source_digest(spec.fn, f"{spec.fn.__module__}.{spec.fn.__qualname__}")
 
 
 def params_digest(name: str, params: dict, *, code: str = "") -> str:

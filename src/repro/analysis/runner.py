@@ -116,13 +116,24 @@ class ExperimentRunner:
         try:
             payload = json.loads(path.read_text())
             rows = payload["rows"]
+            columns = payload["columns"]
         except (json.JSONDecodeError, KeyError, TypeError, OSError):
             return None  # truncated/corrupt entry — treat as a miss
         if not isinstance(payload, dict) or payload.get("digest") != digest:
             return None  # stale entry
-        return rows
+        # the entry is written sort_keys=True (byte determinism), so each
+        # row's display column order is restored from the stored list
+        try:
+            return [
+                {key: row[key] for key in cols}
+                for row, cols in zip(rows, columns, strict=True)
+            ]
+        except (KeyError, TypeError, ValueError):
+            return None  # columns out of sync with rows — treat as a miss
 
-    def _cache_store(self, name: str, digest: str, params: dict, rows: list[dict]) -> None:
+    def _cache_store(
+        self, name: str, digest: str, params: dict, rows: list[dict]
+    ) -> None:
         path = self._cache_path(name, digest)
         if path is None:
             return
@@ -131,11 +142,14 @@ class ExperimentRunner:
             "experiment": name,
             "digest": digest,
             "params": registry.jsonable(params),
+            # sort_keys normalizes the bytes below; column order is table
+            # semantics, so it is recorded as data rather than dict order
+            "columns": [list(row) for row in rows],
             "rows": rows,
         }
         # atomic write: an interrupted run must not leave a torn entry
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(payload, indent=1))
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
         tmp.replace(path)
 
     def clean_cache(self) -> int:
@@ -213,7 +227,8 @@ class ExperimentRunner:
         if to_run:
             tasks = [(name, params) for _, name, params, _ in to_run]
             outcomes = fan_out(_execute, tasks, self.jobs)
-            for (idx, name, params, digest), (_, rows, seconds) in zip(to_run, outcomes):
+            paired = zip(to_run, outcomes)
+            for (idx, name, params, digest), (_, rows, seconds) in paired:
                 self.stats.executed += 1
                 self.stats.per_experiment[name] = seconds
                 self._cache_store(name, digest, params, rows)

@@ -335,9 +335,7 @@ class _Aggregate:
         self.calls_known = False
         self.max_call_length = 0
 
-    def record(
-        self, rounds: int, calls: int | None, max_len: int, ok: bool
-    ) -> None:
+    def record(self, rounds: int, calls: int | None, max_len: int, ok: bool) -> None:
         self.found += 1
         if ok:
             self.valid += 1

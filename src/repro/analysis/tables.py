@@ -35,9 +35,7 @@ def format_table(
         return str(v)
 
     table = [[fmt(r.get(c, "")) for c in cols] for r in rows]
-    widths = [
-        max(len(c), *(len(row[i]) for row in table)) for i, c in enumerate(cols)
-    ]
+    widths = [max(len(c), *(len(row[i]) for row in table)) for i, c in enumerate(cols)]
     sep = "-+-".join("-" * w for w in widths)
     lines = []
     if title:

@@ -46,12 +46,18 @@ input, matching the rest of the library.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence, cast
 
 from repro.frame import ScheduleFrame, as_frame, as_schedule
 from repro.graphs.base import Graph
 from repro.model.validator import ValidationReport
 from repro.types import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.analysis.campaigns import CampaignSpec
+    from repro.core.sparse_hypercube import SparseHypercube
+    from repro.schedulers.registry import ScheduleResult
+    from repro.types import Schedule
 
 __all__ = [
     "ENGINES",
@@ -91,7 +97,7 @@ def schedule(
     seed: int = 0,
     params: Mapping[str, Any] | None = None,
     validate_result: bool = True,
-):
+) -> "ScheduleResult":
     """Run one registered scheduling strategy; returns its
     :class:`~repro.schedulers.registry.ScheduleResult`.
 
@@ -115,7 +121,7 @@ def schedule(
 
 def _validate_one(
     graph: Graph,
-    sched,
+    sched: "Schedule | ScheduleFrame",
     k: int,
     engine: str,
     *,
@@ -155,13 +161,13 @@ def _validate_one(
 
 def validate(
     graph: Graph,
-    schedules,
+    schedules: "Schedule | ScheduleFrame | Iterable[Schedule | ScheduleFrame]",
     k: int,
     *,
     engine: str = "auto",
     require_minimum_time: bool = True,
     vertex_disjoint: bool = False,
-):
+) -> ValidationReport | list[ValidationReport]:
     """Validate schedule(s) against Definition 1 on ``graph`` under ``k``.
 
     ``schedules`` may be a single :class:`~repro.types.Schedule` or
@@ -179,13 +185,13 @@ def validate(
     if single:
         return _validate_one(
             graph,
-            schedules,
+            cast("Schedule | ScheduleFrame", schedules),
             k,
             engine,
             require_minimum_time=require_minimum_time,
             vertex_disjoint=vertex_disjoint,
         )
-    items = list(schedules)
+    items = list(cast("Iterable[Schedule | ScheduleFrame]", schedules))
     if engine in ("auto", "batch") and graph.frozen:
         from repro.engine.cache import batch_validator_for
 
@@ -208,7 +214,9 @@ def validate(
     ]
 
 
-def certificate(sh, sources: Sequence[int] | None = None) -> dict:
+def certificate(
+    sh: "SparseHypercube", sources: Sequence[int] | None = None
+) -> dict[str, Any]:
     """A machine-checkable k-mlbg certificate for a sparse hypercube.
 
     Schedules come from the batch all-sources engine (coset-translated
@@ -221,13 +229,13 @@ def certificate(sh, sources: Sequence[int] | None = None) -> dict:
 
 
 def run_campaign(
-    spec,
+    spec: "str | CampaignSpec",
     *,
     shard: tuple[int, int] = (0, 1),
     out_dir: str = "campaign-results",
     jobs: int = 1,
     cache_dir: str | None = None,
-) -> list[dict]:
+) -> list[dict[str, Any]]:
     """Execute one shard of a scenario campaign; returns the result rows.
 
     ``spec`` is a built-in campaign name, a path to a campaign JSON
@@ -246,9 +254,9 @@ def run_campaign(
     return rows
 
 
-def frames_of(results: Iterable) -> list[ScheduleFrame]:
+def frames_of(results: Iterable[Any]) -> list[ScheduleFrame]:
     """Convenience: the frames of an iterable of schedules/frames/results."""
-    out = []
+    out: list[ScheduleFrame] = []
     for item in results:
         frame = getattr(item, "frame", None)
         out.append(frame if frame is not None else as_frame(item))

@@ -47,6 +47,13 @@ runner — see :mod:`repro.analysis.registry` / :mod:`repro.analysis.runner`):
     the chunks into one artifact byte-identical to an unsharded run.
     ``SPEC`` is a built-in name or a path to a JSON campaign file.
 
+``lint``
+    Run the project's AST-based invariant rules
+    (:mod:`repro.devtools`): ``repro lint src`` checks determinism and
+    immutability contracts (RL001..RL008), ``--list`` shows the rules,
+    ``--rule RL002 --format json`` narrows and machine-formats the
+    report.  Exit 0 = clean, 1 = violations.
+
 Legacy spellings from the sequential CLI era keep working:
 ``python -m repro e06``, ``python -m repro all``, ``--list`` and
 ``--export-csv DIR``.
@@ -68,6 +75,7 @@ _SUBCOMMANDS = (
     "schedule",
     "validate",
     "campaign",
+    "lint",
 )
 
 
@@ -195,9 +203,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     camp_sub = p_camp.add_subparsers(dest="campaign_action")
     camp_sub.add_parser("list", help="list built-in campaigns")
-    p_camp_run = camp_sub.add_parser(
-        "run", help="run one shard of a campaign grid"
-    )
+    p_camp_run = camp_sub.add_parser("run", help="run one shard of a campaign grid")
     p_camp_run.add_argument(
         "spec", metavar="SPEC",
         help="built-in campaign name or path to a .json campaign file",
@@ -230,6 +236,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out-dir", default="campaign-results", metavar="DIR",
         help="directory holding the shard chunks (default campaign-results)",
     )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the project's AST invariant rules (repro.devtools)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--rule", default=None, metavar="ID",
+        help="run a single rule, e.g. --rule RL002",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    p_lint.add_argument("--list", action="store_true", help="list registered rules")
     return parser
 
 
@@ -530,15 +554,37 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools import all_rules, lint_paths
+    from repro.devtools.analyzer import format_text
+    from repro.types import ReproError
+
+    if args.list:
+        for lint_rule in all_rules():
+            print(
+                f"{lint_rule.rule_id} [{lint_rule.severity}] "
+                f"{lint_rule.name}: {lint_rule.summary}"
+            )
+        return 0
+    try:
+        report = lint_paths(args.paths, rule_id=args.rule)
+    except (ReproError, OSError) as exc:
+        print(f"lint failed: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(format_text(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_run(names: list[str], *, jobs: int, cache: bool, cache_dir: str) -> int:
     known = registry.experiment_ids()
     if not names:
         names = known
     bad = [n for n in names if n.lower() not in known]
     if bad:
-        print(
-            f"unknown experiment {bad[0]!r}; use 'repro list'", file=sys.stderr
-        )
+        print(f"unknown experiment {bad[0]!r}; use 'repro list'", file=sys.stderr)
         return 2
     if jobs < 1:
         print(f"--jobs must be >= 1, got {jobs}", file=sys.stderr)
@@ -547,7 +593,8 @@ def _cmd_run(names: list[str], *, jobs: int, cache: bool, cache_dir: str) -> int
     results = runner.run([n.lower() for n in names])
     for res in results:
         origin = "cache" if res.cached else f"{res.seconds:.2f}s"
-        print(format_table(res.rows, title=f"[{res.name.upper()}] {res.title}  ({origin})"))
+        title = f"[{res.name.upper()}] {res.title}  ({origin})"
+        print(format_table(res.rows, title=title))
         print()
     stats = runner.stats
     print(
@@ -594,16 +641,19 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_validate(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     # "run"
     names = list(args.experiments)
     if args.all:
         names = []
     cache = args.cache or args.cache_dir is not None  # --cache-dir implies --cache
+    cache_dir = str(DEFAULT_CACHE_DIR) if args.cache_dir is None else args.cache_dir
     return _cmd_run(
         names,
         jobs=args.jobs,
         cache=cache,
-        cache_dir=args.cache_dir if args.cache_dir is not None else str(DEFAULT_CACHE_DIR),
+        cache_dir=cache_dir,
     )
 
 

@@ -176,6 +176,4 @@ class HammingCode:
 
     def minimum_distance_at_most(self, bound: int) -> bool:
         """Cheap check that some codeword has weight ≤ bound (true for 3)."""
-        return any(
-            0 < popcount(w) <= bound for w in self.codewords() if w != 0
-        )
+        return any(0 < popcount(w) <= bound for w in self.codewords() if w != 0)

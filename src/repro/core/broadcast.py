@@ -35,7 +35,9 @@ from repro.util.bits import flip_dim
 __all__ = ["broadcast_schedule", "broadcast_2", "broadcast_k", "phase1_round_calls"]
 
 
-def phase1_round_calls(sh: SparseHypercube, informed: list[int], dim: int) -> list[Call]:
+def phase1_round_calls(
+    sh: SparseHypercube, informed: list[int], dim: int
+) -> list[Call]:
     """The calls of the Phase-1 round for ``dim`` (> n_1), one per informed
     vertex, in iteration order.
 

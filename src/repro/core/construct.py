@@ -109,20 +109,18 @@ def construct_base(
     unless ``verify_labeling=False``).
     """
     if not (1 <= m < n):
-        raise InvalidParameterError(f"Construct_BASE needs 1 <= m < n, got m={m}, n={n}")
+        raise InvalidParameterError(
+            f"Construct_BASE needs 1 <= m < n, got m={m}, n={n}"
+        )
     f_star = labeling if labeling is not None else best_available_labeling(m)
     if f_star.m != m:
-        raise InvalidParameterError(
-            f"labeling is of Q_{f_star.m}, expected Q_{m}"
-        )
+        raise InvalidParameterError(f"labeling is of Q_{f_star.m}, expected Q_{m}")
     if verify_labeling and not f_star.verify():
         raise ConstructionError(
             "supplied labeling violates Condition A; Broadcast_2 would fail"
         )
     part = _normalize_partition(n, m, f_star.num_labels, partition, partition_style)
-    level = Level(
-        t=2, top=n, threshold=m, block_lo=0, labeling=f_star, partition=part
-    )
+    level = Level(t=2, top=n, threshold=m, block_lo=0, labeling=f_star, partition=part)
     return SparseHypercube(n=n, k=2, thresholds=(m,), levels=[level])
 
 

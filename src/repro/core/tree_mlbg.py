@@ -17,8 +17,10 @@ from __future__ import annotations
 from repro.graphs.base import Graph
 from repro.graphs.trees import balanced_ternary_core_tree, ternary_core_tree_order
 from repro.model.validator import assert_valid_broadcast, minimum_broadcast_rounds
-from repro.schedulers.greedy import heuristic_line_broadcast
-from repro.schedulers.search import find_minimum_time_schedule
+from repro.schedulers import (
+    find_minimum_time_schedule,
+    heuristic_line_broadcast,
+)
 from repro.types import InvalidParameterError, ReproError, Schedule
 
 __all__ = [
@@ -84,7 +86,9 @@ def theorem1_tree_broadcast(
     return schedule
 
 
-def verify_theorem1_instance(h: int, *, sources: list[int] | None = None, seed: int = 0) -> dict:
+def verify_theorem1_instance(
+    h: int, *, sources: list[int] | None = None, seed: int = 0
+) -> dict:
     """Machine-check Theorem 1 for one ``h``: structure + schedules.
 
     Returns a report dict used by experiment E01:

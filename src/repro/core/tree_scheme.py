@@ -91,9 +91,7 @@ def pump_calls(
     """
     i = pump_round
     if not (1 <= i <= tree.s + 1):
-        raise InvalidParameterError(
-            f"pump round {i} out of range 1..{tree.s + 1}"
-        )
+        raise InvalidParameterError(f"pump round {i} out of range 1..{tree.s + 1}")
     calls: list[tuple[int, ...]] = []
     # helper: right spine down to level i-1
     spine = tree.right_chain(0, i - 1)
@@ -127,7 +125,9 @@ def rootfed_calls(tree: _HeapTree, q_round: int) -> list[tuple[int, ...]]:
         return [(tree.to_global(0), tree.to_global(tree.left(0)))]
     calls: list[tuple[int, ...]] = []
     left_sub = _HeapTree(tree.s - 1, lambda x: tree.to_global(_embed(x, tree.left(0))))
-    right_sub = _HeapTree(tree.s - 1, lambda x: tree.to_global(_embed(x, tree.right(0))))
+    right_sub = _HeapTree(
+        tree.s - 1, lambda x: tree.to_global(_embed(x, tree.right(0)))
+    )
     calls.extend(rootfed_calls(left_sub, j - 1))
     calls.extend(pump_calls(right_sub, [tree.to_global(0)], j - 1))
     return calls
@@ -171,9 +171,7 @@ def ternary_tree_schedule(h: int, source: int) -> Schedule:
         if source == 0:
             r1, r2, r3 = roots
             schedule.append_round([Call.direct(0, r1)])
-            schedule.append_round(
-                [Call.direct(0, r2), Call.via((r1, 0, r3))]
-            )
+            schedule.append_round([Call.direct(0, r2), Call.via((r1, 0, r3))])
         else:
             others = [r for r in roots if r != source]
             schedule.append_round([Call.direct(source, 0)])

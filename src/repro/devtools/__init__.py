@@ -1,0 +1,49 @@
+"""Project-specific static analysis: machine-checked engine invariants.
+
+The library's correctness story rests on conventions that ordinary
+linters do not know about: verdicts must be byte-identical across
+engines, sharded campaign merges must be byte-identical to unsharded
+runs, schedulers must never touch module-global ``random`` state, and
+frozen :class:`~repro.frame.ScheduleFrame` / ``Schedule`` objects must
+never be mutated.  Each of those conventions has had a real bug behind
+it (PR 2 fixed a scheduler reading module-global ``random``; PR 5 fixed
+silent mutation of a frozen schedule's rounds).  ``repro lint`` turns
+them into AST-checked rules so the next violation is a CI failure, not
+a debugging session.
+
+Layout (mirrors the scheduler registry architecture):
+
+:mod:`repro.devtools.registry`
+    ``@rule`` decorator, :class:`LintRule` specs, severity levels.
+:mod:`repro.devtools.analyzer`
+    the framework: per-file AST pass, ``# repro-lint: disable=RULE``
+    suppression comments (line-scoped) with an unused-suppression
+    check, deterministic violation ordering, text/JSON reporting.
+:mod:`repro.devtools.rules`
+    the project rules (RL001..RL008) — see each rule's docstring for
+    the invariant and the bug story behind it.
+
+CLI: ``repro lint [PATHS] [--rule ID] [--format text|json] [--list]``.
+Exit 0 = clean, 1 = violations found, 2 = usage error (one line on
+stderr, matching the CLI contract pinned by the subprocess tests).
+"""
+
+from repro.devtools.analyzer import LintReport, Violation, lint_paths
+from repro.devtools.registry import (
+    LintRule,
+    all_rules,
+    get_rule,
+    rule,
+    rule_ids,
+)
+
+__all__ = [
+    "LintRule",
+    "LintReport",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "rule",
+    "rule_ids",
+]

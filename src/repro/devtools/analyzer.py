@@ -1,0 +1,337 @@
+"""The lint framework: file discovery, AST pass, suppressions, reporting.
+
+One :class:`FileContext` is built per file (source, AST, import tables,
+comment-derived suppressions); every registered rule runs over it and
+yields ``(line, col, message)`` findings, which the framework wraps into
+:class:`Violation` records.
+
+Suppressions are line-scoped comments::
+
+    json.dump(payload, fh)  # repro-lint: disable=RL002 (v1 bytes pinned)
+
+Several ids may be given (``disable=RL002,RL003``); anything after the
+id list is free-form justification.  A suppression that silences
+nothing is itself reported (rule id ``RL000``) so stale allowlists
+cannot accumulate — exactly the unused-``noqa`` discipline, applied to
+the project rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.devtools.registry import LintRule, all_rules, get_rule
+from repro.types import InvalidParameterError
+
+__all__ = [
+    "UNUSED_SUPPRESSION_ID",
+    "FileContext",
+    "LintReport",
+    "Violation",
+    "format_text",
+    "lint_file",
+    "lint_paths",
+]
+
+UNUSED_SUPPRESSION_ID = "RL000"
+
+_DISABLE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: where, which rule, and why."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class _Suppression:
+    line: int
+    rule_ids: tuple[str, ...]
+    used: set[str] = field(default_factory=set)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to analyze one file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    # alias -> module for ``import X [as Y]`` (``np`` -> ``numpy``)
+    module_aliases: dict[str, str]
+    # local name -> dotted origin for ``from X import Y [as Z]``
+    from_imports: dict[str, str]
+
+    @property
+    def posix(self) -> str:
+        return self.path.as_posix()
+
+    @property
+    def is_test_file(self) -> bool:
+        """Test code is exempt from rules scoped to library code."""
+        parts = self.path.parts
+        return (
+            "tests" in parts
+            or self.path.name.startswith("test_")
+            or self.path.name == "conftest.py"
+        )
+
+    def in_module(self, *suffixes: str) -> bool:
+        """True iff the file path ends with any of the given suffixes
+        (posix, e.g. ``"repro/frame.py"``)."""
+        return any(self.posix.endswith(s) for s in suffixes)
+
+    def in_package(self, *fragments: str) -> bool:
+        """True iff any path fragment (e.g. ``"repro/schedulers/"``)
+        occurs in the file's posix path."""
+        return any(f in self.posix for f in fragments)
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """The dotted origin of a Name/Attribute chain, or None.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` when the
+        file holds ``import numpy as np``; a bare ``dumps`` resolves to
+        ``json.dumps`` under ``from json import dumps``.  Chains rooted
+        in anything other than an imported module (locals, attributes of
+        ``self``) resolve to None — rules only ever match real module
+        access, never same-named local variables.
+        """
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = cur.id
+        parts.reverse()
+        if root in self.module_aliases:
+            return ".".join([self.module_aliases[root], *parts])
+        if root in self.from_imports:
+            return ".".join([self.from_imports[root], *parts])
+        return None
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+
+def _collect_imports(tree: ast.Module) -> tuple[dict[str, str], dict[str, str]]:
+    module_aliases: dict[str, str] = {}
+    from_imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                module_aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                from_imports[local] = f"{node.module}.{alias.name}"
+    return module_aliases, from_imports
+
+
+def _collect_suppressions(source: str) -> list[_Suppression]:
+    suppressions: list[_Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DISABLE_RE.search(tok.string)
+            if match is None:
+                continue
+            ids = tuple(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            suppressions.append(_Suppression(line=tok.start[0], rule_ids=ids))
+    except tokenize.TokenizeError:  # pragma: no cover - ast.parse catches first
+        pass
+    return suppressions
+
+
+def build_context(path: Path, source: str) -> FileContext:
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise InvalidParameterError(
+            f"cannot lint {path}: syntax error at line {exc.lineno}: {exc.msg}"
+        ) from exc
+    module_aliases, from_imports = _collect_imports(tree)
+    return FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        module_aliases=module_aliases,
+        from_imports=from_imports,
+    )
+
+
+def lint_file(path: Path, rules: Sequence[LintRule]) -> list[Violation]:
+    """Run ``rules`` over one file; suppressed findings are dropped and
+    suppressions that silence nothing are reported as RL000."""
+    source = path.read_text(encoding="utf-8")
+    ctx = build_context(path, source)
+    suppressions = _collect_suppressions(source)
+    by_line: dict[int, list[_Suppression]] = {}
+    for sup in suppressions:
+        by_line.setdefault(sup.line, []).append(sup)
+
+    violations: list[Violation] = []
+    ran_ids = {r.rule_id for r in rules}
+    for lint_rule in rules:
+        for line, col, message in lint_rule.fn(ctx):
+            suppressed = False
+            for sup in by_line.get(line, ()):
+                if lint_rule.rule_id in sup.rule_ids:
+                    sup.used.add(lint_rule.rule_id)
+                    suppressed = True
+            if not suppressed:
+                violations.append(
+                    Violation(
+                        path=str(path),
+                        line=line,
+                        col=col,
+                        rule_id=lint_rule.rule_id,
+                        severity=lint_rule.severity,
+                        message=message,
+                    )
+                )
+    for sup in suppressions:
+        for rule_id in sup.rule_ids:
+            if rule_id in ran_ids and rule_id not in sup.used:
+                violations.append(
+                    Violation(
+                        path=str(path),
+                        line=sup.line,
+                        col=0,
+                        rule_id=UNUSED_SUPPRESSION_ID,
+                        severity="error",
+                        message=(
+                            f"unused suppression: {rule_id} is not "
+                            "triggered on this line"
+                        ),
+                    )
+                )
+    return violations
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: list[Violation]
+    n_files: int
+    rule_ids: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not any(v.severity == "error" for v in self.violations)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files": self.n_files,
+            "rules": list(self.rule_ids),
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+
+def _discover(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise InvalidParameterError(f"no such file or directory: {path}")
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+                and not any(part.startswith(".") for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise InvalidParameterError(f"not a Python file: {path}")
+    # deterministic order, no duplicates
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for p in files:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    return unique
+
+
+def lint_paths(
+    paths: Iterable[str | Path], *, rule_id: str | None = None
+) -> LintReport:
+    """Lint files/directories; directories are walked for ``*.py``.
+
+    ``rule_id`` restricts the run to one rule (its suppressions still
+    get the unused check; other rules' suppressions are left alone).
+    """
+    if rule_id is not None:
+        try:
+            rules = [get_rule(rule_id)]
+        except KeyError as exc:
+            raise InvalidParameterError(exc.args[0] if exc.args else str(exc)) from exc
+    else:
+        rules = all_rules()
+    files = _discover(paths)
+    violations: list[Violation] = []
+    for path in files:
+        violations.extend(lint_file(path, rules))
+    violations.sort()
+    return LintReport(
+        violations=violations,
+        n_files=len(files),
+        rule_ids=tuple(r.rule_id for r in rules),
+    )
+
+
+def format_text(report: LintReport) -> str:
+    """Human-readable report, one line per violation."""
+    lines = [
+        f"{v.path}:{v.line}:{v.col}: {v.rule_id} [{v.severity}] {v.message}"
+        for v in report.violations
+    ]
+    noun = "file" if report.n_files == 1 else "files"
+    if report.violations:
+        n = len(report.violations)
+        lines.append(f"{n} violation{'s' if n != 1 else ''} in {report.n_files} {noun}")
+    else:
+        lines.append(f"clean: {report.n_files} {noun} checked")
+    return "\n".join(lines)

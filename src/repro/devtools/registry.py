@@ -1,0 +1,112 @@
+"""Declarative lint-rule registry (mirrors :mod:`repro.schedulers.registry`).
+
+Every rule registers itself with the :func:`rule` decorator under a
+stable id (``RL001``..) and is a plain function from a
+:class:`~repro.devtools.analyzer.FileContext` to an iterable of
+``(line, col, message)`` findings; the framework attaches the rule id,
+severity, and suppression handling around it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.types import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.analyzer import FileContext
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "RuleFn",
+    "SEVERITIES",
+    "all_rules",
+    "get_rule",
+    "load_all",
+    "rule",
+    "rule_ids",
+]
+
+# A finding is (line, col, message); the framework wraps it into a
+# Violation carrying the rule id and severity.
+Finding = tuple[int, int, str]
+RuleFn = Callable[["FileContext"], Iterable[Finding]]
+
+SEVERITIES = ("error", "warning")
+
+_RULE_ID_RE = re.compile(r"^RL\d{3}$")
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule: id, one-line summary, severity, callable."""
+
+    rule_id: str
+    name: str
+    summary: str
+    fn: RuleFn
+    severity: str = "error"
+    module: str = field(default="")
+
+
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def rule(
+    rule_id: str, name: str, summary: str, *, severity: str = "error"
+) -> Callable[[RuleFn], RuleFn]:
+    """Register a rule under ``rule_id`` (double registration raises)."""
+    if not _RULE_ID_RE.match(rule_id):
+        raise InvalidParameterError(f"rule id must look like RL001, got {rule_id!r}")
+    if severity not in SEVERITIES:
+        raise InvalidParameterError(
+            f"unknown severity {severity!r}; known: {', '.join(SEVERITIES)}"
+        )
+
+    def decorate(fn: RuleFn) -> RuleFn:
+        if rule_id in _REGISTRY:
+            raise InvalidParameterError(
+                f"lint rule {rule_id!r} registered twice "
+                f"({_REGISTRY[rule_id].module} and {fn.__module__})"
+            )
+        _REGISTRY[rule_id] = LintRule(
+            rule_id=rule_id,
+            name=name,
+            summary=summary,
+            fn=fn,
+            severity=severity,
+            module=fn.__module__,
+        )
+        return fn
+
+    return decorate
+
+
+def load_all() -> None:
+    """Import every rule module (idempotent); registration happens at
+    import time, exactly as for the scheduler registry."""
+    from repro.devtools import rules  # noqa: F401
+
+
+def rule_ids() -> list[str]:
+    """All registered rule ids, sorted."""
+    load_all()
+    return sorted(_REGISTRY)
+
+
+def all_rules() -> list[LintRule]:
+    load_all()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> LintRule:
+    load_all()
+    key = rule_id.upper()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown lint rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[key]

@@ -22,7 +22,9 @@ __all__ = [
 ]
 
 
-def feasible_domatic_partition(g: Graph, t: int, *, node_budget: int = 5_000_000) -> list[int] | None:
+def feasible_domatic_partition(
+    g: Graph, t: int, *, node_budget: int = 5_000_000
+) -> list[int] | None:
     """Find a labeling of V(g) with labels 0..t-1 such that every closed
     neighbourhood contains **all** t labels, or return None.
 
@@ -45,7 +47,8 @@ def feasible_domatic_partition(g: Graph, t: int, *, node_budget: int = 5_000_000
     if g.min_degree() + 1 < t:
         return None  # classic bound: domatic number <= min degree + 1
     closed: list[list[int]] = [sorted({u} | g.neighbors(u)) for u in range(n)]
-    membership: list[list[int]] = [[] for _ in range(n)]  # u -> list of w with u in N[w]
+    # u -> list of w with u in N[w]
+    membership: list[list[int]] = [[] for _ in range(n)]
     for w in range(n):
         for u in closed[w]:
             membership[u].append(w)
@@ -167,7 +170,7 @@ def _induced_availability_greedy(g: Graph, available: set[int]) -> set[int] | No
     pool = set(available)
     while uncovered:
         best, best_gain = -1, 0
-        for u in pool:
+        for u in sorted(pool):
             gain = len(({u} | g.neighbors(u)) & uncovered)
             if gain > best_gain or (gain == best_gain and gain > 0 and u < best):
                 best, best_gain = u, gain
@@ -186,7 +189,5 @@ def condition_a_max_labels(m: int, *, node_budget: int = 5_000_000) -> int:
     if m < 1:
         raise InvalidParameterError(f"need m >= 1, got {m}")
     if m > 5:
-        raise InvalidParameterError(
-            f"exact λ_m search supported for m <= 5, got {m}"
-        )
+        raise InvalidParameterError(f"exact λ_m search supported for m <= 5, got {m}")
     return domatic_number_exact(hypercube(m), node_budget=node_budget)

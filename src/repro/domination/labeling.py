@@ -124,9 +124,7 @@ def hamming_labeling(m: int) -> ConditionALabeling:
     Raises unless ``m + 1`` is a power of two.
     """
     if m < 1 or (m + 1) & m != 0:
-        raise InvalidParameterError(
-            f"hamming labeling needs m = 2^p - 1, got m={m}"
-        )
+        raise InvalidParameterError(f"hamming labeling needs m = 2^p - 1, got m={m}")
     p = (m + 1).bit_length() - 1
     table = hamming_syndrome_table(p)
     return ConditionALabeling(m=m, num_labels=m + 1, labels=table, name="hamming")
@@ -182,14 +180,14 @@ def best_available_labeling(m: int) -> ConditionALabeling:
     return lemma2_labeling(m)
 
 
-def labeling_from_array(m: int, labels: np.ndarray, *, name: str = "custom") -> ConditionALabeling:
+def labeling_from_array(
+    m: int, labels: np.ndarray, *, name: str = "custom"
+) -> ConditionALabeling:
     """Wrap a raw label array, inferring the label count (must be onto)."""
     labels = np.asarray(labels, dtype=np.int64)
     uniq = np.unique(labels)
     if not np.array_equal(uniq, np.arange(uniq.size)):
-        raise InvalidParameterError(
-            "labels must be exactly 0..t-1 (onto, zero-based)"
-        )
+        raise InvalidParameterError("labels must be exactly 0..t-1 (onto, zero-based)")
     return ConditionALabeling(m=m, num_labels=int(uniq.size), labels=labels, name=name)
 
 

@@ -211,8 +211,9 @@ def translation_group(sh) -> np.ndarray:
         vals = np.arange(1 << level.block_len)
         labels = level.labeling.labels[vals]
         # row bt of the table holds the labels of vals ^ bt
-        preserved = (level.labeling.labels[vals[:, None] ^ vals[None, :]] ==
-                     labels[None, :]).all(axis=1)
+        preserved = (
+            level.labeling.labels[vals[:, None] ^ vals[None, :]] == labels[None, :]
+        ).all(axis=1)
         good = np.flatnonzero(preserved).astype(np.int64) << level.block_lo
         ts = (ts[:, None] | good[None, :]).ravel()
     for b in range(sh.thresholds[-1], sh.n):
@@ -441,10 +442,8 @@ class BatchValidator:
                     max_call_length=max_len,
                 )
                 if not complete[i]:
-                    report.errors.append(
-                        f"broadcast incomplete: {int(informed_counts[i, -1]) if R else 1}"
-                        f" of {n} informed"
-                    )
+                    got = int(informed_counts[i, -1]) if R else 1
+                    report.errors.append(f"broadcast incomplete: {got} of {n} informed")
                 if require_minimum_time and R != need:
                     report.errors.append(
                         f"schedule uses {R} rounds, minimum time is {need}"
@@ -563,9 +562,7 @@ def validate_all_sources(
                     require_minimum_time=require_minimum_time,
                     vertex_disjoint=vertex_disjoint,
                 )
-                per_source[src] = (
-                    report.ok, len(sched.rounds), report.max_call_length
-                )
+                per_source[src] = (report.ok, len(sched.rounds), report.max_call_length)
     ordered = sorted(per_source) if sources is None else sources
     return AllSourcesOutcome(
         sources=ordered,

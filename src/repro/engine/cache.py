@@ -31,10 +31,16 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, TypeVar, cast
 
 from repro.engine.kernels import GraphKernels
 from repro.graphs.base import Graph
 from repro.model.validator_fast import FastValidator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache ↔ batch)
+    from repro.engine.batch import BatchValidator
+
+_T = TypeVar("_T")
 
 __all__ = [
     "kernels_for",
@@ -77,7 +83,7 @@ def _slot(graph: Graph) -> dict[str, object] | None:
     """The per-graph entry dict, or None when the graph is uncacheable."""
     if not isinstance(graph, Graph) or not graph.frozen:
         return None
-    slot = getattr(graph, _SLOT_ATTR, None)
+    slot = cast("dict[str, object] | None", getattr(graph, _SLOT_ATTR, None))
     if slot is None:
         slot = {}
         setattr(graph, _SLOT_ATTR, slot)
@@ -89,18 +95,19 @@ def _slot(graph: Graph) -> dict[str, object] | None:
     return slot
 
 
-def _get(graph: Graph, key: str, build) -> object:
+def _get(graph: Graph, key: str, build: Callable[[], _T]) -> _T:
     slot = _slot(graph)
     if slot is None:
         _STATS.uncached += 1
         return build()
-    obj = slot.get(key)
-    if obj is None:
-        _STATS.misses += 1
-        obj = slot[key] = build()
-    else:
+    cached = slot.get(key)
+    if cached is not None:
         _STATS.hits += 1
-    return obj
+        return cast(_T, cached)
+    _STATS.misses += 1
+    built = build()
+    slot[key] = built
+    return built
 
 
 def kernels_for(graph: Graph) -> GraphKernels:
@@ -113,7 +120,7 @@ def fast_validator_for(graph: Graph) -> FastValidator:
     return _get(graph, "fast", lambda: FastValidator(graph))
 
 
-def batch_validator_for(graph: Graph):
+def batch_validator_for(graph: Graph) -> "BatchValidator":
     """The process-wide batch validator, sharing the fast validator's
     edge-key array."""
     from repro.engine.batch import BatchValidator

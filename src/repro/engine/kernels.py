@@ -283,9 +283,7 @@ class GraphKernels:
         if u_count > n_informed * cap:
             return False
         summary = self.components(informed_mask)
-        return all(
-            s <= b * cap for s, b in zip(summary.sizes, summary.boundaries)
-        )
+        return all(s <= b * cap for s, b in zip(summary.sizes, summary.boundaries))
 
 
 class PenaltyState:
@@ -311,9 +309,7 @@ class PenaltyState:
         summary: ComponentSummary | None = None,
     ) -> None:
         if rounds_left < 0:
-            raise InvalidParameterError(
-                f"rounds_left must be >= 0, got {rounds_left}"
-            )
+            raise InvalidParameterError(f"rounds_left must be >= 0, got {rounds_left}")
         self.kernels = kernels
         self.informed = informed_mask
         self.cap_mult = (1 << rounds_left) - 1 if rounds_left > 0 else 0

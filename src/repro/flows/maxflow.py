@@ -72,7 +72,9 @@ class FlowNetwork:
                     dq.append(arc.to)
         return level if level[t] != -1 else None
 
-    def _dfs_block(self, u: int, t: int, pushed: int, level: list[int], it: list[int]) -> int:
+    def _dfs_block(
+        self, u: int, t: int, pushed: int, level: list[int], it: list[int]
+    ) -> int:
         if u == t:
             return pushed
         while it[u] < len(self.adj[u]):

@@ -42,7 +42,9 @@ def _build_round_network(
     return net, s, t
 
 
-def round_packing_bound(graph: Graph, informed: set[int], targets: set[int] | None = None) -> int:
+def round_packing_bound(
+    graph: Graph, informed: set[int], targets: set[int] | None = None
+) -> int:
     """Max number of simultaneous edge-disjoint informed→uninformed calls
     (unbounded call length)."""
     if not informed:

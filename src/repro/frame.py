@@ -32,19 +32,22 @@ both directions is lossless (property-pinned by the test suite).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.types import InvalidParameterError, InvalidScheduleError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types ↔ frame)
-    from repro.types import Schedule
+    from repro.types import Call, Schedule
 
 __all__ = ["ScheduleFrame", "ScheduleBuilder", "as_frame", "as_schedule"]
 
+IntArray = npt.NDArray[np.int64]
 
-def _frozen_array(values, dtype=np.int64) -> np.ndarray:
+
+def _frozen_array(values: npt.ArrayLike, dtype: npt.DTypeLike = np.int64) -> IntArray:
     arr = np.ascontiguousarray(values, dtype=dtype)
     arr.setflags(write=False)
     return arr
@@ -55,9 +58,9 @@ class ScheduleFrame:
     """A complete broadcast schedule as frozen columnar call arrays."""
 
     source: int
-    path_verts: np.ndarray
-    call_offsets: np.ndarray
-    round_offsets: np.ndarray
+    path_verts: IntArray
+    call_offsets: IntArray
+    round_offsets: IntArray
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "source", int(self.source))
@@ -75,7 +78,7 @@ class ScheduleFrame:
             )
 
     @staticmethod
-    def _check_offsets(offsets: np.ndarray, end: int, name: str) -> None:
+    def _check_offsets(offsets: IntArray, end: int, name: str) -> None:
         if offsets.ndim != 1 or offsets.size < 1:
             raise InvalidParameterError(f"{name} must be a non-empty 1-d array")
         if int(offsets[0]) != 0 or int(offsets[-1]) != end:
@@ -105,19 +108,19 @@ class ScheduleFrame:
 
     # -- columnar accessors (no per-call objects) ---------------------------
 
-    def call_lengths(self) -> np.ndarray:
+    def call_lengths(self) -> IntArray:
         """Edge count of every call (``len(path) - 1``), in frame order."""
         return np.diff(self.call_offsets) - 1
 
-    def call_counts(self) -> np.ndarray:
+    def call_counts(self) -> IntArray:
         """Number of calls in every round."""
         return np.diff(self.round_offsets)
 
-    def callers(self) -> np.ndarray:
+    def callers(self) -> IntArray:
         """The vertex placing each call, in frame order."""
         return self.path_verts[self.call_offsets[:-1]]
 
-    def receivers(self) -> np.ndarray:
+    def receivers(self) -> IntArray:
         """The vertex receiving each call, in frame order."""
         return self.path_verts[self.call_offsets[1:] - 1]
 
@@ -187,7 +190,7 @@ class ScheduleFrame:
     # Validators cache derived state on the frame (its layout, a
     # per-graph screen holding a weakref); none of it belongs in a
     # serialized frame, so pickling carries the four fields only.
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> dict[str, Any]:
         return {
             "source": self.source,
             "path_verts": self.path_verts,
@@ -195,7 +198,7 @@ class ScheduleFrame:
             "round_offsets": self.round_offsets,
         }
 
-    def __setstate__(self, state: dict) -> None:
+    def __setstate__(self, state: dict[str, Any]) -> None:
         for name, value in state.items():
             if isinstance(value, np.ndarray):
                 value.setflags(write=False)  # pickling drops the flag
@@ -216,7 +219,7 @@ class ScheduleFrame:
     @staticmethod
     def from_schedule(schedule: "Schedule") -> "ScheduleFrame":
         """The columnar form of an object schedule (lossless)."""
-        cached = getattr(schedule, "_frame", None)
+        cached = schedule.frame_or_none()
         if cached is not None:
             return cached
         return ScheduleFrame.from_paths(
@@ -265,7 +268,7 @@ class ScheduleBuilder:
             self._call_offsets.append(len(self._flat))
         self._round_offsets.append(self.n_calls)
 
-    def add_call_round(self, calls: Iterable) -> None:
+    def add_call_round(self, calls: Iterable["Call"]) -> None:
         """Append one round given ``Call`` objects (compat shim)."""
         self.add_round([c.path for c in calls])
 
@@ -283,19 +286,18 @@ class ScheduleBuilder:
         )
 
 
-def as_frame(schedule) -> ScheduleFrame:
+def as_frame(schedule: "Schedule | ScheduleFrame") -> ScheduleFrame:
     """Coerce a ``Schedule`` or ``ScheduleFrame`` to a frame (lossless)."""
     if isinstance(schedule, ScheduleFrame):
         return schedule
-    to_frame = getattr(schedule, "to_frame", None)
-    if to_frame is None:
+    if getattr(schedule, "to_frame", None) is None:
         raise InvalidParameterError(
             f"expected a Schedule or ScheduleFrame, got {type(schedule).__name__}"
         )
-    return to_frame()
+    return schedule.to_frame()
 
 
-def as_schedule(schedule) -> "Schedule":
+def as_schedule(schedule: "Schedule | ScheduleFrame") -> "Schedule":
     """Coerce a ``Schedule`` or ``ScheduleFrame`` to the object view."""
     if isinstance(schedule, ScheduleFrame):
         return schedule.to_schedule()

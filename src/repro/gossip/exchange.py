@@ -76,6 +76,4 @@ class GossipSchedule:
         return sum(len(r) for r in self.rounds)
 
     def max_exchange_length(self) -> int:
-        return max(
-            (e.length for r in self.rounds for e in r), default=0
-        )
+        return max((e.length for r in self.rounds for e in r), default=0)

@@ -44,9 +44,7 @@ def hypercube_gossip(n: int) -> GossipSchedule:
     schedule = GossipSchedule()
     for i in range(1, n + 1):
         bit = 1 << (i - 1)
-        exchanges = [
-            Exchange((u, u | bit)) for u in range(1 << n) if not (u & bit)
-        ]
+        exchanges = [Exchange((u, u | bit)) for u in range(1 << n) if not (u & bit)]
         schedule.append_round(exchanges)
     return schedule
 
@@ -79,7 +77,7 @@ def sparse_hypercube_gossip(sh: SparseHypercube) -> GossipSchedule:
                 # deterministic relay dim (largest relay vertex id, as in
                 # reach_and_flip)
                 cands = relay_candidates(sh, u, i)
-                j = max(cands, key=lambda d: flip_dim(u, d))
+                _, j = max((flip_dim(u, d), d) for d in cands)
                 mid1 = flip_dim(u, j)
                 mid2 = flip_dim(mid1, i)
                 partner = flip_dim(mid2, j)

@@ -72,9 +72,7 @@ def validate_gossip(
         for a, b, merged in updates:  # simultaneous semantics
             tokens[a] = merged
             tokens[b] = merged
-        report.min_tokens_per_round.append(
-            min(int(t).bit_count() for t in tokens)
-        )
+        report.min_tokens_per_round.append(min(int(t).bit_count() for t in tokens))
     report.complete = all(t == full for t in tokens)
     if not report.complete:
         missing = sum(1 for t in tokens if t != full)

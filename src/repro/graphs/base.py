@@ -77,9 +77,7 @@ class Graph:
 
     def _check_vertex(self, u: int) -> None:
         if not (0 <= u < self._n):
-            raise InvalidParameterError(
-                f"vertex {u} out of range [0, {self._n})"
-            )
+            raise InvalidParameterError(f"vertex {u} out of range [0, {self._n})")
 
     # -- basic queries -----------------------------------------------------
 
@@ -165,6 +163,10 @@ class Graph:
                 nbrs = sorted(self._adj[u])
                 indices[indptr[u] : indptr[u + 1]] = nbrs
             if self._frozen:
+                # the cached arrays are handed out by csr_arrays(); freeze
+                # them so a caller cannot corrupt every later validation
+                indptr.setflags(write=False)
+                indices.setflags(write=False)
                 self._csr_indptr, self._csr_indices = indptr, indices
             return indptr, indices
         return self._csr_indptr, self._csr_indices
@@ -196,9 +198,7 @@ class Graph:
             counts = ends - starts
             if counts.sum() == 0:
                 break
-            gather = np.concatenate(
-                [indices[s:e] for s, e in zip(starts, ends)]
-            )
+            gather = np.concatenate([indices[s:e] for s, e in zip(starts, ends)])
             fresh = gather[dist[gather] == _UNREACHED]
             if fresh.size == 0:
                 break

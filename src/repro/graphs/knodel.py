@@ -40,9 +40,7 @@ def knodel_dimension_neighbor(vertex: int, d: int, n_vertices: int) -> int:
 def knodel_graph(delta: int, n_vertices: int) -> Graph:
     """The Knödel graph ``W_{delta, n_vertices}`` (n_vertices even)."""
     if n_vertices < 2 or n_vertices % 2:
-        raise InvalidParameterError(
-            f"Knödel graphs need even N >= 2, got {n_vertices}"
-        )
+        raise InvalidParameterError(f"Knödel graphs need even N >= 2, got {n_vertices}")
     if not (1 <= delta <= (n_vertices).bit_length() - 1):
         raise InvalidParameterError(
             f"need 1 <= Δ <= ⌊log2 N⌋ = {(n_vertices).bit_length() - 1}, "

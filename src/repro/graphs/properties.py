@@ -38,7 +38,9 @@ class GraphStats:
         }
 
 
-def graph_stats(g: Graph, *, with_diameter: bool = True, diameter_cap: int = 1 << 14) -> GraphStats:
+def graph_stats(
+    g: Graph, *, with_diameter: bool = True, diameter_cap: int = 1 << 14
+) -> GraphStats:
     """Compute :class:`GraphStats`; skips the O(N·E) diameter above the cap."""
     n = g.n_vertices
     connected = g.is_connected()

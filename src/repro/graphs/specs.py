@@ -133,9 +133,7 @@ def validate_spec(spec: str) -> None:
     name, args = parse_spec(spec)
     fn, usage = _BUILDERS[name]
     params = inspect.signature(fn).parameters
-    required = sum(
-        1 for p in params.values() if p.default is inspect.Parameter.empty
-    )
+    required = sum(1 for p in params.values() if p.default is inspect.Parameter.empty)
     if not required <= len(args) <= len(params):
         raise InvalidParameterError(
             f"wrong argument count in {spec!r} (usage: {usage})"

@@ -25,13 +25,16 @@ graph and call-length bound into one self-contained file — what
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.frame import ScheduleFrame, as_frame
 from repro.graphs.base import Graph
 from repro.types import Call, InvalidParameterError, Schedule
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.sparse_hypercube import SparseHypercube
 
 __all__ = [
     "SCHEDULE_FORMAT_V2",
@@ -122,9 +125,7 @@ def schedule_to_dict(
         }
     return {
         "source": schedule.source,
-        "rounds": [
-            [list(call.path) for call in rnd] for rnd in schedule.rounds
-        ],
+        "rounds": [[list(call.path) for call in rnd] for rnd in schedule.rounds],
     }
 
 
@@ -161,7 +162,9 @@ def save_schedule(
         "schedule": frame_to_dict(schedule),
     }
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, separators=(",", ":"))
+        # v1 bytes are pinned by golden tests: the payload is built in a
+        # fixed key order and sorting now would change shipped artifacts.
+        json.dump(payload, fh, separators=(",", ":"))  # repro-lint: disable=RL002
 
 
 def load_schedule(path: str) -> tuple[Graph, ScheduleFrame, int | None]:
@@ -172,9 +175,7 @@ def load_schedule(path: str) -> tuple[Graph, ScheduleFrame, int | None]:
     except json.JSONDecodeError as exc:
         raise InvalidParameterError(f"{path} is not valid JSON: {exc}") from exc
     if not isinstance(payload, dict) or payload.get("format") != SCHEDULE_FILE_FORMAT:
-        raise InvalidParameterError(
-            f"{path} is not a {SCHEDULE_FILE_FORMAT} file"
-        )
+        raise InvalidParameterError(f"{path} is not a {SCHEDULE_FILE_FORMAT} file")
     graph = graph_from_dict(payload.get("graph", {}))
     frame = frame_from_dict(payload.get("schedule", {}))
     k = payload.get("k")
@@ -182,7 +183,7 @@ def load_schedule(path: str) -> tuple[Graph, ScheduleFrame, int | None]:
 
 
 def certificate_for(
-    sh, sources: list[int] | None = None
+    sh: "SparseHypercube", sources: list[int] | None = None
 ) -> dict[str, Any]:
     """A k-mlbg certificate for a sparse hypercube (all sources by
     default; pass a sample for large instances).
@@ -195,7 +196,7 @@ def certificate_for(
     from repro.engine.batch import all_sources_schedules
 
     srcs = sources if sources is not None else list(range(sh.n_vertices))
-    by_source = {}
+    by_source: dict[int, dict[str, Any]] = {}
     for stack in all_sources_schedules(sh, srcs):
         for i in range(stack.n_schedules):
             frame = stack.to_frame(i, sort_calls=True)
@@ -222,14 +223,20 @@ def verify_certificate(payload: dict[str, Any]) -> bool:
     graph = graph_from_dict(payload["graph"])
     k = int(payload["k"])
     schedules = [schedule_from_dict(d) for d in payload["schedules"]]
-    return all(r.ok for r in api_validate(graph, schedules, k))
+    reports = api_validate(graph, schedules, k)
+    assert isinstance(reports, list)  # a list input yields a report list
+    return all(r.ok for r in reports)
 
 
 def dump_certificate(payload: dict[str, Any], path: str) -> None:
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, separators=(",", ":"))
+        # v1 bytes are pinned by golden tests (see save_schedule).
+        json.dump(payload, fh, separators=(",", ":"))  # repro-lint: disable=RL002
 
 
 def load_certificate(path: str) -> dict[str, Any]:
     with open(path, encoding="utf-8") as fh:
-        return json.load(fh)
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise InvalidParameterError(f"{path} does not hold a JSON object")
+    return payload

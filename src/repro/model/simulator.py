@@ -185,9 +185,7 @@ class LineNetworkSimulator:
         max_per_round: list[int] = []
         all_rejected: list[RejectedCall] = []
         for idx, rnd in enumerate(schedule.rounds, start=1):
-            accepted, rejected = self.execute_round(
-                rnd, informed, round_index=idx
-            )
+            accepted, rejected = self.execute_round(rnd, informed, round_index=idx)
             all_rejected.extend(rejected)
             round_load: Counter = Counter()
             for call in accepted:

@@ -184,10 +184,10 @@ def flatten_frame(frame: ScheduleFrame) -> tuple[ScheduleLayout, np.ndarray]:
     """
     layout = getattr(frame, "_layout", None)
     if layout is None:
-        layout = ScheduleLayout.from_counts(
-            frame.call_counts(), frame.call_lengths()
-        )
-        object.__setattr__(frame, "_layout", layout)
+        layout = ScheduleLayout.from_counts(frame.call_counts(), frame.call_lengths())
+        # caching a derived value on the frozen frame, not mutating its
+        # schedule content — the idiom frame.py documents for validators
+        object.__setattr__(frame, "_layout", layout)  # repro-lint: disable=RL003
     return layout, frame.path_verts
 
 
@@ -214,9 +214,7 @@ def flatten_schedule(
     )
     lengths = np.fromiter(map(len, paths), dtype=np.int64, count=len(paths)) - 1
     layout = ScheduleLayout.from_counts(counts, lengths)
-    flat = np.fromiter(
-        chain.from_iterable(paths), dtype=np.int64, count=layout.n_items
-    )
+    flat = np.fromiter(chain.from_iterable(paths), dtype=np.int64, count=layout.n_items)
     return layout, flat
 
 
@@ -329,7 +327,8 @@ class FastValidator:
             missing_rounds=self._missing_edge_rounds(keys, layout),
             screen={},
         )
-        object.__setattr__(frame, "_screen_state", state)
+        # derived-value cache on the frozen frame (see flatten_frame)
+        object.__setattr__(frame, "_screen_state", state)  # repro-lint: disable=RL003
         return state
 
     def _screen_counts(
@@ -353,9 +352,7 @@ class FastValidator:
         """
         n = self._n
         n_rounds = layout.n_rounds
-        round_of_call = np.repeat(
-            np.arange(n_rounds, dtype=np.int64), layout.counts
-        )
+        round_of_call = np.repeat(np.arange(n_rounds, dtype=np.int64), layout.counts)
         if receivers.size:
             # V6 across all rounds at once: in a valid broadcast receivers
             # are globally distinct and never the (pre-informed) source.
@@ -406,9 +403,7 @@ class FastValidator:
         )
         n_informed = int(counts[-1]) if n_rounds else 1
         if n_informed != n:
-            report.errors.append(
-                f"broadcast incomplete: {n_informed} of {n} informed"
-            )
+            report.errors.append(f"broadcast incomplete: {n_informed} of {n} informed")
         if require_minimum_time:
             need = minimum_broadcast_rounds(n)
             if n_rounds != need:
@@ -563,9 +558,7 @@ class FastValidator:
         report.max_call_length = int(lengths.max()) if n_calls else 0
         n_informed = informed.bit_count()
         if n_informed != n:
-            report.errors.append(
-                f"broadcast incomplete: {n_informed} of {n} informed"
-            )
+            report.errors.append(f"broadcast incomplete: {n_informed} of {n} informed")
         if require_minimum_time:
             need = minimum_broadcast_rounds(n)
             if n_rounds != need:

@@ -116,7 +116,11 @@ def _pipeline_valid(graph: Graph, pipe: PipelinedBroadcast, k: int) -> bool:
 
 
 def minimal_valid_stagger(
-    sh: SparseHypercube, source: int, *, n_messages: int = 2, max_stagger: int | None = None
+    sh: SparseHypercube,
+    source: int,
+    *,
+    n_messages: int = 2,
+    max_stagger: int | None = None,
 ) -> int:
     """The least d such that the d-staggered pipeline is conflict-free.
 

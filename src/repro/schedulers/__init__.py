@@ -34,6 +34,11 @@ benchmark baseline.
 """
 
 from repro.schedulers.greedy import heuristic_line_broadcast
+from repro.schedulers.multimsg_search import (
+    find_multimessage_schedule,
+    multimessage_lower_bound,
+    validate_multimessage,
+)
 from repro.schedulers.registry import (
     ScheduleRequest,
     ScheduleResult,
@@ -49,8 +54,11 @@ from repro.schedulers.store_forward import binomial_hypercube_broadcast
 
 __all__ = [
     "find_minimum_time_schedule",
+    "find_multimessage_schedule",
     "is_k_mlbg_exact",
     "minimum_kline_rounds",
+    "multimessage_lower_bound",
+    "validate_multimessage",
     "heuristic_line_broadcast",
     "binomial_hypercube_broadcast",
     "ScheduleRequest",

@@ -116,9 +116,7 @@ def _build_round(
     n = kern.n
     uninformed_count = n - informed_mask.bit_count()
     if rounds_left_after == 0:
-        flow_paths = _final_round_by_flow(
-            kern.graph, set(iter_bits(informed_mask)), k
-        )
+        flow_paths = _final_round_by_flow(kern.graph, set(iter_bits(informed_mask)), k)
         if flow_paths is not None:
             return flow_paths
     callers = mask_to_indices(informed_mask)
@@ -128,9 +126,7 @@ def _build_round(
     claimed_mask = 0
     calls: list[tuple[int, ...]] = []
     summary = kern.components(informed_mask)
-    pstate = PenaltyState(
-        kern, informed_mask, rounds_left_after, summary=summary
-    )
+    pstate = PenaltyState(kern, informed_mask, rounds_left_after, summary=summary)
     remaining_callers = callers[:]
 
     def place(caller: int, path: tuple[int, ...]) -> None:
@@ -234,7 +230,7 @@ def heuristic_line_broadcast(
     k_eff = k if k is not None else graph.n_vertices - 1
     if k_eff < 1:
         raise InvalidParameterError(f"need k >= 1, got {k_eff}")
-    budget = rounds if rounds is not None else minimum_broadcast_rounds(graph.n_vertices)
+    budget = minimum_broadcast_rounds(graph.n_vertices) if rounds is None else rounds
     n = graph.n_vertices
     kern = kernels_for(graph)
     validator = fast_validator_for(graph)
@@ -272,9 +268,7 @@ def heuristic_line_broadcast(
                 break
         if ok and informed_mask == kern.full_mask:
             frame = builder.build()
-            report = validator.validate(
-                frame, k_eff, require_minimum_time=False
-            )
+            report = validator.validate(frame, k_eff, require_minimum_time=False)
             if report.ok:
                 return Schedule.from_frame(frame)
     return None
@@ -286,9 +280,7 @@ def _greedy_strategy(request: ScheduleRequest) -> tuple[Schedule | None, dict]:
     restarts = int(params.pop("restarts", 300))
     sample_cap = int(params.pop("sample_cap", 24))
     if params:
-        raise InvalidParameterError(
-            f"greedy: unknown params {sorted(params)}"
-        )
+        raise InvalidParameterError(f"greedy: unknown params {sorted(params)}")
     sched = heuristic_line_broadcast(
         request.graph,
         request.source,

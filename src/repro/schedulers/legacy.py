@@ -223,9 +223,7 @@ def _pick_target(
     return best_v
 
 
-def _final_round_by_flow(
-    graph: Graph, informed: set[int], k: int
-) -> list[Call] | None:
+def _final_round_by_flow(graph: Graph, informed: set[int], k: int) -> list[Call] | None:
     """Cover *all* remaining uninformed vertices in one round via max-flow
     path packing."""
     from repro.flows.paths import decompose_paths
@@ -242,6 +240,9 @@ def _final_round_by_flow(
     if any(c.length > k for c in calls):
         return None
     return calls
+
+
+_Option = tuple[int, float, int, dict[int, tuple[int, ...]], list[int]]
 
 
 def _build_round(
@@ -284,7 +285,7 @@ def _build_round(
     ]
     needy.sort(key=lambda cb: len(cb[0]) / max(1, len(cb[1])), reverse=True)
     for comp, _boundary in needy:
-        options: list[tuple[int, float, int, dict[int, tuple[int, ...]], list[int]]] = []
+        options: list[_Option] = []
         for caller in remaining_callers:
             paths = reachable_paths(graph, caller, k, used)
             candidates = [v for v in comp if v in paths and v not in claimed]
@@ -305,9 +306,7 @@ def _build_round(
         if len(claimed) >= uninformed_count:
             break
         paths = reachable_paths(graph, caller, k, used)
-        candidates = [
-            v for v in paths if v not in informed and v not in claimed
-        ]
+        candidates = [v for v in paths if v not in informed and v not in claimed]
         target = _pick_target(
             graph, caller, candidates, paths, hypothetical,
             rounds_left_after, rng, sample_cap,
@@ -338,7 +337,7 @@ def heuristic_line_broadcast_legacy(
     k_eff = k if k is not None else graph.n_vertices - 1
     if k_eff < 1:
         raise InvalidParameterError(f"need k >= 1, got {k_eff}")
-    budget = rounds if rounds is not None else minimum_broadcast_rounds(graph.n_vertices)
+    budget = minimum_broadcast_rounds(graph.n_vertices) if rounds is None else rounds
     n = graph.n_vertices
     for attempt in range(restarts):
         rng = random.Random((seed << 20) ^ attempt)

@@ -98,9 +98,7 @@ def validate_multimessage(
 ) -> list[str]:
     """Independent validator for multi-message schedules."""
     errors: list[str] = []
-    holders = [
-        {schedule.source} for _ in range(schedule.n_messages)
-    ]
+    holders = [{schedule.source} for _ in range(schedule.n_messages)]
     for idx, rnd in enumerate(schedule.rounds, start=1):
         used: set[tuple[int, int]] = set()
         callers: set[int] = set()
@@ -176,15 +174,11 @@ def find_multimessage_schedule(
             return False
         return True
 
-    def solve(
-        holders: tuple[int, ...], r: int
-    ) -> list[list[MultiMessageCall]] | None:
+    def solve(holders: tuple[int, ...], r: int) -> list[list[MultiMessageCall]] | None:
         nonlocal nodes
         nodes += 1
         if nodes > node_budget:
-            raise ReproError(
-                f"multi-message search exceeded {node_budget} nodes"
-            )
+            raise ReproError(f"multi-message search exceeded {node_budget} nodes")
         if all(h == full for h in holders):
             return []
         if r == rounds or not capacity_ok(holders, rounds - r):
@@ -254,15 +248,15 @@ def find_multimessage_schedule(
     )
 
 
-@scheduler("multimsg_search", "exact multi-message search (M=1 reduces to k-line broadcast)")
+@scheduler(
+    "multimsg_search", "exact multi-message search (M=1 reduces to k-line broadcast)"
+)
 def _multimsg_strategy(request: ScheduleRequest) -> tuple[Schedule | None, dict]:
     params = dict(request.params)
     n_messages = int(params.pop("n_messages", 1))
     node_budget = int(params.pop("node_budget", 3_000_000))
     if params:
-        raise InvalidParameterError(
-            f"multimsg_search: unknown params {sorted(params)}"
-        )
+        raise InvalidParameterError(f"multimsg_search: unknown params {sorted(params)}")
     if request.rounds is not None:
         budget = request.rounds
     else:

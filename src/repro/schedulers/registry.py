@@ -27,7 +27,7 @@ from typing import Any, Callable, Mapping
 
 from repro.frame import ScheduleFrame
 from repro.graphs.base import Graph
-from repro.model.validator import minimum_broadcast_rounds
+from repro.model.validator import ValidationReport, minimum_broadcast_rounds
 from repro.types import InvalidParameterError, Schedule
 
 __all__ = [
@@ -91,7 +91,7 @@ class ScheduleResult:
 
 # A strategy maps a request to (schedule-or-None, stats); the registry
 # adds timing and validation around it.
-StrategyFn = Callable[[ScheduleRequest], tuple[Schedule | None, dict]]
+StrategyFn = Callable[[ScheduleRequest], tuple[Schedule | None, dict[str, Any]]]
 
 
 @dataclass(frozen=True)
@@ -187,6 +187,7 @@ def run_scheduler(
             request.k_effective,
             require_minimum_time=(request.rounds is None),
         )
+        assert isinstance(report, ValidationReport)  # single input → one report
         valid = report.ok
         if not report.ok:
             stats = dict(stats)

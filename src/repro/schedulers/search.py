@@ -76,7 +76,7 @@ def find_minimum_time_schedule(
         raise InvalidParameterError(f"source {source} not a vertex")
     if k < 1:
         raise InvalidParameterError(f"need k >= 1, got {k}")
-    budget = rounds if rounds is not None else minimum_broadcast_rounds(graph.n_vertices)
+    budget = minimum_broadcast_rounds(graph.n_vertices) if rounds is None else rounds
     n = graph.n_vertices
     kern = kernels_for(graph)
     full = kern.full_mask
@@ -114,9 +114,7 @@ def find_minimum_time_schedule(
             nonlocal nodes
             nodes += 1
             if nodes > node_budget:
-                raise SearchBudgetExceeded(
-                    f"exact search exceeded {node_budget} nodes"
-                )
+                raise SearchBudgetExceeded(f"exact search exceeded {node_budget} nodes")
             if idx == len(callers):
                 if not calls:
                     return False  # no progress: dead round
@@ -133,9 +131,7 @@ def find_minimum_time_schedule(
             for path in kern.enumerate_paths(caller, k, used, available):
                 edges = kern.path_edges_mask(path)
                 calls.append(path)
-                if assign(
-                    idx + 1, used | edges, claimed | (1 << path[-1]), calls
-                ):
+                if assign(idx + 1, used | edges, claimed | (1 << path[-1]), calls):
                     return True
                 calls.pop()
             # caller idles
@@ -157,7 +153,12 @@ def find_minimum_time_schedule(
 
 
 def minimum_kline_rounds(
-    graph: Graph, source: int, k: int, *, max_rounds: int | None = None, node_budget: int = 2_000_000
+    graph: Graph,
+    source: int,
+    k: int,
+    *,
+    max_rounds: int | None = None,
+    node_budget: int = 2_000_000,
 ) -> int:
     """The exact minimum number of rounds to broadcast from ``source``
     under k-line communication (small graphs)."""
@@ -176,9 +177,7 @@ def minimum_kline_rounds(
     )
 
 
-def is_k_mlbg_exact(
-    graph: Graph, k: int, *, node_budget: int = 2_000_000
-) -> bool:
+def is_k_mlbg_exact(graph: Graph, k: int, *, node_budget: int = 2_000_000) -> bool:
     """Definition 3, checked exhaustively: every vertex admits a
     minimum-time k-line broadcast scheme.  Exponential; small graphs only."""
     for source in range(graph.n_vertices):
@@ -195,9 +194,7 @@ def _search_strategy(request: ScheduleRequest) -> tuple[Schedule | None, dict]:
     params = dict(request.params)
     node_budget = int(params.pop("node_budget", 2_000_000))
     if params:
-        raise InvalidParameterError(
-            f"search: unknown params {sorted(params)}"
-        )
+        raise InvalidParameterError(f"search: unknown params {sorted(params)}")
     sched = find_minimum_time_schedule(
         request.graph,
         request.source,

@@ -43,9 +43,7 @@ def dimension_order_broadcast(n: int, source: int, dims: list[int]) -> Schedule:
     dims only.
     """
     if sorted(dims) != list(range(1, n + 1)):
-        raise InvalidParameterError(
-            f"dims must be a permutation of 1..{n}, got {dims}"
-        )
+        raise InvalidParameterError(f"dims must be a permutation of 1..{n}, got {dims}")
     builder = ScheduleBuilder(source)
     informed = [source]
     for dim in dims:

@@ -27,7 +27,10 @@ paper (1-indexed, dimension 1 = least significant bit) corresponds to bit
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, NoReturn, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.frame import ScheduleFrame
 
 Vertex = int
 Edge = tuple[int, int]
@@ -119,8 +122,8 @@ class Call:
     @staticmethod
     def via(path: Sequence[Vertex]) -> "Call":
         """A call along the explicit ``path`` (first element calls last)."""
-        path = tuple(path)
-        return Call(source=path[0], path=path, receiver=path[-1])
+        verts = tuple(path)
+        return Call(source=verts[0], path=verts, receiver=verts[-1])
 
     @property
     def length(self) -> int:
@@ -157,17 +160,17 @@ class Round:
         return max((c.length for c in self.calls), default=0)
 
 
-class _FrozenRounds(list):
+class _FrozenRounds(list["Round"]):
     """A list view that rejects mutation (rounds of a frozen schedule)."""
 
-    def _reject(self, *_args, **_kwargs):
-        raise InvalidParameterError(
-            "schedule is frozen; its rounds cannot be mutated"
-        )
+    def _reject(self, *_args: object, **_kwargs: object) -> NoReturn:
+        raise InvalidParameterError("schedule is frozen; its rounds cannot be mutated")
 
-    append = extend = insert = remove = clear = _reject
-    pop = sort = reverse = _reject
-    __setitem__ = __delitem__ = __iadd__ = __imul__ = _reject
+    # the mutators deliberately do not match list's signatures
+    append = extend = insert = remove = clear = _reject  # type: ignore[assignment]
+    pop = sort = reverse = _reject  # type: ignore[assignment]
+    __setitem__ = __delitem__ = _reject  # type: ignore[assignment]
+    __iadd__ = __imul__ = _reject  # type: ignore[assignment]
 
 
 class Schedule:
@@ -192,20 +195,25 @@ class Schedule:
 
     __slots__ = ("source", "_rounds", "_frame", "_frozen")
 
+    source: Vertex
+    _rounds: list[Round] | None
+    _frame: "ScheduleFrame | None"
+    _frozen: bool
+
     def __init__(
         self,
         source: Vertex,
         rounds: Sequence[Round] | None = None,
     ) -> None:
         self.source = source
-        self._rounds: list[Round] | None = list(rounds) if rounds is not None else []
+        self._rounds = list(rounds) if rounds is not None else []
         self._frame = None
         self._frozen = False
 
     # -- frame interop ------------------------------------------------------
 
     @classmethod
-    def from_frame(cls, frame) -> "Schedule":
+    def from_frame(cls, frame: "ScheduleFrame") -> "Schedule":
         """A frozen object view over a :class:`~repro.frame.ScheduleFrame`.
 
         No ``Call``/``Round`` objects are created until ``rounds`` is
@@ -219,7 +227,7 @@ class Schedule:
         schedule._frozen = True
         return schedule
 
-    def to_frame(self):
+    def to_frame(self) -> "ScheduleFrame":
         """The columnar form of this schedule (lossless round-trip).
 
         Frozen schedules cache the frame; mutable ones rebuild it per
@@ -229,6 +237,7 @@ class Schedule:
             return self._frame
         from repro.frame import ScheduleFrame
 
+        assert self._rounds is not None  # no frame implies explicit rounds
         frame = ScheduleFrame.from_paths(
             self.source, ([c.path for c in rnd] for rnd in self._rounds)
         )
@@ -236,7 +245,7 @@ class Schedule:
             self._frame = frame
         return frame
 
-    def frame_or_none(self):
+    def frame_or_none(self) -> "ScheduleFrame | None":
         """The cached frame if this schedule already has one (no build)."""
         return self._frame
 
@@ -245,6 +254,7 @@ class Schedule:
     @property
     def rounds(self) -> list[Round]:
         if self._rounds is None:
+            assert self._frame is not None  # lazy rounds come from a frame
             self._rounds = _FrozenRounds(
                 Round(tuple(Call.via(p) for p in paths))
                 for paths in self._frame.iter_round_paths()
@@ -254,18 +264,15 @@ class Schedule:
     @rounds.setter
     def rounds(self, value: Sequence[Round]) -> None:
         if self._frozen:
-            raise InvalidParameterError(
-                "schedule is frozen; cannot replace its rounds"
-            )
+            raise InvalidParameterError("schedule is frozen; cannot replace its rounds")
         self._rounds = list(value)
         self._frame = None
 
     def append_round(self, calls: Sequence[Call]) -> None:
         if self._frozen:
-            raise InvalidParameterError(
-                "schedule is frozen; cannot append rounds"
-            )
+            raise InvalidParameterError("schedule is frozen; cannot append rounds")
         self._frame = None
+        assert self._rounds is not None  # mutable schedules hold a list
         self._rounds.append(Round(tuple(calls)))
 
     # -- freezing -----------------------------------------------------------
@@ -282,9 +289,7 @@ class Schedule:
         """
         if not self._frozen:
             self._frozen = True
-            if self._rounds is not None and not isinstance(
-                self._rounds, _FrozenRounds
-            ):
+            if self._rounds is not None and not isinstance(self._rounds, _FrozenRounds):
                 self._rounds = _FrozenRounds(self._rounds)
         return self
 
@@ -295,6 +300,7 @@ class Schedule:
 
     def __len__(self) -> int:
         if self._rounds is None:
+            assert self._frame is not None
             return self._frame.n_rounds
         return len(self._rounds)
 
@@ -307,7 +313,7 @@ class Schedule:
             return True
         return list(self.rounds) == list(other.rounds)
 
-    __hash__ = None  # mutable container semantics, like list
+    __hash__ = None  # type: ignore[assignment]  # mutable container semantics
 
     def __repr__(self) -> str:
         return (
@@ -322,12 +328,14 @@ class Schedule:
     @property
     def num_calls(self) -> int:
         if self._rounds is None:
+            assert self._frame is not None
             return self._frame.n_calls
         return sum(len(r) for r in self._rounds)
 
     def max_call_length(self) -> int:
         """The longest call in the schedule (the schedule's effective ``k``)."""
         if self._rounds is None:
+            assert self._frame is not None
             return self._frame.max_call_length()
         return max((r.max_call_length() for r in self._rounds), default=0)
 
@@ -338,6 +346,7 @@ class Schedule:
         convenience for inspection, not a validator.
         """
         if self._rounds is None:
+            assert self._frame is not None
             return self._frame.informed_after(t)
         informed = {self.source}
         for r in self._rounds[:t]:

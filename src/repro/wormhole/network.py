@@ -75,9 +75,7 @@ class WormholeNetwork:
         self.worms: list[Worm] = []
         self.trace: list[FlitEvent] = []
 
-    def add_worm(
-        self, path: tuple[int, ...], flits: int, start_cycle: int = 0
-    ) -> Worm:
+    def add_worm(self, path: tuple[int, ...], flits: int, start_cycle: int = 0) -> Worm:
         if flits < 1:
             raise InvalidParameterError(f"a message needs >= 1 flit, got {flits}")
         if not self.graph.path_is_valid(path):

@@ -223,6 +223,50 @@ class TestMergeDeterminism:
             merge_chunks(TINY, tmp_path)
 
 
+class TestManifestDeterminism:
+    """Regression for the unsorted-JSON manifest/cache writes (RL002):
+    two runs of the same campaign must produce byte-identical artifacts
+    once wall-clock duration fields are normalized out."""
+
+    @staticmethod
+    def _normalized_bytes(path):
+        payload = json.loads(path.read_text())
+        payload["seconds"] = 0
+        for sc in payload["scenarios"]:
+            sc["seconds"] = 0
+        # re-dump in the writer's exact format: if key order ever became
+        # insertion-dependent again, these strings would diverge
+        return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+    def test_two_runs_produce_byte_identical_manifests(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        run_campaign_shard(TINY, shard=(0, 1), out_dir=a)
+        run_campaign_shard(TINY, shard=(0, 1), out_dir=b)
+        ma = campaigns.manifest_path(a, TINY, (0, 1))
+        mb = campaigns.manifest_path(b, TINY, (0, 1))
+        assert self._normalized_bytes(ma) == self._normalized_bytes(mb)
+
+    def test_manifest_keys_are_sorted(self, tmp_path):
+        run_campaign_shard(TINY, shard=(0, 1), out_dir=tmp_path)
+        mpath = campaigns.manifest_path(tmp_path, TINY, (0, 1))
+        payload = json.loads(mpath.read_text())
+        assert list(payload) == sorted(payload)
+        assert all(list(sc) == sorted(sc) for sc in payload["scenarios"])
+
+    def test_cache_entries_are_byte_identical_across_runs(self, tmp_path):
+        out_a, out_b = tmp_path / "oa", tmp_path / "ob"
+        cache_a, cache_b = tmp_path / "ca", tmp_path / "cb"
+        run_campaign_shard(TINY, shard=(0, 1), out_dir=out_a, cache_dir=cache_a)
+        run_campaign_shard(TINY, shard=(0, 1), out_dir=out_b, cache_dir=cache_b)
+        names_a = sorted(p.name for p in cache_a.rglob("*.json"))
+        names_b = sorted(p.name for p in cache_b.rglob("*.json"))
+        assert names_a == names_b and names_a
+        for name_a, name_b in zip(names_a, names_b):
+            entry_a = next(cache_a.rglob(name_a)).read_bytes()
+            entry_b = next(cache_b.rglob(name_b)).read_bytes()
+            assert entry_a == entry_b, name_a
+
+
 class TestFailureResume:
     def test_failure_caches_completed_scenarios(self, tmp_path, monkeypatch):
         from repro.analysis.campaigns import CampaignExecutionError

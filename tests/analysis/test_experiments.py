@@ -45,7 +45,8 @@ class TestE02LowerBounds:
     def test_monotone_in_k(self):
         rows = experiment_e02_lower_bounds(n_values=(16, 36, 64))
         for row in rows:
-            assert row["k=1 (Δ≥n)"] >= row["k=2 thm2"] >= row["k=3 thm2"] >= row["k=4 thm2"]
+            assert row["k=1 (Δ≥n)"] >= row["k=2 thm2"]
+            assert row["k=2 thm2"] >= row["k=3 thm2"] >= row["k=4 thm2"]
 
     def test_ball_dominates_closed_form(self):
         rows = experiment_e02_lower_bounds(n_values=(25, 49))
@@ -64,7 +65,8 @@ class TestE04E05Labelings:
 
     def test_lemma2_sandwich(self):
         for row in experiment_e05_lambda_m(max_m=8, exact_max_m=4):
-            assert row["Lemma2 lower ⌊m/2⌋+1"] <= row["constructed labels"] <= row["upper m+1"]
+            assert row["Lemma2 lower ⌊m/2⌋+1"] <= row["constructed labels"]
+            assert row["constructed labels"] <= row["upper m+1"]
 
     def test_exact_matches_constructed_when_hamming(self):
         rows = experiment_e05_lambda_m(max_m=4, exact_max_m=4)
@@ -178,9 +180,7 @@ class TestExtensionExperiments:
     def test_e20_vertex_disjoint_rows(self):
         from repro.analysis.experiments import experiment_e20_vertex_disjoint
 
-        rows = experiment_e20_vertex_disjoint(
-            cases=((2, 6, (2,)),), sources_cap=4
-        )
+        rows = experiment_e20_vertex_disjoint(cases=((2, 6, (2,)),), sources_cap=4)
         assert rows[0]["minimum time"]
         assert not rows[-1]["minimum time"]  # the tree contrast row
 

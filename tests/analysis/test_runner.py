@@ -67,6 +67,34 @@ class TestCache:
         assert payload["digest"] == result.digest
         assert payload["rows"] == result.rows
 
+    def test_cache_entry_bytes_are_sorted_and_columns_preserved(self, tmp_path):
+        """RL002 regression: the entry is written sort_keys=True, and row
+        column order (table semantics) survives the sorted round-trip via
+        the explicit ``columns`` record."""
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        (result,) = runner.run(["e04"])
+        path = tmp_path / f"e04-{result.digest}.json"
+        raw = path.read_text()
+        payload = json.loads(raw)
+        assert list(payload) == sorted(payload)
+        assert payload["columns"] == [list(row) for row in result.rows]
+        warm = ExperimentRunner(cache_dir=tmp_path)
+        (again,) = warm.run(["e04"])
+        assert again.cached
+        assert [list(row) for row in again.rows] == payload["columns"]
+
+    def test_entry_with_desynced_columns_treated_as_miss(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        (result,) = runner.run(["e04"])
+        path = tmp_path / f"e04-{result.digest}.json"
+        payload = json.loads(path.read_text())
+        payload["columns"] = payload["columns"][:-1]
+        path.write_text(json.dumps(payload))
+        runner2 = ExperimentRunner(cache_dir=tmp_path)
+        (again,) = runner2.run(["e04"])
+        assert runner2.stats.executed == 1
+        assert again.rows == result.rows
+
     def test_changed_params_miss_the_cache(self, tmp_path):
         runner = ExperimentRunner(cache_dir=tmp_path)
         runner.run(["e05"], overrides={"e05": {"max_m": 3}})

@@ -60,7 +60,9 @@ class TestGrammar:
         assert parse_sources_policy("sample:5") == ("sample", 5)
         assert parse_sources_policy("sample") == ("sample", 16)
 
-    @pytest.mark.parametrize("bad", ["first:1", "all:2", "sample:x", "sample:1", "most"])
+    @pytest.mark.parametrize(
+        "bad", ["first:1", "all:2", "sample:x", "sample:1", "most"]
+    )
     def test_sources_rejects(self, bad):
         with pytest.raises(InvalidParameterError):
             parse_sources_policy(bad)

@@ -97,4 +97,6 @@ class TestSolve:
 
     def test_matmul(self):
         a = np.array([[1, 1], [0, 1]], dtype=np.uint8)
-        assert np.array_equal(gf2_matmul(a, a), np.array([[1, 0], [0, 1]], dtype=np.uint8))
+        assert np.array_equal(
+            gf2_matmul(a, a), np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        )

@@ -41,7 +41,9 @@ class TestFig4Reproduction:
 class TestTheorem4:
     """Broadcast_2 is a valid minimum-time 2-line scheme, all sources."""
 
-    @pytest.mark.parametrize("n,m", [(2, 1), (3, 1), (3, 2), (4, 2), (5, 2), (5, 3), (6, 4)])
+    @pytest.mark.parametrize(
+        "n,m", [(2, 1), (3, 1), (3, 2), (4, 2), (5, 2), (5, 3), (6, 4)]
+    )
     def test_all_sources_minimum_time(self, n, m):
         sh = construct_base(n, m)
         g = sh.graph
@@ -73,7 +75,13 @@ class TestTheorem6:
 
     @pytest.mark.parametrize(
         "k,n,thr",
-        [(3, 5, (2, 3)), (3, 7, (2, 4)), (4, 7, (2, 4, 5)), (4, 9, (2, 4, 6)), (5, 9, (1, 3, 5, 7))],
+        [
+            (3, 5, (2, 3)),
+            (3, 7, (2, 4)),
+            (4, 7, (2, 4, 5)),
+            (4, 9, (2, 4, 6)),
+            (5, 9, (1, 3, 5, 7)),
+        ],
     )
     def test_all_sources_minimum_time(self, k, n, thr):
         sh = construct(k, n, thr)
@@ -146,9 +154,7 @@ class TestCallOrderPinned:
             schedule = Schedule(source=source)
             informed = [source]
             for dim in range(sh.n, sh.base_dims, -1):
-                calls = [
-                    Call.via(reach_and_flip(sh, w, dim)) for w in sorted(informed)
-                ]
+                calls = [Call.via(reach_and_flip(sh, w, dim)) for w in sorted(informed)]
                 schedule.append_round(calls)
                 informed.extend(c.receiver for c in calls)
             for dim in range(sh.base_dims, 0, -1):
@@ -172,6 +178,4 @@ class TestCallOrderPinned:
 
         forward = phase1_round_calls(sh, informed, sh.n - 1)
         backward = phase1_round_calls(sh, list(reversed(informed)), sh.n - 1)
-        assert [c.source for c in forward] == [
-            c.source for c in reversed(backward)
-        ]
+        assert [c.source for c in forward] == [c.source for c in reversed(backward)]

@@ -59,7 +59,9 @@ class TestBaseRouting:
 
 
 class TestRecursiveRouting:
-    @pytest.mark.parametrize("k,n,thr", [(3, 7, (2, 4)), (4, 9, (2, 4, 6)), (5, 11, (2, 4, 6, 8))])
+    @pytest.mark.parametrize(
+        "k,n,thr", [(3, 7, (2, 4)), (4, 9, (2, 4, 6)), (5, 11, (2, 4, 6, 8))]
+    )
     def test_length_at_most_level(self, k, n, thr):
         sh = construct(k, n, thr)
         for u in range(0, sh.n_vertices, max(1, sh.n_vertices // 64)):

@@ -64,7 +64,9 @@ class TestRootFedPrimitive:
         schedule = Schedule(source=0)
         for j in range(1, s + 2):
             schedule.append_round([Call.via(p) for p in rootfed_calls(tree, j)])
-        rep = validate_broadcast(g, schedule, k=g.n_vertices, require_minimum_time=False)
+        rep = validate_broadcast(
+            g, schedule, k=g.n_vertices, require_minimum_time=False
+        )
         assert rep.ok, rep.errors[:3]
         # s+1 == ⌈log2(2^{s+1}−1)⌉: minimum time
         assert len(schedule.rounds) == minimum_broadcast_rounds(g.n_vertices)

@@ -1,0 +1,178 @@
+"""Framework-level tests: registry contract, discovery, suppressions,
+report determinism and formats."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools.analyzer import format_text, lint_file, lint_paths
+from repro.devtools.registry import all_rules, get_rule, rule
+from repro.types import InvalidParameterError
+
+
+def write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+BAD_JSON = """\
+    import json
+
+
+    def save(d):
+        return json.dumps(d)
+    """
+
+
+class TestRegistry:
+    def test_rules_are_sorted_by_id(self):
+        ids = [r.rule_id for r in all_rules()]
+        assert ids == sorted(ids)
+
+    def test_get_rule_is_case_insensitive(self):
+        assert get_rule("rl002").rule_id == "RL002"
+
+    def test_unknown_rule_raises_with_known_ids(self):
+        with pytest.raises(KeyError, match="unknown lint rule"):
+            get_rule("RL999")
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(InvalidParameterError, match="registered twice"):
+
+            @rule("RL001", "dup", "duplicate id")
+            def duplicate(ctx):
+                return []
+
+    def test_malformed_rule_id_rejected(self):
+        with pytest.raises(InvalidParameterError, match="rule id"):
+
+            @rule("X1", "bad", "bad id shape")
+            def bad_id(ctx):
+                return []
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(InvalidParameterError, match="severity"):
+
+            @rule("RL900", "bad", "bad severity", severity="fatal")
+            def bad_severity(ctx):
+                return []
+
+    def test_every_rule_has_a_docstring_and_summary(self):
+        for spec in all_rules():
+            assert spec.summary
+            assert spec.fn.__doc__
+
+
+class TestDiscoveryAndErrors:
+    def test_directory_walk_finds_nested_files(self, tmp_path):
+        write(tmp_path, "pkg/a.py", BAD_JSON)
+        write(tmp_path, "pkg/sub/b.py", BAD_JSON)
+        report = lint_paths([tmp_path])
+        assert report.n_files == 2
+        assert [v.rule_id for v in report.violations] == ["RL002", "RL002"]
+
+    def test_pycache_and_hidden_dirs_skipped(self, tmp_path):
+        write(tmp_path, "__pycache__/junk.py", BAD_JSON)
+        write(tmp_path, ".hidden/junk.py", BAD_JSON)
+        assert lint_paths([tmp_path]).n_files == 0
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(InvalidParameterError, match="no such file"):
+            lint_paths([tmp_path / "nope"])
+
+    def test_non_python_file_raises(self, tmp_path):
+        target = tmp_path / "data.json"
+        target.write_text("{}")
+        with pytest.raises(InvalidParameterError, match="not a Python file"):
+            lint_paths([target])
+
+    def test_syntax_error_raises_cleanly(self, tmp_path):
+        path = write(tmp_path, "broken.py", "def f(:\n")
+        with pytest.raises(InvalidParameterError, match="syntax error"):
+            lint_paths([path])
+
+    def test_unknown_rule_filter_raises(self, tmp_path):
+        with pytest.raises(InvalidParameterError, match="unknown lint rule"):
+            lint_paths([tmp_path], rule_id="RL999")
+
+    def test_duplicate_paths_deduplicated(self, tmp_path):
+        path = write(tmp_path, "a.py", BAD_JSON)
+        report = lint_paths([path, path, tmp_path])
+        assert report.n_files == 1
+
+
+class TestSuppressions:
+    def test_multi_id_suppression(self, tmp_path):
+        source = """\
+            import json
+            import time
+
+
+            def f(d):
+                return json.dumps(d), time.time()  # repro-lint: disable=RL002,RL006
+            """
+        path = write(tmp_path, "m.py", source)
+        rules = [get_rule("RL002"), get_rule("RL006")]
+        assert lint_file(path, rules) == []
+
+    def test_suppression_only_covers_its_line(self, tmp_path):
+        source = """\
+            import json
+
+            # repro-lint: disable=RL002
+
+
+            def f(d):
+                return json.dumps(d)
+            """
+        path = write(tmp_path, "m.py", source)
+        violations = lint_file(path, [get_rule("RL002")])
+        rule_ids = sorted(v.rule_id for v in violations)
+        # the real violation still fires AND the stale comment is flagged
+        assert rule_ids == ["RL000", "RL002"]
+
+    def test_rule_filter_ignores_other_rules_suppressions(self, tmp_path):
+        source = """\
+            import json
+
+
+            def f(d):
+                return json.dumps(d, sort_keys=True)  # repro-lint: disable=RL006
+            """
+        path = write(tmp_path, "m.py", source)
+        # RL006 did not run, so its suppression must not be called unused
+        assert lint_file(path, [get_rule("RL002")]) == []
+
+
+class TestReport:
+    def test_violations_sorted_deterministically(self, tmp_path):
+        write(tmp_path, "b.py", BAD_JSON)
+        write(tmp_path, "a.py", BAD_JSON)
+        report = lint_paths([tmp_path])
+        paths = [v.path for v in report.violations]
+        assert paths == sorted(paths)
+
+    def test_json_report_is_sorted_and_parseable(self, tmp_path):
+        write(tmp_path, "a.py", BAD_JSON)
+        report = lint_paths([tmp_path])
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is False
+        assert payload["files"] == 1
+        assert payload["violations"][0]["rule"] == "RL002"
+        # the linter holds itself to RL002: sorted keys
+        assert report.to_json() == json.dumps(payload, indent=2, sort_keys=True)
+
+    def test_text_report_shape(self, tmp_path):
+        write(tmp_path, "a.py", BAD_JSON)
+        report = lint_paths([tmp_path])
+        text = format_text(report)
+        assert "a.py:5:" in text
+        assert "RL002" in text
+        assert text.endswith("1 violation in 1 file")
+
+    def test_clean_text_report(self, tmp_path):
+        write(tmp_path, "a.py", "x = 1\n")
+        assert format_text(lint_paths([tmp_path])) == "clean: 1 file checked"

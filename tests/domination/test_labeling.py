@@ -67,7 +67,8 @@ class TestConditionA:
 
     def test_classes_are_dominating_sets(self):
         """Condition A ⟺ every label class dominates Q_m."""
-        for lab in (paper_example_labeling_q2(), hamming_labeling(3), lemma2_labeling(5)):
+        labs = (paper_example_labeling_q2(), hamming_labeling(3), lemma2_labeling(5))
+        for lab in labs:
             g = hypercube(lab.m)
             for c in range(lab.num_labels):
                 assert is_dominating_set(g, set(lab.class_of(c)))
@@ -96,9 +97,7 @@ class TestHammingLabeling:
         exactly once."""
         lab = hamming_labeling(m)
         for u in range(1 << m):
-            seen = [lab.label_of(u)] + [
-                lab.label_of(u ^ (1 << j)) for j in range(m)
-            ]
+            seen = [lab.label_of(u)] + [lab.label_of(u ^ (1 << j)) for j in range(m)]
             assert sorted(seen) == list(range(m + 1))
 
 

@@ -162,9 +162,7 @@ class TestBatchValidator:
                 corrupted, 2, vertex_disjoint=vertex_disjoint
             )
             for sched, rep in zip(corrupted, reports):
-                ref = validate_broadcast(
-                    g, sched, 2, vertex_disjoint=vertex_disjoint
-                )
+                ref = validate_broadcast(g, sched, 2, vertex_disjoint=vertex_disjoint)
                 assert rep.ok == ref.ok
                 assert rep.errors == ref.errors
                 assert rep.rounds == ref.rounds
@@ -176,9 +174,7 @@ class TestBatchValidator:
         g = sh.graph
         padded = broadcast_schedule(sh, 0)
         padded.rounds.append(Round(()))
-        [rep] = BatchValidator(g).validate_many(
-            [padded], 2, require_minimum_time=False
-        )
+        [rep] = BatchValidator(g).validate_many([padded], 2, require_minimum_time=False)
         ref = validate_broadcast(g, padded, 2, require_minimum_time=False)
         assert rep.ok == ref.ok is True
         assert rep.informed_per_round == ref.informed_per_round

@@ -53,7 +53,7 @@ class TestReachablePaths:
     def test_matches_legacy(self, name, graph, k):
         rng = random.Random(sum(map(ord, name)) + 17 * k)
         kern = GraphKernels(graph)
-        for trial in range(5):
+        for _trial in range(5):
             used = random_used_edges(graph, rng)
             caller = rng.randrange(graph.n_vertices)
             expected = legacy.reachable_paths(graph, caller, k, set(used))
@@ -68,15 +68,11 @@ class TestEnumeratePaths:
         rng = random.Random(sum(map(ord, name)) + 17 * k)
         kern = GraphKernels(graph)
         n = graph.n_vertices
-        for trial in range(5):
+        for _trial in range(5):
             used = random_used_edges(graph, rng)
             caller = rng.randrange(n)
-            targets = {
-                v for v in range(n) if v != caller and rng.random() < 0.5
-            }
-            expected = legacy.enumerate_paths(
-                graph, caller, k, set(used), targets
-            )
+            targets = {v for v in range(n) if v != caller and rng.random() < 0.5}
+            expected = legacy.enumerate_paths(graph, caller, k, set(used), targets)
             got = kern.enumerate_paths(
                 caller, k, used_mask_of(kern, used), mask_from_indices(targets)
             )
@@ -89,7 +85,7 @@ class TestComponents:
         rng = random.Random(sum(map(ord, name)))
         kern = GraphKernels(graph)
         n = graph.n_vertices
-        for trial in range(8):
+        for _trial in range(8):
             informed = {v for v in range(n) if rng.random() < 0.4} | {0}
             summary = kern.components(mask_from_indices(informed))
             expected = legacy.uninformed_components(graph, informed)
@@ -107,7 +103,7 @@ class TestComponents:
         rng = random.Random(sum(map(ord, name)) + 17 * rounds_left)
         kern = GraphKernels(graph)
         n = graph.n_vertices
-        for trial in range(8):
+        for _trial in range(8):
             informed = {v for v in range(n) if rng.random() < 0.4} | {0}
             mask = mask_from_indices(informed)
             assert kern.component_penalty(mask, rounds_left) == pytest.approx(
@@ -125,7 +121,7 @@ class TestPenaltyState:
         rng = random.Random(sum(map(ord, name)) + 17 * rounds_left)
         kern = GraphKernels(graph)
         n = graph.n_vertices
-        for trial in range(5):
+        for _trial in range(5):
             informed = {v for v in range(n) if rng.random() < 0.3} | {0}
             if len(informed) == n:
                 continue
@@ -150,9 +146,7 @@ class TestPenaltyState:
         for v in uninformed[: n // 2]:
             pstate.commit(v)
             mask |= 1 << v
-            assert pstate.total == pytest.approx(
-                kern.component_penalty(mask, 3)
-            )
+            assert pstate.total == pytest.approx(kern.component_penalty(mask, 3))
             assert pstate.informed == mask
 
 

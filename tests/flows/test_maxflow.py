@@ -80,7 +80,7 @@ class TestAgainstNetworkx:
         import networkx as nx
 
         rng = random.Random(7)
-        for trial in range(10):
+        for _trial in range(10):
             n = 8
             nxg = nx.DiGraph()
             nxg.add_nodes_from(range(n))

@@ -22,9 +22,7 @@ class TestParsing:
         assert graph_from_spec(" Path:5") == path_graph(5)
 
     def test_random_tree_default_seed(self):
-        assert graph_from_spec("random-tree:12") == graph_from_spec(
-            "random-tree:12:0"
-        )
+        assert graph_from_spec("random-tree:12") == graph_from_spec("random-tree:12:0")
         assert graph_from_spec("random-tree:12:1") != graph_from_spec(
             "random-tree:12:2"
         )

@@ -1,0 +1,118 @@
+"""`repro lint` CLI contract: exit codes, formats, and the self-check.
+
+Subprocess tests, matching the conventions of test_cli_errors.py:
+exit 0 = clean, 1 = violations found, 2 = usage error with exactly one
+stderr line and no traceback.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_SNIPPET = textwrap.dedent(
+    """\
+    import json
+
+
+    def save(d):
+        return json.dumps(d)
+    """
+)
+
+
+def run_cli(*args, cwd=None):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd or REPO_ROOT,
+        timeout=120,
+    )
+
+
+def assert_clean_failure(proc, *, needle=None):
+    assert proc.returncode == 2, (proc.returncode, proc.stderr)
+    assert "Traceback" not in proc.stderr
+    assert "Traceback" not in proc.stdout
+    message_lines = [ln for ln in proc.stderr.splitlines() if ln.strip()]
+    assert len(message_lines) == 1, proc.stderr
+    if needle is not None:
+        assert needle in message_lines[0]
+
+
+class TestLintErrors:
+    def test_unknown_rule(self, tmp_path):
+        assert_clean_failure(
+            run_cli("lint", "--rule", "RL999", str(tmp_path)),
+            needle="unknown lint rule",
+        )
+
+    def test_missing_path(self, tmp_path):
+        assert_clean_failure(
+            run_cli("lint", str(tmp_path / "nope")),
+            needle="no such file or directory",
+        )
+
+    def test_syntax_error_in_target(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        assert_clean_failure(run_cli("lint", str(bad)), needle="syntax error")
+
+
+class TestLintRuns:
+    def test_violations_exit_1_with_locations(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text(BAD_SNIPPET)
+        proc = run_cli("lint", str(target))
+        assert proc.returncode == 1, (proc.stdout, proc.stderr)
+        assert f"{target}:5:" in proc.stdout
+        assert "RL002" in proc.stdout
+
+    def test_clean_target_exits_0(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text("x = 1\n")
+        proc = run_cli("lint", str(target))
+        assert proc.returncode == 0, (proc.stdout, proc.stderr)
+        assert "clean" in proc.stdout
+
+    def test_json_format(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text(BAD_SNIPPET)
+        proc = run_cli("lint", "--format", "json", str(target))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is False
+        assert payload["violations"][0]["rule"] == "RL002"
+        assert payload["violations"][0]["line"] == 5
+
+    def test_rule_filter(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text(BAD_SNIPPET)
+        proc = run_cli("lint", "--rule", "RL006", str(target))
+        assert proc.returncode == 0, (proc.stdout, proc.stderr)
+
+    def test_list_rules(self):
+        proc = run_cli("lint", "--list")
+        assert proc.returncode == 0
+        listed = [ln.split()[0] for ln in proc.stdout.splitlines() if ln]
+        assert len(listed) >= 8
+        assert "RL001" in listed and "RL008" in listed
+
+
+class TestLintSelfCheck:
+    def test_src_is_clean(self):
+        """The acceptance gate: the repo passes its own linter."""
+        proc = run_cli("lint", "src")
+        assert proc.returncode == 0, (proc.stdout, proc.stderr)
+        assert "clean" in proc.stdout

@@ -154,9 +154,7 @@ class TestCLISubcommands:
         out = capsys.readouterr().out
         assert "[E02]" in out and "[E04]" in out
 
-    def test_run_with_cache_second_invocation_executes_nothing(
-        self, tmp_path, capsys
-    ):
+    def test_run_with_cache_second_invocation_executes_nothing(self, tmp_path, capsys):
         from repro.cli import main
 
         argv = ["run", "e02", "e04", "--cache", "--cache-dir", str(tmp_path)]

@@ -24,9 +24,7 @@ class TestExecuteRound:
         call of the same round — order matters."""
         first = Call.via((0, 2))
         second = Call.via((1, 0, 2))
-        accepted, rejected = self.sim.execute_round(
-            Round((first, second)), {0, 1}
-        )
+        accepted, rejected = self.sim.execute_round(Round((first, second)), {0, 1})
         assert accepted == [first]
         assert rejected[0].call == second
 

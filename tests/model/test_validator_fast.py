@@ -52,9 +52,7 @@ def sched(rounds: list[list[tuple[int, ...]]], source: int = 0) -> Schedule:
 
 class TestValidSchedules:
     def test_diamond_minimum_time(self):
-        ref, fast = assert_agreement(
-            diamond(), sched([[(0, 1)], [(0, 2), (1, 3)]]), 1
-        )
+        ref, fast = assert_agreement(diamond(), sched([[(0, 1)], [(0, 2), (1, 3)]]), 1)
         assert fast.ok
         assert fast.informed_per_round == [2, 4]
 
@@ -153,9 +151,7 @@ class TestFirstErrorClasses:
         _, fast = assert_agreement(diamond(), s, 1)
         assert classify_error(fast.errors[0]) == "not-minimum-time"
         # and accepted when minimum time is not required
-        relaxed = validate_broadcast_fast(
-            diamond(), s, 1, require_minimum_time=False
-        )
+        relaxed = validate_broadcast_fast(diamond(), s, 1, require_minimum_time=False)
         assert relaxed.ok
 
     def test_bad_source(self):
@@ -174,9 +170,7 @@ class TestVertexDisjointMode:
         s = ternary_tree_schedule(h, 0)
         loose_ref, loose_fast = assert_agreement(tree, s, 2 * h)
         assert loose_fast.ok
-        strict_ref, strict_fast = assert_agreement(
-            tree, s, 2 * h, vertex_disjoint=True
-        )
+        strict_ref, strict_fast = assert_agreement(tree, s, 2 * h, vertex_disjoint=True)
         assert not strict_fast.ok
         assert classify_error(strict_fast.errors[0]) == "shared-vertex"
 

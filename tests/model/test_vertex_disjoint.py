@@ -28,7 +28,8 @@ class TestSchemesUnderStrictModel:
     def test_sparse_hypercube_schemes_are_vertex_disjoint(self):
         """Phase-1 calls live in pairwise-disjoint subcubes, so the
         schemes satisfy the stronger §5 model as-is."""
-        for k, n, thr in [(2, 6, (2,)), (2, 7, (3,)), (3, 8, (2, 5)), (4, 9, (2, 4, 6))]:
+        cases = [(2, 6, (2,)), (2, 7, (3,)), (3, 8, (2, 5)), (4, 9, (2, 4, 6))]
+        for k, n, thr in cases:
             sh = construct(k, n, thr)
             g = sh.graph
             for s in (0, g.n_vertices // 2, g.n_vertices - 1):

@@ -140,15 +140,11 @@ def _mutate(g, sched, rng):
     seed=st.integers(min_value=0, max_value=2**32 - 1),
     vertex_disjoint=st.booleans(),
 )
-def test_batch_validator_equals_reference_under_corruption(
-    sh, seed, vertex_disjoint
-):
+def test_batch_validator_equals_reference_under_corruption(sh, seed, vertex_disjoint):
     g = sh.graph
     rng = random.Random(seed)
     sources = [rng.randrange(g.n_vertices) for _ in range(4)]
-    schedules = [
-        _mutate(g, broadcast_schedule(sh, s), rng) for s in sources
-    ]
+    schedules = [_mutate(g, broadcast_schedule(sh, s), rng) for s in sources]
     reports = BatchValidator(g).validate_many(
         schedules, sh.k, vertex_disjoint=vertex_disjoint
     )

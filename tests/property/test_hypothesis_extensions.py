@@ -80,9 +80,7 @@ class TestWormholeProperties:
         sh = construct_base(n, m)
         sched = broadcast_schedule(sh, data.draw(st.integers(0, 2**n - 1)))
         lat = schedule_latency(sh.graph, sched, flits)
-        expected = sum(
-            max(c.length for c in rnd) + flits - 1 for rnd in sched.rounds
-        )
+        expected = sum(max(c.length for c in rnd) + flits - 1 for rnd in sched.rounds)
         assert lat.total_cycles == expected
 
 

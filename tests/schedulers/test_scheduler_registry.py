@@ -40,9 +40,7 @@ class TestRegistryContents:
     def test_unknown_params_rejected(self, name):
         graph = hypercube(2) if name == "store_forward" else path_graph(4)
         with pytest.raises(InvalidParameterError):
-            run_scheduler(
-                name, ScheduleRequest(graph=graph, params={"bogus": 1})
-            )
+            run_scheduler(name, ScheduleRequest(graph=graph, params={"bogus": 1}))
 
     def test_multimsg_rejects_bad_source(self):
         from repro.schedulers.multimsg_search import find_multimessage_schedule
@@ -78,9 +76,7 @@ class TestResultsAreReferenceValid:
         ],
     )
     def test_schedule_validates(self, name, graph, k):
-        result = run_scheduler(
-            name, ScheduleRequest(graph=graph, source=0, k=k)
-        )
+        result = run_scheduler(name, ScheduleRequest(graph=graph, source=0, k=k))
         assert result.found
         assert result.schedule is not None
         assert result.valid is True
@@ -91,16 +87,12 @@ class TestResultsAreReferenceValid:
 
     def test_store_forward_rejects_non_hypercube(self):
         with pytest.raises(InvalidParameterError):
-            run_scheduler(
-                "store_forward", ScheduleRequest(graph=star(8), source=0)
-            )
+            run_scheduler("store_forward", ScheduleRequest(graph=star(8), source=0))
 
     def test_multimsg_two_messages_reported_in_stats(self):
         result = run_scheduler(
             "multimsg_search",
-            ScheduleRequest(
-                graph=hypercube(3), k=1, params={"n_messages": 2}
-            ),
+            ScheduleRequest(graph=hypercube(3), k=1, params={"n_messages": 2}),
         )
         assert result.found
         assert result.schedule is None  # M > 1 is not a Definition-1 schedule
@@ -143,9 +135,7 @@ class TestCrossSchedulerAgreement:
     @pytest.mark.parametrize("k", [1, 2, None])
     def test_multimsg_single_message_agrees_with_search(self, k):
         graph = hypercube(2)
-        exact = run_scheduler(
-            "search", ScheduleRequest(graph=graph, source=0, k=k)
-        )
+        exact = run_scheduler("search", ScheduleRequest(graph=graph, source=0, k=k))
         multi = run_scheduler(
             "multimsg_search", ScheduleRequest(graph=graph, source=0, k=k)
         )
@@ -155,12 +145,8 @@ class TestCrossSchedulerAgreement:
 
     def test_store_forward_matches_search_on_q2(self):
         graph = hypercube(2)
-        exact = run_scheduler(
-            "search", ScheduleRequest(graph=graph, source=0, k=1)
-        )
-        sf = run_scheduler(
-            "store_forward", ScheduleRequest(graph=graph, source=0, k=1)
-        )
+        exact = run_scheduler("search", ScheduleRequest(graph=graph, source=0, k=1))
+        sf = run_scheduler("store_forward", ScheduleRequest(graph=graph, source=0, k=1))
         assert exact.rounds == sf.rounds == 2
 
 
@@ -176,10 +162,8 @@ class TestScheduleCli:
     def test_schedule_run_search(self, capsys):
         from repro.cli import main
 
-        code = main(
-            ["schedule", "--graph", "hypercube:3", "--scheduler", "search",
-             "--k", "1", "--seed", "0"]
-        )
+        cmd = "schedule --graph hypercube:3 --scheduler search --k 1 --seed 0"
+        code = main(cmd.split())
         assert code == 0
         out = capsys.readouterr().out
         assert "search" in out and "hypercube:3" in out
@@ -187,20 +171,16 @@ class TestScheduleCli:
     def test_schedule_run_greedy_seeded(self, capsys):
         from repro.cli import main
 
-        code = main(
-            ["schedule", "--graph", "theorem1:2", "--scheduler", "greedy",
-             "--seed", "7", "--restarts", "100"]
-        )
+        cmd = "schedule --graph theorem1:2 --scheduler greedy --seed 7 --restarts 100"
+        code = main(cmd.split())
         assert code == 0
 
     def test_schedule_infeasible_exits_nonzero(self):
         from repro.cli import main
 
         # star from a leaf at k=1 cannot finish in 2 rounds (certificate)
-        code = main(
-            ["schedule", "--graph", "star:4", "--source", "1",
-             "--scheduler", "search", "--k", "1"]
-        )
+        cmd = "schedule --graph star:4 --source 1 --scheduler search --k 1"
+        code = main(cmd.split())
         assert code == 1
 
     def test_schedule_bad_spec_errors(self, capsys):

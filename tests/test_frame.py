@@ -87,7 +87,7 @@ class TestScheduleFrame:
         # and the answer must not depend on whether rounds materialized
         lazy = as_schedule(f)
         before = {t: lazy.informed_after(t) for t in (-1, 0, 1)}
-        lazy.rounds  # force materialization
+        _ = lazy.rounds  # force materialization
         assert before == {t: lazy.informed_after(t) for t in (-1, 0, 1)}
 
     def test_validated_frame_stays_picklable(self):

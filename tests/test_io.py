@@ -1,5 +1,7 @@
 """Tests for JSON serialization and k-mlbg certificates."""
 
+import hashlib
+
 import pytest
 
 from repro.core.broadcast import broadcast_schedule
@@ -131,3 +133,48 @@ class TestCertificates:
         path = str(tmp_path / "cert.json")
         dump_certificate(cert, path)
         assert verify_certificate(load_certificate(path))
+
+
+class TestGoldenBytes:
+    """The v1 on-disk writers are byte-pinned.
+
+    ``save_schedule`` and ``dump_certificate`` keep their deliberate
+    insertion-ordered key layout (suppressed RL002 sites in io.py) —
+    shipped artifacts must never change bytes under refactors.  If one
+    of these hashes moves, that is a format break: bump the format
+    string instead of silently rewriting v1.
+    """
+
+    def test_schedule_file_bytes_pinned(self, tmp_path):
+        sh = construct_base(5, 2)
+        sched = broadcast_schedule(sh, 3)
+        path = tmp_path / "sched.json"
+        save_schedule(str(path), sh.graph, sched, k=2)
+        data = path.read_bytes()
+        assert len(data) == 877
+        assert (
+            hashlib.sha256(data).hexdigest()
+            == "212493b36803585f159fc3e5110e94cd8a1e0187166c049933df1d4be92cf955"
+        )
+
+    def test_certificate_file_bytes_pinned(self, tmp_path):
+        sh = construct_base(4, 2)
+        cert = certificate_for(sh, sources=[0, 5])
+        path = tmp_path / "cert.json"
+        dump_certificate(cert, str(path))
+        data = path.read_bytes()
+        assert len(data) == 553
+        assert (
+            hashlib.sha256(data).hexdigest()
+            == "79e394c6959a57a2f6070661b88456fd7a7b5d2726e63473f92c853b171d197b"
+        )
+
+    def test_writes_are_repeatable(self, tmp_path):
+        """Two invocations produce identical bytes (no wall-clock, no
+        unsorted-set leakage into the payloads)."""
+        sh = construct_base(5, 2)
+        sched = broadcast_schedule(sh, 3)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_schedule(str(a), sh.graph, sched, k=2)
+        save_schedule(str(b), sh.graph, sched, k=2)
+        assert a.read_bytes() == b.read_bytes()

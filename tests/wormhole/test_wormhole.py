@@ -104,9 +104,7 @@ class TestScheduleLatency:
 
         g = path_graph(4)
         sched = Schedule(source=0)
-        sched.rounds.append(
-            Round((Call.via((0, 1, 2, 3)), Call.via((1, 2))))
-        )
+        sched.rounds.append(Round((Call.via((0, 1, 2, 3)), Call.via((1, 2)))))
         lat = schedule_latency(g, sched, 4)
         assert lat.rounds[0].cycles > 3 + 4 - 1
 
