@@ -36,10 +36,12 @@ from itertools import product
 from pathlib import Path
 
 from repro.analysis.scenarios import (
+    SCHEME_SCHEDULER,
     Scenario,
     run_scenario,
     scenario_id,
     validate_scenario,
+    warm_scenario_caches,
 )
 from repro.types import InvalidParameterError, ReproError
 
@@ -581,11 +583,22 @@ class CampaignRunner:
     ``repro clean-cache`` sweeps them too.
     """
 
-    def __init__(self, *, jobs: int = 1, cache_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        maxtasksperchild: int | None = None,
+    ) -> None:
         if jobs < 1:
             raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
+        if maxtasksperchild is not None and maxtasksperchild < 1:
+            raise InvalidParameterError(
+                f"maxtasksperchild must be >= 1 or None, got {maxtasksperchild}"
+            )
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.maxtasksperchild = maxtasksperchild
         self.stats = CampaignStats()
 
     def _cache_path(self, spec: CampaignSpec, sc: Scenario, digest: str) -> Path | None:
@@ -643,7 +656,21 @@ class CampaignRunner:
                 )
             else:
                 to_run.append(sc)
-        results = fan_out(_execute_scenario, to_run, self.jobs)
+        # Warm each worker once (pool initializer; in-process for
+        # jobs == 1): the graph/construction instances and the per-graph
+        # engine validators the shard will touch.  Sorted tuple: small,
+        # picklable, deterministic (RL008).
+        warm_pairs = tuple(
+            sorted({(sc.graph, sc.scheduler == SCHEME_SCHEDULER) for sc in to_run})
+        )
+        results = fan_out(
+            _execute_scenario,
+            to_run,
+            self.jobs,
+            initializer=warm_scenario_caches,
+            initargs=(warm_pairs,),
+            maxtasksperchild=self.maxtasksperchild,
+        )
         failures: list[tuple[Scenario, str]] = []
         for sc, (status, payload, seconds) in zip(to_run, results):
             if status == "error":
@@ -676,6 +703,7 @@ def run_campaign_shard(
     out_dir: str | Path = "campaign-results",
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    maxtasksperchild: int | None = None,
 ) -> tuple[Path, dict, list[dict]]:
     """Execute one shard end-to-end: run, write the JSONL chunk and the
     provenance manifest, and — for an unsharded run — also write the
@@ -684,7 +712,9 @@ def run_campaign_shard(
     Returns ``(chunk_path, manifest, rows)`` — the rows just written, so
     callers (the CLI summary) need not re-read the chunk from disk.
     """
-    runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir)
+    runner = CampaignRunner(
+        jobs=jobs, cache_dir=cache_dir, maxtasksperchild=maxtasksperchild
+    )
     outcomes = runner.run(spec, shard)
     rows = [o.row for o in outcomes]
     chunk = chunk_path(out_dir, spec, shard)

@@ -15,12 +15,17 @@ preserved by ``json``).
 from __future__ import annotations
 
 import json
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis import registry
+
+# The pool policy (chunking, persistent pools, worker initializers,
+# bounded worker lifetime) lives in repro.util.pool; fan_out is
+# re-exported here because analysis code historically imported it from
+# the runner module.
+from repro.util.pool import fan_out
 
 __all__ = [
     "RunResult",
@@ -31,20 +36,6 @@ __all__ = [
 ]
 
 DEFAULT_CACHE_DIR = Path(".repro-cache")
-
-
-def fan_out(fn, tasks: list, jobs: int) -> list:
-    """Map ``fn`` over ``tasks`` across ``jobs`` worker processes.
-
-    The shared pool policy of the experiment runner and the campaign
-    runner: in-process when ``jobs == 1`` or there is at most one task
-    (no pool spin-up cost), a ``multiprocessing.Pool`` otherwise.  ``fn``
-    and the tasks must be picklable; results come back in task order.
-    """
-    if jobs > 1 and len(tasks) > 1:
-        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-            return pool.map(fn, tasks)
-    return [fn(task) for task in tasks]
 
 
 @dataclass

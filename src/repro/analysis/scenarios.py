@@ -45,6 +45,11 @@ __all__ = [
     "scenario_id",
     "validate_scenario",
     "run_scenario",
+    "cached_graph",
+    "cached_construct",
+    "scenario_cache_info",
+    "clear_scenario_caches",
+    "warm_scenario_caches",
 ]
 
 SCHEME_SCHEDULER = "scheme"
@@ -197,16 +202,105 @@ def validate_scenario(sc: Scenario) -> None:
         raise InvalidParameterError(f"k must be >= 1 or None, got {sc.k}")
 
 
+# -- per-process instance caches ---------------------------------------------
+#
+# A campaign grid reuses a handful of graph specs across many scenarios,
+# but scenarios execute independently (possibly in pool workers), so
+# without memoization every scenario rebuilds its graph/construction from
+# scratch — and, because the engine cache (repro.engine.cache) is
+# identity-keyed on the graph object, it misses every time too.  These
+# spec-keyed caches make repeated scenarios on one graph share a single
+# frozen instance per process; warm_scenario_caches is the pool
+# initializer that pays the build cost once per worker, before the first
+# task lands.
+
+_GRAPH_CACHE: dict[str, object] = {}
+_CONSTRUCT_CACHE: dict[str, object] = {}
+_CACHE_HITS = {"graph": 0, "construct": 0}
+_CACHE_MISSES = {"graph": 0, "construct": 0}
+
+
+def cached_graph(spec: str):
+    """The frozen graph for ``spec``, built at most once per process."""
+    from repro.graphs.specs import graph_from_spec
+
+    graph = _GRAPH_CACHE.get(spec)
+    if graph is None:
+        _CACHE_MISSES["graph"] += 1
+        graph = graph_from_spec(spec)
+        _GRAPH_CACHE[spec] = graph
+    else:
+        _CACHE_HITS["graph"] += 1
+    return graph
+
+
+def cached_construct(spec: str):
+    """The ``construct_base`` instance for ``spec`` (scheme scenarios),
+    built at most once per process."""
+    from repro.core.construct import construct_base
+
+    sh = _CONSTRUCT_CACHE.get(spec)
+    if sh is None:
+        _CACHE_MISSES["construct"] += 1
+        _family, args = parse_spec(spec)
+        sh = construct_base(*args)
+        _ = sh.graph  # materialize (and freeze) eagerly
+        _CONSTRUCT_CACHE[spec] = sh
+    else:
+        _CACHE_HITS["construct"] += 1
+    return sh
+
+
+def scenario_cache_info() -> dict:
+    """Hit/miss counters of this process's scenario instance caches."""
+    return {
+        "graph_entries": len(_GRAPH_CACHE),
+        "construct_entries": len(_CONSTRUCT_CACHE),
+        "graph_hits": _CACHE_HITS["graph"],
+        "graph_misses": _CACHE_MISSES["graph"],
+        "construct_hits": _CACHE_HITS["construct"],
+        "construct_misses": _CACHE_MISSES["construct"],
+    }
+
+
+def clear_scenario_caches() -> None:
+    """Drop the caches and zero the counters (tests)."""
+    _GRAPH_CACHE.clear()
+    _CONSTRUCT_CACHE.clear()
+    for key in _CACHE_HITS:
+        _CACHE_HITS[key] = 0
+        _CACHE_MISSES[key] = 0
+
+
+def warm_scenario_caches(pairs: tuple[tuple[str, bool], ...]) -> None:
+    """Pool initializer: pre-build instances + kernels once per worker.
+
+    ``pairs`` is a sorted tuple of ``(graph_spec, is_scheme)`` — small
+    and picklable, per the pool policy.  For each pair the graph (or
+    construction) is built into the spec-keyed cache and the per-graph
+    validators are built into the engine cache, so the worker's first
+    scenario starts hot instead of paying the whole build cost inside
+    its task.  Runs in-process for ``jobs == 1``, keeping serial and
+    parallel campaign executions on the same warm path.
+    """
+    from repro.engine.cache import batch_validator_for, fast_validator_for
+
+    for spec, is_scheme in pairs:
+        if is_scheme:
+            sh = cached_construct(spec)
+            batch_validator_for(sh.graph)
+        else:
+            graph = cached_graph(spec)
+            fast_validator_for(graph)
+
+
 # -- execution ---------------------------------------------------------------
 
 
 def _scheme_rows(sc: Scenario, cond_kind: str, cond_arg: int) -> dict:
     """Execute a ``scheme`` scenario: the paper's Broadcast_k scheme on a
     sparse hypercube, through the batch engine where possible."""
-    from repro.core.construct import construct_base
-
-    _family, args = parse_spec(sc.graph)
-    sh = construct_base(*args)
+    sh = cached_construct(sc.graph)
     graph = sh.graph
     k_eff = sc.k if sc.k is not None else sh.k
     srcs = sources_for(sc.sources, graph.n_vertices)
@@ -272,10 +366,9 @@ def _scheme_rows(sc: Scenario, cond_kind: str, cond_arg: int) -> dict:
 
 def _registry_rows(sc: Scenario, cond_kind: str, cond_arg: int) -> dict:
     """Execute a registry-scheduler scenario through ``run_scheduler``."""
-    from repro.graphs.specs import graph_from_spec
     from repro.schedulers.registry import ScheduleRequest, run_scheduler
 
-    graph = graph_from_spec(sc.graph)
+    graph = cached_graph(sc.graph)
     run_graph = graph
     failed: tuple = ()
     if cond_kind == "edge-faults":

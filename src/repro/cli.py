@@ -217,6 +217,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes (default 1 = sequential)",
     )
     p_camp_run.add_argument(
+        "--maxtasksperchild", type=int, default=None, metavar="N",
+        help="recycle each worker after N task chunks "
+        "(default: workers live for the whole run)",
+    )
+    p_camp_run.add_argument(
         "--out-dir", default="campaign-results", metavar="DIR",
         help="chunk/manifest/artifact directory (default campaign-results)",
     )
@@ -519,12 +524,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             if args.jobs < 1:
                 print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
                 return 2
+            if args.maxtasksperchild is not None and args.maxtasksperchild < 1:
+                print(
+                    f"--maxtasksperchild must be >= 1, got {args.maxtasksperchild}",
+                    file=sys.stderr,
+                )
+                return 2
             chunk, manifest, rows = campaigns.run_campaign_shard(
                 spec,
                 shard=shard,
                 out_dir=args.out_dir,
                 jobs=args.jobs,
                 cache_dir=None if args.no_cache else args.cache_dir,
+                maxtasksperchild=args.maxtasksperchild,
             )
             print(
                 format_table(

@@ -1,4 +1,4 @@
-"""The project lint rules (RL001..RL008).
+"""The project lint rules (RL001..RL009).
 
 Each rule machine-checks one invariant the engine's correctness story
 depends on.  Most are grounded in a real past bug (noted per rule); the
@@ -589,3 +589,42 @@ def rl008_no_unordered_set_iteration(ctx: FileContext) -> Iterable[Finding]:
                     f"{call.func.id}() over a set has arbitrary order; "
                     "wrap the set in sorted()",
                 )
+
+
+# -- RL009: shared-memory segments only via the managed registry ------------
+
+
+@rule(
+    "RL009",
+    "shm-managed-registry",
+    "SharedMemory segments are created only inside engine/shm.py's "
+    "managed registry (unlink-leak hazard)",
+)
+def rl009_shm_managed_registry(ctx: FileContext) -> Iterable[Finding]:
+    """A ``SharedMemory(create=True, ...)`` outside the registry leaks.
+
+    POSIX shared-memory segments outlive the creating process unless
+    explicitly unlinked; ``repro.engine.shm.PlaneRegistry`` is the one
+    owner whose context manager guarantees that on every exit path
+    (including errors).  Ad-hoc creation elsewhere has no such
+    guarantee — a crash between create and unlink strands the segment
+    in ``/dev/shm`` until reboot.  Attach-side use goes through
+    ``PlaneHandle.attach()``, which never creates.
+    """
+    if ctx.is_test_file or ctx.in_module("repro/engine/shm.py"):
+        return
+    targets = (
+        "multiprocessing.shared_memory.SharedMemory",
+        "multiprocessing.shared_memory.ShareableList",
+    )
+    for call in _calls(ctx):
+        resolved = ctx.resolve(call.func)
+        if resolved in targets:
+            short = resolved.rsplit(".", maxsplit=1)[1]
+            yield (
+                call.lineno,
+                call.col_offset,
+                f"{short} created outside repro.engine.shm's managed "
+                "PlaneRegistry; export planes through a registry so the "
+                "segment is guaranteed to unlink",
+            )

@@ -40,8 +40,10 @@ from repro.engine.kernels import (
     GraphKernels,
     PenaltyState,
 )
+from repro.engine.native import native_enabled
 
 __all__ = [
+    "native_enabled",
     "GraphKernels",
     "ComponentSummary",
     "PenaltyState",

@@ -45,6 +45,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine import native
 from repro.frame import ScheduleBuilder, ScheduleFrame
 from repro.graphs.base import Graph
 from repro.model.validator import ValidationReport, minimum_broadcast_rounds
@@ -393,6 +394,30 @@ class BatchValidator:
         valid_src = ~((stack.sources < 0) | (stack.sources >= n))
         informed[valid_src, np.clip(stack.sources, 0, n - 1)[valid_src]] = True
         informed_counts = np.empty((S, R), dtype=np.int64)
+        if native.native_enabled():
+            # Compiled twin of the round loop below (numba,
+            # REPRO_NATIVE-gated); predicate-for-predicate identical, and
+            # failing rows still drop to the exact fallback either way.
+            round_bad, informed_counts = native.batch_rounds(
+                lay.call_bounds,
+                lay.edge_bounds,
+                lay.path_starts,
+                lay.path_ends,
+                flat,
+                keys,
+                informed,
+                vertex_disjoint,
+            )
+            bad |= round_bad
+            return self._stack_reports(
+                stack,
+                k,
+                bad,
+                informed,
+                informed_counts,
+                require_minimum_time=require_minimum_time,
+                vertex_disjoint=vertex_disjoint,
+            )
         for r in range(R):
             c0, c1 = int(lay.call_bounds[r]), int(lay.call_bounds[r + 1])
             if c1 > c0:
@@ -421,6 +446,38 @@ class BatchValidator:
                 informed[rows, recv_r] = True
             informed_counts[:, r] = informed.sum(axis=1)
 
+        return self._stack_reports(
+            stack,
+            k,
+            bad,
+            informed,
+            informed_counts,
+            require_minimum_time=require_minimum_time,
+            vertex_disjoint=vertex_disjoint,
+        )
+
+    def _stack_reports(
+        self,
+        stack: StackedSchedules,
+        k: int,
+        bad: np.ndarray,
+        informed: np.ndarray,
+        informed_counts: np.ndarray,
+        *,
+        require_minimum_time: bool,
+        vertex_disjoint: bool,
+    ) -> BatchReport:
+        """Turn the stacked sweep's aggregates into per-row reports.
+
+        Shared tail of :meth:`validate_stacked` (NumPy and native round
+        loops): rows flagged ``bad`` drop to the exact fast-validator
+        fallback for reference error strings; clean rows get the
+        screened report straight from the aggregates.
+        """
+        lay = stack.layout
+        n = self.graph.n_vertices
+        S = stack.n_schedules
+        R = lay.n_rounds
         complete = informed.all(axis=1)
         need = minimum_broadcast_rounds(n)
         max_len = lay.max_call_length
@@ -462,13 +519,28 @@ class BatchValidator:
         *,
         require_minimum_time: bool = True,
         vertex_disjoint: bool = False,
+        jobs: int = 1,
     ) -> list[ValidationReport]:
         """Reference-identical reports for a heterogeneous schedule list.
 
         Accepts ``Schedule`` objects and columnar frames interchangeably;
         schedules are grouped by layout, each group validated as one
-        stack, and results come back in input order.
+        stack, and results come back in input order.  ``jobs > 1``
+        routes through the zero-copy shared-memory path
+        (:func:`repro.engine.parallel.validate_many_parallel`) — same
+        reports, same order.
         """
+        if jobs > 1:
+            from repro.engine.parallel import validate_many_parallel
+
+            return validate_many_parallel(
+                self.graph,
+                schedules,
+                k,
+                jobs=jobs,
+                require_minimum_time=require_minimum_time,
+                vertex_disjoint=vertex_disjoint,
+            )
         results: list[ValidationReport | None] = [None] * len(schedules)
         for layout, indices, rows in _group_by_layout(schedules):
             stack = StackedSchedules(

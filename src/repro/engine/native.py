@@ -1,0 +1,415 @@
+"""Compiled-kernel facade for the hottest validation inner loops.
+
+Three kernels cover the loops profiling puts at the top of large
+campaign runs:
+
+``screen_counts``
+    The fast validator's across-rounds V3–V6 accept screen
+    (:meth:`repro.model.validator_fast.FastValidator._screen_counts`).
+``batch_rounds``
+    The batch validator's per-round stacked sweep
+    (:meth:`repro.engine.batch.BatchValidator.validate_stacked`).
+``reachable``
+    The schedulers' bounded-depth BFS
+    (:meth:`repro.engine.kernels.GraphKernels.reachable`).
+
+Each kernel exists as a plain-Python/NumPy implementation (the ``*_py``
+functions — written in the loop-and-1-D-``np.sort`` subset that numba's
+``nopython`` mode supports) and, when ``numba`` is importable *and*
+``REPRO_NATIVE`` is not ``0``, as an ``@njit``-compiled version selected
+once at import.  Compilation is warmed on tiny inputs inside a
+``try``/``except`` so any compile failure silently degrades to the
+existing NumPy paths — numba is never a hard dependency, and the CI
+matrix runs the whole tier-1 suite with ``REPRO_NATIVE=0`` to keep the
+fallback exercised.
+
+Exactness: the kernels replicate their NumPy counterparts check for
+check (same predicates, same accept/reject boundary, same count
+trajectories), and the call sites keep the reference validator as the
+verdict oracle for anything that fails a screen — so error strings and
+reports stay byte-identical whichever implementation runs.  The
+identity is pinned by ``tests/engine/test_native.py`` on valid and
+corrupted corpora.
+
+``_set_enabled_for_testing`` forces the facade on (running the ``*_py``
+implementations when numba is absent) or off, so the hook paths are
+testable in any environment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "NATIVE_COMPILED",
+    "native_enabled",
+    "screen_counts",
+    "batch_rounds",
+    "reachable",
+    "mask_to_words",
+]
+
+# -- kernel implementations (numba nopython-compatible subset) --------------
+
+
+def _screen_counts_py(
+    source: int,
+    n: int,
+    counts: np.ndarray,
+    lengths: np.ndarray,
+    flat: np.ndarray,
+    sources: np.ndarray,
+    receivers: np.ndarray,
+    keys: np.ndarray,
+    vertex_disjoint: bool,
+) -> tuple[bool, np.ndarray]:
+    """V3–V6 across all rounds; (ok, informed-count trajectory)."""
+    n_rounds = counts.shape[0]
+    out = np.zeros(n_rounds, dtype=np.int64)
+    n_calls = sources.shape[0]
+    round_of_call = np.empty(n_calls, dtype=np.int64)
+    c = 0
+    for r in range(n_rounds):
+        for _ in range(counts[r]):
+            round_of_call[c] = r
+            c += 1
+    if n_calls > 0:
+        # V6 across all rounds at once: receivers globally distinct and
+        # never the (pre-informed) source.
+        rs = np.sort(receivers)
+        for i in range(1, n_calls):
+            if rs[i] == rs[i - 1]:
+                return False, out
+        for i in range(n_calls):
+            if receivers[i] == source:
+                return False, out
+    # Round in which each vertex becomes informed (source: before any).
+    inform_round = np.full(n, n_rounds, dtype=np.int64)
+    inform_round[source] = -1
+    for i in range(n_calls):
+        inform_round[receivers[i]] = round_of_call[i]
+    if n_calls > 0:
+        # V3: informed strictly before calling; V4: one call per caller
+        # per round (duplicate (round, caller) pairs sort adjacent).
+        for i in range(n_calls):
+            if inform_round[sources[i]] >= round_of_call[i]:
+                return False, out
+        sk = np.sort(round_of_call * n + sources)
+        for i in range(1, n_calls):
+            if sk[i] == sk[i - 1]:
+                return False, out
+    n_edges = keys.shape[0]
+    if n_edges > 0:
+        # V5: edge-disjoint within each round.
+        round_of_edge = np.empty(n_edges, dtype=np.int64)
+        e = 0
+        for i in range(n_calls):
+            for _ in range(lengths[i]):
+                round_of_edge[e] = round_of_call[i]
+                e += 1
+        ek = np.sort(round_of_edge * (n * n) + keys)
+        for i in range(1, n_edges):
+            if ek[i] == ek[i - 1]:
+                return False, out
+    n_items = flat.shape[0]
+    if vertex_disjoint and n_items > 0:
+        round_of_item = np.empty(n_items, dtype=np.int64)
+        t = 0
+        for i in range(n_calls):
+            for _ in range(lengths[i] + 1):
+                round_of_item[t] = round_of_call[i]
+                t += 1
+        vk = np.sort(round_of_item * n + flat)
+        for i in range(1, n_items):
+            if vk[i] == vk[i - 1]:
+                return False, out
+    for i in range(n_calls):
+        out[round_of_call[i]] += 1
+    acc = 1
+    for r in range(n_rounds):
+        acc += out[r]
+        out[r] = acc
+    return True, out
+
+
+def _batch_rounds_py(
+    call_bounds: np.ndarray,
+    edge_bounds: np.ndarray,
+    path_starts: np.ndarray,
+    path_ends: np.ndarray,
+    flat: np.ndarray,
+    keys: np.ndarray,
+    informed: np.ndarray,
+    vertex_disjoint: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-round stacked V3–V6 sweep; mutates ``informed`` in place.
+
+    Returns ``(bad, informed_counts)`` exactly as the NumPy round loop
+    in ``BatchValidator.validate_stacked`` computes them (receivers
+    become informed even in invalid rounds, mirroring the reference).
+    """
+    S = flat.shape[0]
+    n = informed.shape[1]
+    R = call_bounds.shape[0] - 1
+    bad = np.zeros(S, dtype=np.bool_)
+    informed_counts = np.zeros((S, R), dtype=np.int64)
+    counts_now = np.zeros(S, dtype=np.int64)
+    for i in range(S):
+        c = 0
+        for v in range(n):
+            if informed[i, v]:
+                c += 1
+        counts_now[i] = c
+    for r in range(R):
+        c0 = call_bounds[r]
+        c1 = call_bounds[r + 1]
+        m = c1 - c0
+        if m > 0:
+            e0 = edge_bounds[r]
+            e1 = edge_bounds[r + 1]
+            p0 = path_starts[c0]
+            p1 = path_ends[c1 - 1]
+            for i in range(S):
+                srcs = np.empty(m, dtype=np.int64)
+                recv = np.empty(m, dtype=np.int64)
+                for j in range(m):
+                    srcs[j] = flat[i, path_starts[c0 + j]]
+                    recv[j] = flat[i, path_ends[c0 + j] - 1]
+                row_bad = False
+                # V3 + V4: callers informed, at most one call per caller.
+                for j in range(m):
+                    if not informed[i, srcs[j]]:
+                        row_bad = True
+                ss = np.sort(srcs)
+                for j in range(1, m):
+                    if ss[j] == ss[j - 1]:
+                        row_bad = True
+                # V6: receivers pairwise distinct and not yet informed.
+                rs = np.sort(recv)
+                for j in range(1, m):
+                    if rs[j] == rs[j - 1]:
+                        row_bad = True
+                for j in range(m):
+                    if informed[i, recv[j]]:
+                        row_bad = True
+                # V5: per-round edge-disjointness.
+                ks = np.sort(keys[i, e0:e1])
+                for j in range(1, ks.shape[0]):
+                    if ks[j] == ks[j - 1]:
+                        row_bad = True
+                if vertex_disjoint:
+                    vv = np.sort(flat[i, p0:p1])
+                    for j in range(1, vv.shape[0]):
+                        if vv[j] == vv[j - 1]:
+                            row_bad = True
+                if row_bad:
+                    bad[i] = True
+                # Mirror the reference: receivers become informed even in
+                # an invalid round.
+                for j in range(m):
+                    if not informed[i, recv[j]]:
+                        informed[i, recv[j]] = True
+                        counts_now[i] += 1
+                informed_counts[i, r] = counts_now[i]
+        else:
+            for i in range(S):
+                informed_counts[i, r] = counts_now[i]
+    return bad, informed_counts
+
+
+def _reachable_py(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    eids: np.ndarray,
+    caller: int,
+    k: int,
+    used_words: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Level-synchronous bounded BFS over CSR adjacency.
+
+    Sentinels match :mod:`repro.engine.kernels` (-2 unreached, -1 root);
+    the frontier is the just-appended ``order`` slice and neighbours
+    expand in CSR (ascending) order, so parents match the legacy FIFO
+    BFS exactly.  ``used_words`` is the used-edge bitmask as little-
+    endian ``uint64`` words.
+    """
+    n = indptr.shape[0] - 1
+    parent = np.full(n, -2, dtype=np.int64)
+    depth = np.zeros(n, dtype=np.int64)
+    order = np.empty(n, dtype=np.int64)
+    parent[caller] = -1
+    order[0] = caller
+    n_order = 1
+    lo = 0
+    hi = 1
+    d = 0
+    while lo < hi and d < k:
+        d += 1
+        for qi in range(lo, hi):
+            u = order[qi]
+            for p in range(indptr[u], indptr[u + 1]):
+                v = indices[p]
+                if parent[v] != -2:
+                    continue
+                e = eids[p]
+                if (used_words[e >> 6] >> np.uint64(e & 63)) & np.uint64(1):
+                    continue
+                parent[v] = u
+                depth[v] = d
+                order[n_order] = v
+                n_order += 1
+        lo = hi
+        hi = n_order
+    return parent, depth, order[:n_order]
+
+
+# -- implementation selection (once, at import) -----------------------------
+
+_screen_counts_k: Callable[..., Any] = _screen_counts_py
+_batch_rounds_k: Callable[..., Any] = _batch_rounds_py
+_reachable_k: Callable[..., Any] = _reachable_py
+
+_FORCED: bool | None = None
+
+
+def _try_compile() -> bool:
+    """Compile + warm the kernels; False leaves the NumPy paths active."""
+    global _screen_counts_k, _batch_rounds_k, _reachable_k
+    if os.environ.get("REPRO_NATIVE", "1").strip() == "0":
+        return False
+    try:
+        from numba import njit
+    except Exception:
+        return False
+    try:
+        sc = njit(cache=True, nogil=True)(_screen_counts_py)
+        br = njit(cache=True, nogil=True)(_batch_rounds_py)
+        rc = njit(cache=True, nogil=True)(_reachable_py)
+        # Warm each signature on a 2-vertex/1-edge toy so compile errors
+        # surface here (and degrade to fallback) instead of mid-campaign.
+        one = np.ones(1, dtype=np.int64)
+        zero2 = np.array([0, 1], dtype=np.int64)
+        sc(0, 2, one, one, zero2, np.zeros(1, np.int64), one, one.copy(), True)
+        br(
+            np.array([0, 1], np.int64),
+            np.array([0, 1], np.int64),
+            np.zeros(1, np.int64),
+            np.array([2], np.int64),
+            np.array([[0, 1]], np.int64),
+            np.array([[1]], np.int64),
+            np.array([[True, False]]),
+            True,
+        )
+        rc(
+            np.array([0, 1, 2], np.int64),
+            np.array([1, 0], np.int64),
+            np.zeros(2, np.int64),
+            0,
+            1,
+            np.zeros(1, np.uint64),
+        )
+    except Exception:
+        return False
+    _screen_counts_k, _batch_rounds_k, _reachable_k = sc, br, rc
+    return True
+
+
+NATIVE_COMPILED = _try_compile()
+
+
+def native_enabled() -> bool:
+    """Should call sites route through the facade kernels?
+
+    True when numba compiled the kernels at import (and ``REPRO_NATIVE``
+    did not veto), or when a test forced the facade on.
+    """
+    if _FORCED is not None:
+        return _FORCED
+    return NATIVE_COMPILED
+
+
+def _set_enabled_for_testing(flag: bool | None) -> None:
+    """Force the facade on/off (``None`` restores import-time selection).
+
+    Forcing on without numba runs the ``*_py`` implementations — slow,
+    but byte-identical, which is exactly what the identity tests need.
+    """
+    global _FORCED
+    _FORCED = flag
+
+
+# -- wrappers (the API the call sites use) ----------------------------------
+
+
+def mask_to_words(mask: int, n_bits: int) -> np.ndarray:
+    """An arbitrary-precision int bitmask as little-endian uint64 words."""
+    n_words = max(1, (n_bits + 63) // 64)
+    return np.frombuffer(mask.to_bytes(n_words * 8, "little"), dtype=np.uint64)
+
+
+def screen_counts(
+    source: int,
+    n: int,
+    counts: np.ndarray,
+    lengths: np.ndarray,
+    flat: np.ndarray,
+    sources: np.ndarray,
+    receivers: np.ndarray,
+    keys: np.ndarray,
+    vertex_disjoint: bool,
+) -> np.ndarray | None:
+    """Facade twin of ``FastValidator._screen_counts`` (None = round
+    loop decides)."""
+    ok, out = _screen_counts_k(
+        int(source),
+        int(n),
+        np.ascontiguousarray(counts),
+        np.ascontiguousarray(lengths),
+        np.ascontiguousarray(flat),
+        np.ascontiguousarray(sources),
+        np.ascontiguousarray(receivers),
+        np.ascontiguousarray(keys),
+        bool(vertex_disjoint),
+    )
+    return out if ok else None
+
+
+def batch_rounds(
+    call_bounds: np.ndarray,
+    edge_bounds: np.ndarray,
+    path_starts: np.ndarray,
+    path_ends: np.ndarray,
+    flat: np.ndarray,
+    keys: np.ndarray,
+    informed: np.ndarray,
+    vertex_disjoint: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Facade twin of the batch validator's per-round sweep; mutates
+    ``informed`` rows in place and returns ``(bad, informed_counts)``."""
+    return _batch_rounds_k(
+        np.ascontiguousarray(call_bounds),
+        np.ascontiguousarray(edge_bounds),
+        np.ascontiguousarray(path_starts),
+        np.ascontiguousarray(path_ends),
+        np.ascontiguousarray(flat),
+        np.ascontiguousarray(keys),
+        informed,
+        bool(vertex_disjoint),
+    )
+
+
+def reachable(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    eids: np.ndarray,
+    caller: int,
+    k: int,
+    used_mask: int,
+    n_edges: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Facade twin of ``GraphKernels.reachable`` over CSR arrays."""
+    words = mask_to_words(used_mask, n_edges)
+    return _reachable_k(indptr, indices, eids, int(caller), int(k), words)

@@ -1,0 +1,185 @@
+"""Zero-copy parallel stacked validation.
+
+:func:`validate_many_parallel` is ``BatchValidator.validate_many``
+spread across worker processes without pickling a single schedule
+array:
+
+1. the parent groups schedules by layout (exactly like the serial
+   path), stacks each group, and exports the graph's CSR planes plus
+   every stack's ``sources``/``flat`` planes into a
+   :class:`~repro.engine.shm.PlaneRegistry`;
+2. workers are born with a pool initializer that attaches the shared
+   planes **once** (rebuilding each :class:`ScheduleLayout` from its
+   tiny pickled ``(counts, lengths)`` pair) and pre-warms the per-graph
+   kernel cache, so every later task is pure compute;
+3. tasks are ``(stack, row_lo, row_hi)`` slices — a few integers each —
+   validated against zero-copy row views of the attached stacks; the
+   per-row :class:`~repro.model.validator.ValidationReport` objects are
+   the only payload that ever crosses back.
+
+Verdicts, error strings, and report ordering are byte-identical to the
+serial path by construction: workers run the same
+``BatchValidator.validate_stacked`` (with the same reference-validator
+fallback) over the same arrays, and results are reassembled in input
+order.  The registry closes only after the pool has joined, so shared
+segments never outlive the call — including on error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.batch import StackedSchedules, _group_by_layout
+from repro.engine.cache import batch_validator_for
+from repro.engine.shm import GraphHandle, PlaneHandle, PlaneRegistry
+from repro.graphs.base import Graph
+from repro.model.validator import ValidationReport
+from repro.model.validator_fast import ScheduleLayout
+from repro.util.pool import fan_out
+from repro.frame import ScheduleFrame
+from repro.types import Schedule
+
+__all__ = ["validate_many_parallel"]
+
+# Below this many schedules the pool spin-up dominates any win.
+MIN_PARALLEL_SCHEDULES = 8
+
+# -- worker side ------------------------------------------------------------
+
+# Populated by the pool initializer; one attach per worker process.
+_WORKER: dict[str, object] | None = None
+
+
+def _init_worker(
+    graph_handle: GraphHandle,
+    stack_meta: tuple[tuple[PlaneHandle, PlaneHandle, bytes, bytes], ...],
+) -> None:
+    """Attach shared planes and warm the kernel cache (once per worker)."""
+    global _WORKER
+    graph = graph_handle.attach()
+    validator = batch_validator_for(graph)  # pre-warms kernels + edge keys
+    stacks = []
+    for sources_h, flat_h, counts_b, lengths_b in stack_meta:
+        layout = ScheduleLayout.from_counts(
+            np.frombuffer(counts_b, dtype=np.int64),
+            np.frombuffer(lengths_b, dtype=np.int64),
+        )
+        stacks.append(
+            StackedSchedules(
+                layout=layout, sources=sources_h.attach(), flat=flat_h.attach()
+            )
+        )
+    _WORKER = {"graph": graph, "validator": validator, "stacks": stacks}
+
+
+def _validate_slice(
+    task: tuple[int, int, int, int, bool, bool],
+) -> list[ValidationReport]:
+    """Validate rows ``lo:hi`` of one attached stack (worker entry)."""
+    assert _WORKER is not None, "pool initializer did not run"
+    stack_idx, lo, hi, k, require_minimum_time, vertex_disjoint = task
+    stacks = _WORKER["stacks"]
+    validator = _WORKER["validator"]
+    stack = stacks[stack_idx]
+    piece = StackedSchedules(
+        layout=stack.layout,
+        sources=stack.sources[lo:hi],
+        flat=stack.flat[lo:hi],
+    )
+    report = validator.validate_stacked(
+        piece,
+        k,
+        require_minimum_time=require_minimum_time,
+        vertex_disjoint=vertex_disjoint,
+    )
+    return report.reports
+
+
+# -- parent side ------------------------------------------------------------
+
+
+def _slice_tasks(
+    row_counts: list[int],
+    jobs: int,
+    k: int,
+    require_minimum_time: bool,
+    vertex_disjoint: bool,
+) -> list[tuple[int, int, int, int, bool, bool]]:
+    """Split stacks into row slices: ~4 slices per worker across all rows."""
+    total = sum(row_counts)
+    slice_rows = max(1, -(-total // (jobs * 4)))
+    tasks = []
+    for stack_idx, count in enumerate(row_counts):
+        lo = 0
+        while lo < count:
+            hi = min(count, lo + slice_rows)
+            tasks.append(
+                (stack_idx, lo, hi, k, require_minimum_time, vertex_disjoint)
+            )
+            lo = hi
+    return tasks
+
+
+def validate_many_parallel(
+    graph: Graph,
+    schedules: list[Schedule | ScheduleFrame],
+    k: int,
+    *,
+    jobs: int,
+    require_minimum_time: bool = True,
+    vertex_disjoint: bool = False,
+    backend: str | None = None,
+) -> list[ValidationReport]:
+    """Reference-identical reports for ``schedules``, across ``jobs``
+    workers over shared-memory planes.
+
+    Drop-in parallel twin of ``BatchValidator.validate_many`` (which
+    delegates here when asked for ``jobs > 1``); falls back to the
+    serial path when parallelism cannot pay.  ``backend`` forces the
+    plane store ("shm"/"mmap", default: probe).
+    """
+    if jobs <= 1 or len(schedules) < MIN_PARALLEL_SCHEDULES:
+        return batch_validator_for(graph).validate_many(
+            schedules,
+            k,
+            require_minimum_time=require_minimum_time,
+            vertex_disjoint=vertex_disjoint,
+        )
+    groups = _group_by_layout(schedules)
+    results: list[ValidationReport | None] = [None] * len(schedules)
+    with PlaneRegistry(backend) as registry:  # type: ignore[arg-type]
+        graph_handle = registry.export_graph(graph)
+        stack_meta = []
+        for layout, indices, rows in groups:
+            sources = np.array(
+                [schedules[idx].source for idx in indices], dtype=np.int64
+            )
+            stack_meta.append(
+                (
+                    registry.export(sources),
+                    registry.export(rows),
+                    layout.counts.tobytes(),
+                    layout.lengths.tobytes(),
+                )
+            )
+        tasks = _slice_tasks(
+            [len(indices) for _, indices, _ in groups],
+            jobs,
+            k,
+            require_minimum_time,
+            vertex_disjoint,
+        )
+        # fan_out joins its pool before returning, so every worker has
+        # detached before the registry unlinks on __exit__.
+        slices = fan_out(
+            _validate_slice,
+            tasks,
+            jobs,
+            initializer=_init_worker,
+            initargs=(graph_handle, tuple(stack_meta)),
+        )
+    for (stack_idx, lo, _hi, *_rest), reports in zip(tasks, slices):
+        indices = groups[stack_idx][1]
+        for offset, report in enumerate(reports):
+            results[indices[lo + offset]] = report
+    return results  # type: ignore[return-value]

@@ -350,6 +350,23 @@ class FastValidator:
         string, or a statistic.  ``k`` plays no part in V3–V6 (V1/V2 are
         screened by the caller), so a cached result holds for every k.
         """
+        # Compiled twin of this screen (numba, REPRO_NATIVE-gated);
+        # check-for-check identical, so accept/reject cannot diverge.
+        # Imported lazily: repro.engine.batch imports this module.
+        from repro.engine import native
+
+        if native.native_enabled():
+            return native.screen_counts(
+                source,
+                self._n,
+                layout.counts,
+                layout.lengths,
+                flat,
+                sources,
+                receivers,
+                keys,
+                vertex_disjoint,
+            )
         n = self._n
         n_rounds = layout.n_rounds
         round_of_call = np.repeat(np.arange(n_rounds, dtype=np.int64), layout.counts)

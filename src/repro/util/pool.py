@@ -1,0 +1,199 @@
+"""Shared multiprocessing pool policy: chunked fan-out + persistent pools.
+
+Every parallel surface in the repo (``ExperimentRunner``,
+``CampaignRunner``, :func:`repro.engine.parallel.validate_many_parallel`)
+routes through :func:`fan_out` so the pool policy is written down once:
+
+* **In-process when parallelism cannot pay.**  ``jobs == 1`` or at most
+  one task never spins up a pool; the optional ``initializer`` still runs
+  (in-process) so serial and parallel executions warm the same caches.
+* **Explicit chunking.**  ``multiprocessing.Pool.map`` with the default
+  ``chunksize`` re-pickles large task lists in many tiny submissions;
+  :func:`default_chunksize` (``ceil(n_tasks / (jobs * CHUNKS_PER_WORKER))``)
+  amortizes the IPC round-trips while keeping ~4 chunks per worker for
+  load balancing.  ``Pool.map`` reassembles results in task order
+  regardless of chunking — the determinism contract is pinned by
+  ``tests/util/test_pool.py``.
+* **Bounded worker lifetime.**  ``maxtasksperchild`` recycles workers
+  after N *chunks* (the :mod:`multiprocessing` unit of accounting) so
+  long campaigns cannot accumulate per-process state; ``None`` (the
+  default) keeps workers alive for the pool's lifetime, which is what
+  lets initializer-warmed caches pay off.
+* **Start method.**  Pools use the platform-default start method
+  (``fork`` on Linux, ``spawn`` on macOS/Windows).  Everything submitted
+  — worker functions, initializers, their arguments — is required to be
+  a *top-level picklable* object, so the code is spawn-safe by
+  construction and fork is retained where available purely as a
+  performance default (no re-import cost per worker).  Nothing in this
+  module depends on fork-inherited globals.
+
+:class:`WorkerPool` is the persistent-pool mode: a context-managed pool
+created once and reused across many :func:`fan_out` calls (pass it as
+``pool=``), so a campaign pays the worker spin-up plus cache warm-up
+exactly once per run instead of once per batch.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.pool
+from collections.abc import Callable, Iterable
+from typing import Any, TypeVar
+
+__all__ = [
+    "CHUNKS_PER_WORKER",
+    "WorkerPool",
+    "default_chunksize",
+    "fan_out",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+# Target number of chunks handed to each worker: >1 so a slow chunk can
+# be balanced by idle workers picking up remaining chunks, small enough
+# that per-chunk pickling overhead stays negligible.
+CHUNKS_PER_WORKER = 4
+
+
+def default_chunksize(n_tasks: int, jobs: int) -> int:
+    """Chunk size giving each worker ~``CHUNKS_PER_WORKER`` submissions.
+
+    Always at least 1; with few tasks this degrades to one task per
+    chunk, which matches ``Pool.map``'s own behavior on short inputs.
+    """
+    if n_tasks <= 0:
+        return 1
+    jobs = max(1, jobs)
+    return max(1, -(-n_tasks // (jobs * CHUNKS_PER_WORKER)))
+
+
+class WorkerPool:
+    """A persistent, context-managed worker pool.
+
+    Wraps ``multiprocessing.Pool`` with the repo's policy defaults
+    (explicit chunking, optional per-worker initializer, bounded worker
+    lifetime) and keeps the pool open across calls:
+
+    >>> with WorkerPool(jobs=4, initializer=warm) as pool:
+    ...     a = pool.map(fn, tasks_1)
+    ...     b = pool.map(fn, tasks_2)   # same warm workers
+
+    ``jobs == 1`` is fully supported and never forks: ``map`` runs
+    in-process (running ``initializer`` once, lazily) so callers can use
+    one code path for serial and parallel execution.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        initializer: Callable[..., object] | None = None,
+        initargs: tuple[Any, ...] = (),
+        maxtasksperchild: int | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._initializer = initializer
+        self._initargs = initargs
+        self._maxtasksperchild = maxtasksperchild
+        self._pool: multiprocessing.pool.Pool | None = None
+        self._warmed_inprocess = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> WorkerPool:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Terminate the underlying pool (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(
+                processes=self.jobs,
+                initializer=self._initializer,
+                initargs=self._initargs,
+                maxtasksperchild=self._maxtasksperchild,
+            )
+        return self._pool
+
+    # -- execution ---------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[_T], _R],
+        tasks: Iterable[_T],
+        chunksize: int | None = None,
+    ) -> list[_R]:
+        """Map ``fn`` over ``tasks``; results come back in task order."""
+        items = list(tasks)
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if self.jobs == 1 or len(items) <= 1:
+            if self._initializer is not None and not self._warmed_inprocess:
+                self._initializer(*self._initargs)
+                self._warmed_inprocess = True
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        if chunksize is None:
+            chunksize = default_chunksize(len(items), self.jobs)
+        return pool.map(fn, items, chunksize=chunksize)
+
+
+def fan_out(
+    fn: Callable[[_T], _R],
+    tasks: list[_T],
+    jobs: int,
+    *,
+    initializer: Callable[..., object] | None = None,
+    initargs: tuple[Any, ...] = (),
+    chunksize: int | None = None,
+    maxtasksperchild: int | None = None,
+    pool: WorkerPool | None = None,
+) -> list[_R]:
+    """Map ``fn`` over ``tasks`` across ``jobs`` worker processes.
+
+    The shared pool policy of the experiment runner, the campaign
+    runner, and the parallel validation engine: in-process when
+    ``jobs == 1`` or there is at most one task (no pool spin-up cost; a
+    provided ``initializer`` still runs, in-process, so caches are warm
+    on either path), a chunked ``multiprocessing`` pool otherwise.
+    ``fn``, the tasks, ``initializer``, and ``initargs`` must be
+    picklable top-level objects (spawn-safe); results come back in task
+    order regardless of chunking or worker scheduling.
+
+    Pass a :class:`WorkerPool` as ``pool=`` to reuse a persistent pool
+    across calls — ``jobs``/``initializer``/``maxtasksperchild`` are
+    then properties of the pool and must not be re-specified here.
+    """
+    if pool is not None:
+        if initializer is not None or maxtasksperchild is not None:
+            raise ValueError(
+                "initializer/maxtasksperchild are WorkerPool properties; "
+                "do not pass them alongside pool="
+            )
+        return pool.map(fn, tasks, chunksize=chunksize)
+    if jobs > 1 and len(tasks) > 1:
+        with WorkerPool(
+            min(jobs, len(tasks)),
+            initializer=initializer,
+            initargs=initargs,
+            maxtasksperchild=maxtasksperchild,
+        ) as scratch:
+            return scratch.map(fn, tasks, chunksize=chunksize)
+    if initializer is not None:
+        initializer(*initargs)
+    return [fn(task) for task in tasks]

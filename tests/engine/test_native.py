@@ -1,0 +1,194 @@
+"""The compiled-kernel facade: byte-identical to the NumPy twins.
+
+The kernels are check-for-check translations, so the pin here is
+*identity*: every verdict, error string, and statistic must match the
+pure-NumPy path on valid and corrupted inputs alike.  Forcing the
+facade on without numba exercises the same ``*_py`` functions numba
+would compile, which is exactly the contract under test.
+"""
+
+import os
+import random
+import subprocess
+import sys
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct_base
+from repro.engine import native
+from repro.engine.batch import BatchValidator
+from repro.engine.kernels import GraphKernels
+from repro.engine.native import (
+    _set_enabled_for_testing,
+    mask_to_words,
+    native_enabled,
+)
+from repro.graphs.hypercube import hypercube
+from repro.graphs.trees import path_graph
+from repro.model.validator_fast import FastValidator
+from repro.types import Call, Round, Schedule
+from repro.util.bits import mask_from_indices
+
+
+@contextmanager
+def facade(flag):
+    _set_enabled_for_testing(flag)
+    try:
+        yield
+    finally:
+        _set_enabled_for_testing(None)
+
+
+def _report_tuple(rep):
+    return (rep.ok, rep.errors, rep.rounds, rep.informed_per_round, rep.max_call_length)
+
+
+def _corpus(sh):
+    """Fresh valid + corrupted schedules (fresh objects per call: frames
+    cache their screen verdicts, which would let one engine's results
+    leak into the other's run)."""
+    base = broadcast_schedule(sh, 0)
+    first = base.rounds[0].calls
+
+    def with_round(idx, calls):
+        out = Schedule(source=0, rounds=list(base.rounds))
+        out.rounds[idx] = Round(tuple(calls))
+        return out
+
+    return [
+        base,
+        broadcast_schedule(sh, sh.n_vertices - 1),
+        with_round(0, first + (first[0],)),  # duplicate call (V4/V5/V6)
+        with_round(0, ()),  # dropped round -> incomplete
+        with_round(1, base.rounds[1].calls + (Call.via((0, 15)),)),  # non-edge
+        Schedule(source=99, rounds=list(base.rounds)),  # bad source
+        Schedule(source=0, rounds=list(base.rounds[:-1])),  # truncated
+        Schedule(source=0, rounds=list(base.rounds) + [base.rounds[-1]]),
+    ]
+
+
+class TestFacadeToggle:
+    def test_forcing_overrides_import_selection(self):
+        with facade(True):
+            assert native_enabled() is True
+        with facade(False):
+            assert native_enabled() is False
+        assert native_enabled() is native.NATIVE_COMPILED
+
+    def test_repro_native_zero_vetoes_compilation(self):
+        env = {**os.environ, "REPRO_NATIVE": "0", "PYTHONPATH": "src"}
+        code = (
+            "from repro.engine.native import NATIVE_COMPILED, native_enabled; "
+            "assert NATIVE_COMPILED is False; assert native_enabled() is False"
+        )
+        subprocess.run([sys.executable, "-c", code], env=env, check=True)
+
+
+class TestMaskToWords:
+    def test_zero_and_small_masks(self):
+        np.testing.assert_array_equal(mask_to_words(0, 10), [0])
+        np.testing.assert_array_equal(mask_to_words(0b1011, 10), [11])
+
+    def test_multi_word_masks(self):
+        words = mask_to_words(1 << 64, 65)
+        np.testing.assert_array_equal(words, [0, 1])
+        # round-trip: word w bit b <-> mask bit 64*w + b
+        mask = (1 << 130) | (1 << 63) | 1
+        words = mask_to_words(mask, 131)
+        got = sum(int(w) << (64 * i) for i, w in enumerate(words))
+        assert got == mask
+
+
+class TestFastValidatorIdentity:
+    @pytest.mark.parametrize("vertex_disjoint", [False, True])
+    def test_reports_identical_on_mixed_corpus(self, vertex_disjoint):
+        sh = construct_base(4, 2)
+        with facade(True):
+            on = [
+                _report_tuple(
+                    FastValidator(sh.graph).validate(
+                        s, sh.k, vertex_disjoint=vertex_disjoint
+                    )
+                )
+                for s in _corpus(sh)
+            ]
+        with facade(False):
+            off = [
+                _report_tuple(
+                    FastValidator(sh.graph).validate(
+                        s, sh.k, vertex_disjoint=vertex_disjoint
+                    )
+                )
+                for s in _corpus(sh)
+            ]
+        assert on == off
+        assert on[0][0] is True  # the valid schedule stayed valid
+        assert any(not ok for ok, *_ in on)  # and corruption was rejected
+
+    def test_frame_inputs_identical(self):
+        sh = construct_base(5, 3)
+        with facade(True):
+            on = [
+                _report_tuple(
+                    FastValidator(sh.graph).validate(
+                        broadcast_schedule(sh, s).to_frame(), sh.k
+                    )
+                )
+                for s in range(0, sh.n_vertices, 5)
+            ]
+        with facade(False):
+            off = [
+                _report_tuple(
+                    FastValidator(sh.graph).validate(
+                        broadcast_schedule(sh, s).to_frame(), sh.k
+                    )
+                )
+                for s in range(0, sh.n_vertices, 5)
+            ]
+        assert on == off
+        assert all(ok for ok, *_ in on)
+
+
+class TestBatchValidatorIdentity:
+    @pytest.mark.parametrize("vertex_disjoint", [False, True])
+    def test_stacked_reports_identical(self, vertex_disjoint):
+        sh = construct_base(4, 2)
+        with facade(True):
+            on = [
+                _report_tuple(r)
+                for r in BatchValidator(sh.graph).validate_many(
+                    _corpus(sh), sh.k, vertex_disjoint=vertex_disjoint
+                )
+            ]
+        with facade(False):
+            off = [
+                _report_tuple(r)
+                for r in BatchValidator(sh.graph).validate_many(
+                    _corpus(sh), sh.k, vertex_disjoint=vertex_disjoint
+                )
+            ]
+        assert on == off
+        assert any(not ok for ok, *_ in on)
+
+
+class TestReachableIdentity:
+    @pytest.mark.parametrize(
+        "graph", [path_graph(9), hypercube(3), hypercube(4)], ids=["path9", "q3", "q4"]
+    )
+    def test_bfs_identical_under_used_masks(self, graph):
+        kern = GraphKernels(graph)
+        rng = random.Random(7)
+        edges = list(graph.edges())
+        for trial in range(8):
+            used = rng.sample(edges, len(edges) // 3) if len(edges) >= 3 else []
+            mask = mask_from_indices(kern.edge_id(u, v) for u, v in used)
+            caller = rng.randrange(graph.n_vertices)
+            k = rng.randrange(1, graph.n_vertices)
+            with facade(True):
+                on = kern.reachable(caller, k, mask)
+            with facade(False):
+                off = kern.reachable(caller, k, mask)
+            assert on == off

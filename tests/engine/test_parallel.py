@@ -1,0 +1,135 @@
+"""Parallel stacked validation ≡ serial, byte for byte.
+
+The contract under test: ``validate_many(jobs=N)`` returns the same
+reports — verdicts, exact error strings, statistics, input order — as
+the serial path, with all schedule planes crossing to workers through
+shared memory and no segment surviving the call.
+"""
+
+import os
+
+import pytest
+
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct_base
+from repro.engine import parallel
+from repro.engine.batch import BatchValidator
+from repro.engine.parallel import MIN_PARALLEL_SCHEDULES, validate_many_parallel
+from repro.types import Call, Round, Schedule
+
+
+def _shm_names():
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:
+        return set()
+
+
+def _report_tuple(rep):
+    return (rep.ok, rep.errors, rep.rounds, rep.informed_per_round, rep.max_call_length)
+
+
+def _mixed_corpus(sh):
+    """12 schedules: valid, corrupted, and layout-diverse (so grouping,
+    slicing, and input-order reassembly are all exercised)."""
+    base = broadcast_schedule(sh, 0)
+    first = base.rounds[0].calls
+
+    def with_round(idx, calls):
+        out = Schedule(source=0, rounds=list(base.rounds))
+        out.rounds[idx] = Round(tuple(calls))
+        return out
+
+    return [
+        base,
+        with_round(0, first + (first[0],)),  # duplicate call
+        broadcast_schedule(sh, 5),
+        with_round(0, ()),  # dropped round
+        Schedule(source=0, rounds=list(base.rounds[:-1])),  # short layout
+        broadcast_schedule(sh, 9),
+        with_round(1, base.rounds[1].calls + (Call.via((0, 15)),)),  # non-edge
+        Schedule(source=99, rounds=list(base.rounds)),  # bad source
+        broadcast_schedule(sh, 3),
+        Schedule(source=0, rounds=list(base.rounds) + [base.rounds[-1]]),
+        broadcast_schedule(sh, 12),
+        broadcast_schedule(sh, 7),
+    ]
+
+
+@pytest.fixture(scope="module")
+def sh():
+    return construct_base(4, 2)
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("vertex_disjoint", [False, True])
+    def test_mixed_corpus_identical_reports(self, sh, vertex_disjoint):
+        corpus = _mixed_corpus(sh)
+        serial = BatchValidator(sh.graph).validate_many(
+            corpus, sh.k, vertex_disjoint=vertex_disjoint
+        )
+        para = validate_many_parallel(
+            sh.graph, corpus, sh.k, jobs=2, vertex_disjoint=vertex_disjoint
+        )
+        assert [_report_tuple(r) for r in para] == [_report_tuple(r) for r in serial]
+        # the corpus must actually carry error strings across processes
+        assert any(r.errors for r in serial)
+
+    def test_validate_many_jobs_kwarg_routes_here(self, sh):
+        corpus = _mixed_corpus(sh)
+        serial = BatchValidator(sh.graph).validate_many(corpus, sh.k)
+        para = BatchValidator(sh.graph).validate_many(corpus, sh.k, jobs=2)
+        assert [_report_tuple(r) for r in para] == [_report_tuple(r) for r in serial]
+
+    def test_mmap_backend_identical(self, sh):
+        corpus = _mixed_corpus(sh)
+        serial = BatchValidator(sh.graph).validate_many(corpus, sh.k)
+        para = validate_many_parallel(sh.graph, corpus, sh.k, jobs=2, backend="mmap")
+        assert [_report_tuple(r) for r in para] == [_report_tuple(r) for r in serial]
+
+    def test_require_minimum_time_forwarded(self, sh):
+        padded = broadcast_schedule(sh, 0)
+        padded.rounds.append(Round(()))
+        corpus = [padded] * MIN_PARALLEL_SCHEDULES
+        para = validate_many_parallel(
+            sh.graph, corpus, sh.k, jobs=2, require_minimum_time=False
+        )
+        assert all(r.ok for r in para)
+
+
+class TestSerialFallback:
+    def test_small_inputs_never_spawn(self, sh, monkeypatch):
+        def _no_pool(*args, **kwargs):
+            raise AssertionError("small input must not fan out")
+
+        monkeypatch.setattr(parallel, "fan_out", _no_pool)
+        corpus = _mixed_corpus(sh)[: MIN_PARALLEL_SCHEDULES - 1]
+        serial = BatchValidator(sh.graph).validate_many(corpus, sh.k)
+        para = validate_many_parallel(sh.graph, corpus, sh.k, jobs=4)
+        assert [_report_tuple(r) for r in para] == [_report_tuple(r) for r in serial]
+
+    def test_jobs_one_never_spawns(self, sh, monkeypatch):
+        def _no_pool(*args, **kwargs):
+            raise AssertionError("jobs=1 must not fan out")
+
+        monkeypatch.setattr(parallel, "fan_out", _no_pool)
+        corpus = _mixed_corpus(sh)
+        para = validate_many_parallel(sh.graph, corpus, sh.k, jobs=1)
+        assert len(para) == len(corpus)
+
+
+class TestNoLeaks:
+    def test_no_segments_survive_the_call(self, sh):
+        before = _shm_names()
+        validate_many_parallel(sh.graph, _mixed_corpus(sh), sh.k, jobs=2)
+        assert _shm_names() <= before
+
+    def test_no_segments_survive_a_worker_crash(self, sh, monkeypatch):
+        def _boom(*args, **kwargs):
+            raise RuntimeError("pool exploded")
+
+        monkeypatch.setattr(parallel, "fan_out", _boom)
+        before = _shm_names()
+        with pytest.raises(RuntimeError, match="pool exploded"):
+            validate_many_parallel(sh.graph, _mixed_corpus(sh), sh.k, jobs=2)
+        assert _shm_names() <= before

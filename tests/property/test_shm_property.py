@@ -1,0 +1,95 @@
+"""Property pins for the zero-copy plane store.
+
+Two invariants over random schedules, corruptions, and backends:
+
+* **Byte-identity** — a frame and graph reattached from shared planes
+  validate to the same verdict, the same error-string list, and the
+  same statistics as the in-process originals.
+* **No leaks** — every example leaves ``/dev/shm`` exactly as it found
+  it, however the example ends.
+"""
+
+import os
+import random
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from test_validator_fast_property import MUTATIONS
+
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct_base
+from repro.engine.shm import PlaneRegistry, detach_all
+from repro.model.validator_fast import FastValidator
+
+COMMON = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+BACKENDS = st.sampled_from(["shm", "mmap"])
+
+
+def _shm_names():
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:
+        return set()
+
+
+def _report_tuple(rep):
+    return (rep.ok, rep.errors, rep.rounds, rep.informed_per_round, rep.max_call_length)
+
+
+class TestAttachedValidationIdentity:
+    @COMMON
+    @given(
+        n=st.integers(3, 6),
+        m_seed=st.integers(0, 10**6),
+        src_seed=st.integers(0, 10**6),
+        mut_idx=st.integers(0, len(MUTATIONS) - 1),
+        rng_seed=st.integers(0, 10**6),
+        backend=BACKENDS,
+    )
+    def test_same_verdict_and_errors(
+        self, n, m_seed, src_seed, mut_idx, rng_seed, backend
+    ):
+        m = 1 + m_seed % (n - 1)
+        sh = construct_base(n, m)
+        g = sh.graph
+        sched = broadcast_schedule(sh, src_seed % g.n_vertices)
+        mutated, k = MUTATIONS[mut_idx](g, sched, 2, random.Random(rng_seed))
+
+        before = _shm_names()
+        with PlaneRegistry(backend) as reg:
+            attached_graph = reg.export_graph(g).attach()
+            attached_frame = reg.export_frame(mutated.to_frame()).attach()
+            # fresh frames per engine: frames cache screen verdicts
+            local = FastValidator(g).validate(mutated.to_frame(), k)
+            shared = FastValidator(attached_graph).validate(attached_frame, k)
+            assert _report_tuple(shared) == _report_tuple(local)
+        # drop every view before detaching so the segments can unmap
+        del attached_graph, attached_frame
+        detach_all()
+        assert _shm_names() <= before
+
+
+class TestPlaneRoundTrip:
+    @COMMON
+    @given(
+        data=st.lists(st.integers(-(2**62), 2**62), max_size=64),
+        two_d=st.booleans(),
+        backend=BACKENDS,
+    )
+    def test_arrays_survive_export_attach(self, data, two_d, backend):
+        arr = np.array(data, dtype=np.int64)
+        if two_d and arr.size and arr.size % 2 == 0:
+            arr = arr.reshape(2, -1)
+        before = _shm_names()
+        with PlaneRegistry(backend) as reg:
+            view = reg.export(arr).attach()
+            np.testing.assert_array_equal(view, arr)
+            assert view.dtype == arr.dtype and view.shape == arr.shape
+            assert not view.flags.writeable
+        del view
+        detach_all()
+        assert _shm_names() <= before

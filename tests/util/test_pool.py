@@ -1,0 +1,145 @@
+"""The shared pool policy: chunked fan-out, initializers, persistence.
+
+The determinism contract — results in task order whatever the
+chunksize, worker count, or worker recycling — is what the campaign
+merge gate ultimately leans on, so it is pinned here directly.
+"""
+
+import os
+
+import pytest
+
+from repro.util.pool import WorkerPool, default_chunksize, fan_out
+
+# -- module-level workers (the pool pickles them) ---------------------------
+
+_STATE = {"warm": 0}
+
+
+def _square(x):
+    return x * x
+
+
+def _tag_pid(x):
+    return (x, os.getpid())
+
+
+def _warm(tag):
+    _STATE["warm"] += 1
+    _STATE["tag"] = tag
+
+
+def _read_warm(_x):
+    return (_STATE["warm"], _STATE.get("tag"))
+
+
+def _boom(x):
+    if x == 3:
+        raise ValueError("task 3 exploded")
+    return x
+
+
+class TestDefaultChunksize:
+    def test_four_chunks_per_worker(self):
+        assert default_chunksize(32, 2) == 4
+        assert default_chunksize(100, 4) == 7
+
+    def test_floor_of_one(self):
+        assert default_chunksize(3, 8) == 1
+        assert default_chunksize(0, 4) == 1
+        assert default_chunksize(5, 0) == 2  # jobs clamped to >= 1
+
+
+class TestFanOut:
+    def test_serial_matches_map(self):
+        assert fan_out(_square, [1, 2, 3], 1) == [1, 4, 9]
+
+    def test_parallel_order_determinism_under_chunking(self):
+        tasks = list(range(37))  # deliberately not a chunksize multiple
+        expected = [x * x for x in tasks]
+        for chunksize in (None, 1, 5, 64):
+            assert fan_out(_square, tasks, 2, chunksize=chunksize) == expected
+
+    def test_single_task_stays_in_process(self):
+        pid = os.getpid()
+        [(_, worker_pid)] = fan_out(_tag_pid, [0], 4)
+        assert worker_pid == pid
+
+    def test_parallel_uses_worker_processes(self):
+        pids = {pid for _, pid in fan_out(_tag_pid, list(range(8)), 2)}
+        assert os.getpid() not in pids
+
+    def test_initializer_runs_in_process_when_serial(self):
+        _STATE["warm"] = 0
+        out = fan_out(_read_warm, [0, 1], 1, initializer=_warm, initargs=("t",))
+        assert out == [(1, "t"), (1, "t")]
+
+    def test_initializer_runs_once_per_worker(self):
+        # every task must observe an already-warmed worker
+        out = fan_out(
+            _read_warm, list(range(12)), 2, initializer=_warm, initargs=("w",)
+        )
+        assert all(count >= 1 and tag == "w" for count, tag in out)
+
+    def test_maxtasksperchild_recycles_workers(self):
+        tasks = list(range(16))
+        # chunksize 1 + maxtasksperchild 1 = a fresh process per task
+        pids = [pid for _, pid in fan_out(
+            _tag_pid, tasks, 2, chunksize=1, maxtasksperchild=1
+        )]
+        assert len(set(pids)) > 2
+        # order is still task order
+        assert [x for x, _ in fan_out(
+            _tag_pid, tasks, 2, chunksize=1, maxtasksperchild=1
+        )] == tasks
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="task 3 exploded"):
+            fan_out(_boom, list(range(6)), 2, chunksize=1)
+
+    def test_pool_kwarg_conflicts_rejected(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(ValueError, match="WorkerPool properties"):
+                fan_out(_square, [1, 2], 2, pool=pool, initializer=_warm)
+
+
+class TestWorkerPool:
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            WorkerPool(0)
+
+    def test_persistent_pool_reuses_workers(self):
+        # A map may land every chunk on one of the two workers, so the
+        # per-map pid sets need not be equal — but both maps must be
+        # served by the pool's own (at most 2) persistent processes.
+        with WorkerPool(2) as pool:
+            first = {pid for _, pid in pool.map(_tag_pid, range(8))}
+            second = {pid for _, pid in pool.map(_tag_pid, range(8))}
+        assert len(first | second) <= 2
+        assert os.getpid() not in first | second
+
+    def test_fan_out_routes_through_given_pool(self):
+        with WorkerPool(2) as pool:
+            a = {pid for _, pid in fan_out(_tag_pid, list(range(8)), 2, pool=pool)}
+            b = {pid for _, pid in fan_out(_tag_pid, list(range(8)), 2, pool=pool)}
+        # both fan_outs ran on the pool's own persistent processes
+        assert len(a | b) <= 2
+        assert os.getpid() not in a | b
+
+    def test_serial_pool_runs_initializer_lazily_once(self):
+        _STATE["warm"] = 0
+        with WorkerPool(1, initializer=_warm, initargs=("p",)) as pool:
+            assert pool.map(_read_warm, [0]) == [(1, "p")]
+            assert pool.map(_read_warm, [1]) == [(1, "p")]
+
+    def test_closed_pool_rejects_map(self):
+        pool = WorkerPool(2)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map(_square, [1])
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.map(_square, [1, 2])
+        pool.close()
+        pool.close()
