@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.engine.batch import StackedSchedules, _group_by_layout
 from repro.engine.cache import batch_validator_for
-from repro.engine.shm import GraphHandle, PlaneHandle, PlaneRegistry
+from repro.engine.shm import GraphHandle, PlaneHandle, PlaneRegistry, detach_all
 from repro.graphs.base import Graph
 from repro.model.validator import ValidationReport
 from repro.model.validator_fast import ScheduleLayout
@@ -145,39 +145,49 @@ def validate_many_parallel(
             require_minimum_time=require_minimum_time,
             vertex_disjoint=vertex_disjoint,
         )
+    global _WORKER
     groups = _group_by_layout(schedules)
     results: list[ValidationReport | None] = [None] * len(schedules)
-    with PlaneRegistry(backend) as registry:  # type: ignore[arg-type]
-        graph_handle = registry.export_graph(graph)
-        stack_meta = []
-        for layout, indices, rows in groups:
-            sources = np.array(
-                [schedules[idx].source for idx in indices], dtype=np.int64
-            )
-            stack_meta.append(
-                (
-                    registry.export(sources),
-                    registry.export(rows),
-                    layout.counts.tobytes(),
-                    layout.lengths.tobytes(),
+    try:
+        with PlaneRegistry(backend) as registry:  # type: ignore[arg-type]
+            graph_handle = registry.export_graph(graph)
+            stack_meta = []
+            for layout, indices, rows in groups:
+                sources = np.array(
+                    [schedules[idx].source for idx in indices], dtype=np.int64
                 )
+                stack_meta.append(
+                    (
+                        registry.export(sources),
+                        registry.export(rows),
+                        layout.counts.tobytes(),
+                        layout.lengths.tobytes(),
+                    )
+                )
+            tasks = _slice_tasks(
+                [len(indices) for _, indices, _ in groups],
+                jobs,
+                k,
+                require_minimum_time,
+                vertex_disjoint,
             )
-        tasks = _slice_tasks(
-            [len(indices) for _, indices, _ in groups],
-            jobs,
-            k,
-            require_minimum_time,
-            vertex_disjoint,
-        )
-        # fan_out joins its pool before returning, so every worker has
-        # detached before the registry unlinks on __exit__.
-        slices = fan_out(
-            _validate_slice,
-            tasks,
-            jobs,
-            initializer=_init_worker,
-            initargs=(graph_handle, tuple(stack_meta)),
-        )
+            # fan_out joins its pool before returning, so every worker
+            # has detached before the registry unlinks on __exit__.
+            slices = fan_out(
+                _validate_slice,
+                tasks,
+                jobs,
+                initializer=_init_worker,
+                initargs=(graph_handle, tuple(stack_meta)),
+            )
+    finally:
+        if _WORKER is not None:
+            # fan_out took its in-process path, so _init_worker ran in
+            # THIS process and attached the registry's planes here.  The
+            # registry has now unlinked them; drop the parent-side
+            # attach cache so no stale name-keyed mappings survive.
+            _WORKER = None
+            detach_all()
     for (stack_idx, lo, _hi, *_rest), reports in zip(tasks, slices):
         indices = groups[stack_idx][1]
         for offset, report in enumerate(reports):

@@ -67,14 +67,20 @@ _PROBED_BACKEND: Backend | None = None
 def default_backend() -> Backend:
     """The plane backend for this process.
 
-    ``REPRO_SHM=shm|mmap`` forces a choice; otherwise POSIX shared
-    memory is probed once (create + unlink a 1-byte segment) and the
-    mmap-file fallback is used where that fails (e.g. no ``/dev/shm``).
+    ``REPRO_SHM=shm|mmap`` forces a choice (any other non-empty value
+    is an error — a typo must not silently fall back to the probe when
+    tests/CI force a backend); otherwise POSIX shared memory is probed
+    once (create + unlink a 1-byte segment) and the mmap-file fallback
+    is used where that fails (e.g. no ``/dev/shm``).
     """
     global _PROBED_BACKEND
     forced = os.environ.get("REPRO_SHM", "").strip().lower()
     if forced in ("shm", "mmap"):
         return forced  # type: ignore[return-value]
+    if forced:
+        raise ValueError(
+            f"REPRO_SHM must be 'shm', 'mmap', or unset, got {forced!r}"
+        )
     if _PROBED_BACKEND is None:
         try:
             seg = shared_memory.SharedMemory(create=True, size=1)
@@ -210,7 +216,12 @@ class PlaneRegistry:
         self.backend: Backend = backend if backend is not None else default_backend()
         self._segments: list[shared_memory.SharedMemory] = []
         self._tmpdir: str | None = None
-        self._by_id: dict[int, PlaneHandle] = {}
+        # id(arr) -> (arr, handle).  The array reference PINS the caller's
+        # object for the registry's lifetime: without it CPython could
+        # garbage-collect an exported array and reuse its address for a
+        # different array, making the identity-keyed dedup silently
+        # return a stale handle (wrong plane attached in workers).
+        self._by_id: dict[int, tuple[np.ndarray, PlaneHandle]] = {}
         self._n_planes = 0
         self._closed = False
 
@@ -263,14 +274,14 @@ class PlaneRegistry:
         """
         if self._closed:
             raise RuntimeError("PlaneRegistry is closed")
-        arr = np.ascontiguousarray(arr)
-        handle = self._by_id.get(id(arr))
-        if handle is not None:
-            return handle
+        pinned = self._by_id.get(id(arr))
+        if pinned is not None:
+            return pinned[1]
+        contig = np.ascontiguousarray(arr)
         if self.backend == "shm":
-            seg = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+            seg = shared_memory.SharedMemory(create=True, size=max(1, contig.nbytes))
             dst = np.frombuffer(seg.buf, dtype=np.uint8)
-            dst[: arr.nbytes] = arr.view(np.uint8).reshape(-1)
+            dst[: contig.nbytes] = contig.view(np.uint8).reshape(-1)
             del dst
             self._segments.append(seg)
             name = seg.name
@@ -278,10 +289,10 @@ class PlaneRegistry:
             if self._tmpdir is None:
                 self._tmpdir = tempfile.mkdtemp(prefix="repro-planes-")
             name = os.path.join(self._tmpdir, f"plane-{self._n_planes:04d}.bin")
-            arr.tofile(name)
+            contig.tofile(name)
         self._n_planes += 1
-        handle = PlaneHandle(self.backend, name, str(arr.dtype), arr.shape)
-        self._by_id[id(arr)] = handle
+        handle = PlaneHandle(self.backend, name, str(contig.dtype), contig.shape)
+        self._by_id[id(arr)] = (arr, handle)
         return handle
 
     def export_frame(self, frame: ScheduleFrame) -> FrameHandle:

@@ -7,6 +7,12 @@ routes through :func:`fan_out` so the pool policy is written down once:
 * **In-process when parallelism cannot pay.**  ``jobs == 1`` or at most
   one task never spins up a pool; the optional ``initializer`` still runs
   (in-process) so serial and parallel executions warm the same caches.
+  Corollary: an attach-style initializer (one that populates
+  process-local caches, e.g. shared-memory mappings) then populates the
+  *parent's* caches — such callers must clean up parent-side state when
+  the serial path was taken (see the ``finally`` in
+  ``repro.engine.parallel.validate_many_parallel``), or that state goes
+  stale once its backing resource is released.
 * **Explicit chunking.**  ``multiprocessing.Pool.map`` with the default
   ``chunksize`` re-pickles large task lists in many tiny submissions;
   :func:`default_chunksize` (``ceil(n_tasks / (jobs * CHUNKS_PER_WORKER))``)

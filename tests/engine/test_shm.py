@@ -80,6 +80,32 @@ class TestPlaneHandle:
         with PlaneRegistry(backend) as reg:
             assert reg.export(arr) == reg.export(arr)
 
+    def test_exported_arrays_are_pinned_against_address_reuse(self, backend):
+        # Regression: dedup is keyed on id(arr), and CPython reuses a
+        # dead array's address for later allocations.  The registry must
+        # pin every exported array, or rebinding a loop variable (as
+        # validate_many_parallel does per layout group) makes export
+        # return a stale handle for a *different* array.
+        with PlaneRegistry(backend) as reg:
+            handles, expected = [], []
+            for i in range(50):
+                arr = np.full(64, i, dtype=np.int64)
+                handles.append(reg.export(arr))
+                expected.append(arr.copy())
+                del arr  # without the pin, the next iteration likely
+                # allocates at the same address and dedups wrongly
+            assert len({h.name for h in handles}) == len(handles)
+            for handle, want in zip(handles, expected):
+                np.testing.assert_array_equal(handle.attach(), want)
+
+    def test_noncontiguous_input_dedups_by_original_identity(self, backend):
+        arr = np.arange(24, dtype=np.int64).reshape(4, 6)[:, ::2]
+        assert not arr.flags.c_contiguous
+        with PlaneRegistry(backend) as reg:
+            handle = reg.export(arr)
+            assert reg.export(arr) == handle  # keyed on arr, not the copy
+            np.testing.assert_array_equal(handle.attach(), arr)
+
     def test_closed_registry_rejects_export(self, backend):
         reg = PlaneRegistry(backend)
         reg.close()
@@ -200,3 +226,10 @@ class TestBackendSelection:
     def test_probe_returns_a_backend(self, monkeypatch):
         monkeypatch.delenv("REPRO_SHM", raising=False)
         assert default_backend() in ("shm", "mmap")
+
+    def test_invalid_env_value_raises(self, monkeypatch):
+        # A typo must not silently fall through to the probe when
+        # tests/CI meant to force a backend.
+        monkeypatch.setenv("REPRO_SHM", "map")
+        with pytest.raises(ValueError, match="REPRO_SHM"):
+            default_backend()
