@@ -29,6 +29,7 @@ from __future__ import annotations
 import functools
 import hashlib
 import json
+import os
 import re
 import time
 from dataclasses import dataclass
@@ -43,7 +44,11 @@ from repro.analysis.scenarios import (
     validate_scenario,
     warm_scenario_caches,
 )
+from repro.devtools import chaos
+from repro.errors import ScenarioError, capture
 from repro.types import InvalidParameterError, ReproError
+from repro.util.pool import TaskFault, WorkerPool
+from repro.util.retry import RetryPolicy
 
 __all__ = [
     "CampaignExecutionError",
@@ -74,12 +79,27 @@ MANIFEST_FORMAT = "repro-campaign-manifest/1"
 
 
 class CampaignExecutionError(ReproError):
-    """A scenario raised during campaign execution.
+    """One or more scenarios failed during campaign execution.
 
     Raised *after* every completed scenario of the batch has been
-    cached, so fixing the cause and re-running resumes instead of
-    restarting.
+    cached and checkpointed, so fixing the cause and re-running resumes
+    instead of restarting.  ``failures`` carries the scenarios whose own
+    code raised (:class:`~repro.errors.ScenarioError` — deterministic,
+    never retried); ``quarantined`` carries the poison-task reports
+    (:class:`~repro.util.pool.TaskFault`) for scenarios that exhausted
+    the retry budget on infrastructure faults.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        failures: tuple[ScenarioError, ...] = (),
+        quarantined: tuple[TaskFault, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.failures = failures
+        self.quarantined = quarantined
 
 
 @dataclass(frozen=True)
@@ -560,18 +580,109 @@ class CampaignStats:
 def _execute_scenario(sc: Scenario) -> tuple[str, object, float]:
     """Worker entry point (top-level, picklable): run one scenario.
 
-    Failures come back as values instead of propagating, so the parent
-    can cache every *completed* scenario before re-raising — a crash in
-    scenario 99 of 100 must not discard 98 finished cache entries (the
-    resumable-run contract).
+    Failures come back as values (:func:`repro.errors.capture`) instead
+    of propagating, so the parent can cache every *completed* scenario
+    before reporting — a crash in scenario 99 of 100 must not discard
+    98 finished cache entries (the resumable-run contract).
     """
     t0 = time.perf_counter()
-    try:
-        row = run_scenario(sc)
-    except Exception as exc:  # broad by design: re-raised by the parent
-        message = f"{type(exc).__name__}: {exc}"
-        return "error", message, time.perf_counter() - t0
-    return "ok", row, time.perf_counter() - t0
+    status, payload = capture(run_scenario, sc)
+    return status, payload, time.perf_counter() - t0
+
+
+class _ShardCheckpoint:
+    """Crash checkpoint for one shard: appended rows + an fsync'd cursor.
+
+    Every completed scenario's canonical JSONL row is appended to
+    ``<chunk>.partial.jsonl`` (flushed and fsync'd), then the cursor
+    file ``<chunk>.cursor.json`` — ``{"digest", "count"}`` — is
+    replaced atomically.  A SIGKILL at any instant leaves either a
+    cursor that names a fully-written row prefix, or a torn final line
+    *beyond* the cursor count that resume ignores; either way the next
+    run serves the checkpointed rows without re-executing them and the
+    final artifact stays byte-identical to an uninterrupted run (rows
+    are re-sorted by scenario index at write time).  Checkpoints from a
+    different grid or scenarios-module version (digest mismatch) are
+    discarded, as is any row whose scenario identity or seed does not
+    match the current expansion.
+    """
+
+    def __init__(self, chunk: Path, digest: str) -> None:
+        stem = chunk.name[: -len(".jsonl")] if chunk.name.endswith(".jsonl") else chunk.name
+        self.partial = chunk.with_name(stem + ".partial.jsonl")
+        self.cursor = chunk.with_name(stem + ".cursor.json")
+        self.digest = digest
+        self.count = 0
+
+    def load(self, expected: dict[int, Scenario]) -> dict[int, dict]:
+        """Validated checkpointed rows (index-keyed); resets on mismatch.
+
+        The partial file is rewritten to exactly the validated prefix so
+        later appends continue from a known-good state.
+        """
+        rows: list[dict] = []
+        if self.cursor.exists() and self.partial.exists():
+            meta = None
+            try:
+                meta = json.loads(self.cursor.read_text())
+            except (json.JSONDecodeError, OSError):
+                meta = None
+            count = meta.get("count") if isinstance(meta, dict) else None
+            if (
+                isinstance(meta, dict)
+                and meta.get("digest") == self.digest
+                and isinstance(count, int)
+                and count >= 0
+            ):
+                lines = self.partial.read_text().splitlines()
+                for line in lines[:count]:
+                    try:
+                        row = json.loads(line)
+                    except json.JSONDecodeError:
+                        break  # torn line: keep the prefix before it
+                    if not isinstance(row, dict):
+                        break
+                    sc = expected.get(row.get("index"))
+                    if (
+                        sc is None
+                        or row.get("scenario") != sc.scenario_id
+                        or row.get("seed") != sc.seed
+                    ):
+                        break  # stale row (older grid/seed): stop here
+                    rows.append(row)
+        self.partial.parent.mkdir(parents=True, exist_ok=True)
+        self._write_file(self.partial, _dump_rows(rows))
+        self.count = len(rows)
+        self._write_cursor()
+        return {row["index"]: row for row in rows}
+
+    def append(self, row: dict) -> None:
+        """Durably record one completed scenario (fsync'd, then cursor)."""
+        with open(self.partial, "a") as fh:
+            fh.write(_canonical(row) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.count += 1
+        self._write_cursor()
+
+    def clear(self) -> None:
+        """Remove the checkpoint files (the shard completed)."""
+        self.partial.unlink(missing_ok=True)
+        self.cursor.unlink(missing_ok=True)
+
+    def _write_cursor(self) -> None:
+        payload = _canonical({"digest": self.digest, "count": self.count})
+        self._write_file(self.cursor, payload + "\n")
+
+    @staticmethod
+    def _write_file(path: Path, text: str) -> None:
+        """Atomic durable write: tmp file, fsync, rename into place."""
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(path)
 
 
 class CampaignRunner:
@@ -589,6 +700,7 @@ class CampaignRunner:
         jobs: int = 1,
         cache_dir: str | Path | None = None,
         maxtasksperchild: int | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if jobs < 1:
             raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
@@ -599,6 +711,7 @@ class CampaignRunner:
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.maxtasksperchild = maxtasksperchild
+        self.retry = retry if retry is not None else RetryPolicy()
         self.stats = CampaignStats()
 
     def _cache_path(self, spec: CampaignSpec, sc: Scenario, digest: str) -> Path | None:
@@ -609,6 +722,7 @@ class CampaignRunner:
     def _cache_load(self, path: Path | None, digest: str) -> dict | None:
         if path is None or not path.exists():
             return None
+        chaos.corrupt_cache_entry(path)  # no-op unless REPRO_CHAOS injects
         try:
             payload = json.loads(path.read_text())
         except (json.JSONDecodeError, OSError):
@@ -636,19 +750,42 @@ class CampaignRunner:
         tmp.replace(path)
 
     def run(
-        self, spec: CampaignSpec, shard: tuple[int, int] = (0, 1)
+        self,
+        spec: CampaignSpec,
+        shard: tuple[int, int] = (0, 1),
+        *,
+        checkpoint: Path | None = None,
     ) -> list[ScenarioOutcome]:
-        """Execute the shard's scenarios; returns outcomes in index order."""
-        from repro.analysis.runner import fan_out
+        """Execute the shard's scenarios; returns outcomes in index order.
 
+        ``checkpoint`` names the shard's chunk path: completed rows are
+        flushed incrementally to ``<chunk>.partial.jsonl`` with an
+        fsync'd cursor, so a killed run resumes from the cursor instead
+        of re-executing finished scenarios (see :class:`_ShardCheckpoint`).
+        Scenario-code failures and quarantined poison tasks are both
+        collected and raised *after* everything else completed, cached,
+        and checkpointed.
+        """
         t_start = time.perf_counter()
         owned = shard_scenarios(expand_campaign(spec), shard)
         digests = {sc.index: _scenario_digest(spec, sc) for sc in owned}
+        ckpt: _ShardCheckpoint | None = None
+        ckpt_rows: dict[int, dict] = {}
+        if checkpoint is not None:
+            ckpt = _ShardCheckpoint(checkpoint, campaign_digest(spec))
+            ckpt_rows = ckpt.load({sc.index: sc for sc in owned})
         outcomes: dict[int, ScenarioOutcome] = {}
         to_run: list[Scenario] = []
         for sc in owned:
             digest = digests[sc.index]
             row = self._cache_load(self._cache_path(spec, sc, digest), digest)
+            if row is None and sc.index in ckpt_rows:
+                # served from the crash checkpoint: promote it into the
+                # JSON cache so later runs resume from either store
+                row = ckpt_rows[sc.index]
+                self._cache_store(
+                    self._cache_path(spec, sc, digest), sc, digest, row
+                )
             if row is not None:
                 self.stats.cache_hits += 1
                 outcomes[sc.index] = ScenarioOutcome(
@@ -663,18 +800,36 @@ class CampaignRunner:
         warm_pairs = tuple(
             sorted({(sc.graph, sc.scheduler == SCHEME_SCHEDULER) for sc in to_run})
         )
-        results = fan_out(
-            _execute_scenario,
-            to_run,
-            self.jobs,
-            initializer=warm_scenario_caches,
-            initargs=(warm_pairs,),
-            maxtasksperchild=self.maxtasksperchild,
-        )
-        failures: list[tuple[Scenario, str]] = []
-        for sc, (status, payload, seconds) in zip(to_run, results):
+
+        def flush(indices: list[int], values: list[tuple[str, object, float]]) -> None:
+            # streaming checkpoint hook: runs in the parent, in chunk
+            # completion order, before the map returns
+            if ckpt is None:
+                return
+            for status, payload, _seconds in values:
+                if status == "ok" and isinstance(payload, dict):
+                    ckpt.append(payload)
+
+        results: list[tuple[str, object, float] | None] = []
+        task_faults: list[TaskFault] = []
+        if to_run:
+            with WorkerPool(
+                min(self.jobs, len(to_run)),
+                initializer=warm_scenario_caches,
+                initargs=(warm_pairs,),
+                maxtasksperchild=self.maxtasksperchild,
+                retry=self.retry,
+            ) as pool:
+                results, task_faults = pool.map_quarantine(
+                    _execute_scenario, to_run, on_result=flush
+                )
+        failures: list[ScenarioError] = []
+        for sc, result in zip(to_run, results):
+            if result is None:
+                continue  # quarantined: reported via task_faults below
+            status, payload, seconds = result
             if status == "error":
-                failures.append((sc, str(payload)))
+                failures.append(ScenarioError(sc.scenario_id, str(payload)))
                 continue
             row = payload
             digest = digests[sc.index]
@@ -684,15 +839,26 @@ class CampaignRunner:
                 scenario=sc, row=row, digest=digest, seconds=seconds, cached=False
             )
         self.stats.seconds += time.perf_counter() - t_start
-        if failures:
-            # every completed scenario is cached above, so the re-run
-            # after a fix only executes the failed ones
-            sc, message = failures[0]
-            more = f" (+{len(failures) - 1} more)" if len(failures) > 1 else ""
+        if failures or task_faults:
+            # every completed scenario is cached and checkpointed above,
+            # so the re-run after a fix only executes the failed ones
+            parts = []
+            if failures:
+                more = f" (+{len(failures) - 1} more)" if len(failures) > 1 else ""
+                parts.append(f"failed: {failures[0]}{more}")
+            for fault in task_faults:
+                sc = to_run[fault.index]
+                parts.append(
+                    f"quarantined after {fault.attempts} attempts: scenario "
+                    f"{sc.index} ({sc.scenario_id}) — {fault.message}"
+                )
             raise CampaignExecutionError(
-                f"scenario {sc.index} ({sc.scenario_id}) failed: "
-                f"{message}{more}"
+                "; ".join(parts),
+                failures=tuple(failures),
+                quarantined=tuple(task_faults),
             )
+        if ckpt is not None:
+            ckpt.clear()
         return [outcomes[sc.index] for sc in owned]
 
 
@@ -704,20 +870,29 @@ def run_campaign_shard(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     maxtasksperchild: int | None = None,
+    retry: RetryPolicy | None = None,
 ) -> tuple[Path, dict, list[dict]]:
     """Execute one shard end-to-end: run, write the JSONL chunk and the
     provenance manifest, and — for an unsharded run — also write the
     merged artifact directly (byte-identical to ``merge_chunks`` output).
 
-    Returns ``(chunk_path, manifest, rows)`` — the rows just written, so
-    callers (the CLI summary) need not re-read the chunk from disk.
+    Completed scenarios are checkpointed incrementally beside the chunk
+    (``<chunk>.partial.jsonl`` + fsync'd cursor), so a killed run
+    resumes from the checkpoint and still produces byte-identical
+    artifacts.  Returns ``(chunk_path, manifest, rows)`` — the rows just
+    written, so callers (the CLI summary) need not re-read the chunk
+    from disk.
     """
     runner = CampaignRunner(
-        jobs=jobs, cache_dir=cache_dir, maxtasksperchild=maxtasksperchild
+        jobs=jobs,
+        cache_dir=cache_dir,
+        maxtasksperchild=maxtasksperchild,
+        retry=retry,
     )
-    outcomes = runner.run(spec, shard)
+    chunk_target = chunk_path(out_dir, spec, shard)
+    outcomes = runner.run(spec, shard, checkpoint=chunk_target)
     rows = [o.row for o in outcomes]
-    chunk = chunk_path(out_dir, spec, shard)
+    chunk = chunk_target
     write_chunk(chunk, rows)
     manifest = {
         "format": MANIFEST_FORMAT,

@@ -26,6 +26,7 @@ from repro.analysis import registry
 # re-exported here because analysis code historically imported it from
 # the runner module.
 from repro.util.pool import fan_out
+from repro.util.retry import RetryPolicy
 
 __all__ = [
     "RunResult",
@@ -84,13 +85,24 @@ class ExperimentRunner:
         ``<cache_dir>/<name>-<digest>.json`` and subsequent runs with the
         same effective parameters are served from disk without executing
         the experiment.
+    retry:
+        The :class:`~repro.util.retry.RetryPolicy` governing worker
+        crash/timeout recovery for the parallel path (default: the
+        policy defaults — bounded retries, no task deadline).
     """
 
-    def __init__(self, *, jobs: int = 1, cache_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.retry = retry
         self.stats = RunnerStats()
 
     # -- cache -------------------------------------------------------------
@@ -217,7 +229,7 @@ class ExperimentRunner:
 
         if to_run:
             tasks = [(name, params) for _, name, params, _ in to_run]
-            outcomes = fan_out(_execute, tasks, self.jobs)
+            outcomes = fan_out(_execute, tasks, self.jobs, retry=self.retry)
             paired = zip(to_run, outcomes)
             for (idx, name, params, digest), (_, rows, seconds) in paired:
                 self.stats.executed += 1

@@ -101,6 +101,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help=f"cache location (default {DEFAULT_CACHE_DIR}); implies --cache",
     )
+    p_run.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts after a worker crash/timeout "
+        "(default 2; deterministic task errors are never retried)",
+    )
+    p_run.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SEC",
+        help="per-task deadline in seconds; a worker exceeding it is "
+        "culled and the task retried (default: no deadline)",
+    )
 
     sub.add_parser("list", help="list available experiments")
 
@@ -220,6 +230,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--maxtasksperchild", type=int, default=None, metavar="N",
         help="recycle each worker after N task chunks "
         "(default: workers live for the whole run)",
+    )
+    p_camp_run.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts after a worker crash/timeout "
+        "(default 2; deterministic scenario errors are never retried)",
+    )
+    p_camp_run.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SEC",
+        help="per-scenario deadline in seconds; a worker exceeding it "
+        "is culled and the scenario retried (default: no deadline)",
     )
     p_camp_run.add_argument(
         "--out-dir", default="campaign-results", metavar="DIR",
@@ -537,6 +557,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 jobs=args.jobs,
                 cache_dir=None if args.no_cache else args.cache_dir,
                 maxtasksperchild=args.maxtasksperchild,
+                retry=_retry_from_args(args),
             )
             print(
                 format_table(
@@ -590,7 +611,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _cmd_run(names: list[str], *, jobs: int, cache: bool, cache_dir: str) -> int:
+def _retry_from_args(args: argparse.Namespace) -> "RetryPolicy | None":
+    """The :class:`RetryPolicy` for ``--retries``/``--task-timeout``.
+
+    ``None`` when neither knob is set, so callees use their defaults;
+    bad values raise :class:`~repro.types.InvalidParameterError` (caught
+    by each command's ReproError handler).
+    """
+    from repro.util.retry import RetryPolicy
+
+    if args.retries is None and args.task_timeout is None:
+        return None
+    return RetryPolicy.from_knobs(
+        retries=args.retries, task_timeout=args.task_timeout
+    )
+
+
+def _cmd_run(
+    names: list[str],
+    *,
+    jobs: int,
+    cache: bool,
+    cache_dir: str,
+    retry: "RetryPolicy | None" = None,
+) -> int:
     known = registry.experiment_ids()
     if not names:
         names = known
@@ -601,8 +645,18 @@ def _cmd_run(names: list[str], *, jobs: int, cache: bool, cache_dir: str) -> int
     if jobs < 1:
         print(f"--jobs must be >= 1, got {jobs}", file=sys.stderr)
         return 2
-    runner = ExperimentRunner(jobs=jobs, cache_dir=cache_dir if cache else None)
-    results = runner.run([n.lower() for n in names])
+    from repro.types import ReproError
+
+    runner = ExperimentRunner(
+        jobs=jobs, cache_dir=cache_dir if cache else None, retry=retry
+    )
+    try:
+        results = runner.run([n.lower() for n in names])
+    except (ReproError, OSError) as exc:
+        # execution-layer faults (exhausted retry budget, bad
+        # REPRO_CHAOS spec, cache IO): one line, never a traceback
+        print(f"run failed: {exc}", file=sys.stderr)
+        return 2
     for res in results:
         origin = "cache" if res.cached else f"{res.seconds:.2f}s"
         title = f"[{res.name.upper()}] {res.title}  ({origin})"
@@ -661,11 +715,19 @@ def main(argv: list[str] | None = None) -> int:
         names = []
     cache = args.cache or args.cache_dir is not None  # --cache-dir implies --cache
     cache_dir = str(DEFAULT_CACHE_DIR) if args.cache_dir is None else args.cache_dir
+    from repro.types import ReproError
+
+    try:
+        retry = _retry_from_args(args)
+    except ReproError as exc:
+        print(f"run failed: {exc}", file=sys.stderr)
+        return 2
     return _cmd_run(
         names,
         jobs=args.jobs,
         cache=cache,
         cache_dir=cache_dir,
+        retry=retry,
     )
 
 

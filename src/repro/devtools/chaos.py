@@ -1,0 +1,307 @@
+"""Deterministic fault injection: ``REPRO_CHAOS`` and :class:`ChaosPolicy`.
+
+The fault-tolerant execution layer (crash-safe :class:`~repro.util.pool.
+WorkerPool`, shm transport degradation, campaign crash-checkpointing)
+is only trustworthy if its failure paths run in CI on every push.  This
+module injects the failures *deterministically*: a spec string names
+exactly which chunk dies, which worker cannot attach shared memory,
+which cache entry is corrupted — so a chaos test replays byte-for-byte
+and an assertion failure is a regression, never flake.
+
+Spec grammar (``REPRO_CHAOS`` environment variable)::
+
+    event[;event...]        events are independent; ';' separates
+    event = kind[:key=value...]
+
+Supported events:
+
+``kill:chunk=K[:attempt=A]``
+    SIGKILL the worker process right before it executes pool chunk
+    ``K`` — only on attempt ``A`` (default 0), so the retry of the same
+    chunk survives and the recovery path is what gets tested.
+``delay:chunk=K:ms=M[:attempt=A]``
+    Sleep ``M`` milliseconds before executing chunk ``K`` (any attempt
+    when ``attempt`` is omitted) — drives task-timeout detection.
+``attach-fail:worker=W`` / ``attach-fail:all``
+    :meth:`repro.engine.shm.PlaneHandle.attach` raises
+    :class:`~repro.errors.ShmAttachError` in worker slot ``W`` (or in
+    every process) — drives the pickled-copy/serial degradation tiers.
+``export-fail:nth=N`` / ``export-fail:all``
+    The ``N``-th ``PlaneRegistry.export`` call in this process raises
+    (0-indexed) — drives the parent-side export fallback.
+``corrupt-cache:nth=N``
+    The ``N``-th campaign cache-entry read in this process first has
+    its file overwritten with garbage — drives the corrupt-entry
+    re-execution path.
+
+A global ``seed=S`` event seeds :func:`repro.util.retry.seeded_jitter`
+-style probabilistic gates (``p=`` on kill/delay events), for soak runs
+that still replay deterministically.  Hooks are no-ops (one cached
+``None`` check) when ``REPRO_CHAOS`` is unset, so production paths pay
+nothing.  Together with :mod:`repro.util.retry` this is a sanctioned
+``time.sleep`` boundary (lint rule RL010).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+from repro.types import InvalidParameterError
+from repro.util.retry import seeded_jitter
+
+__all__ = [
+    "ChaosEvent",
+    "ChaosPolicy",
+    "active_policy",
+    "set_worker_slot",
+    "reset",
+    "on_chunk",
+    "should_fail_attach",
+    "should_fail_export",
+    "corrupt_cache_entry",
+]
+
+_KINDS = ("kill", "delay", "attach-fail", "export-fail", "corrupt-cache", "seed")
+
+_CORRUPT_BYTES = b'{"chaos": "corrupted entry"'  # deliberately torn JSON
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One parsed injection directive."""
+
+    kind: str
+    params: dict[str, str] = field(default_factory=dict)
+
+    def int_param(self, key: str, default: int | None = None) -> int | None:
+        raw = self.params.get(key)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise InvalidParameterError(
+                f"REPRO_CHAOS: {self.kind}:{key} must be an integer, got {raw!r}"
+            ) from None
+
+
+_INT_PARAMS = ("chunk", "ms", "attempt", "nth", "worker")
+
+
+def _validate_event(event: ChaosEvent) -> None:
+    """Reject malformed values at parse time, not mid-injection."""
+    for key in _INT_PARAMS:
+        if key in event.params and event.params[key] != "all":
+            event.int_param(key)  # raises InvalidParameterError if bad
+    p = event.params.get("p")
+    if p is not None:
+        try:
+            float(p)
+        except ValueError:
+            raise InvalidParameterError(
+                f"REPRO_CHAOS: p must be a float, got {p!r}"
+            ) from None
+
+
+class ChaosPolicy:
+    """All parsed events of one ``REPRO_CHAOS`` spec."""
+
+    def __init__(self, events: tuple[ChaosEvent, ...], *, seed: int = 0) -> None:
+        self.events = events
+        self.seed = seed
+
+    @classmethod
+    def parse(cls, spec: str) -> ChaosPolicy:
+        events: list[ChaosEvent] = []
+        seed = 0
+        for raw in spec.split(";"):
+            raw = raw.strip()
+            if not raw:
+                continue
+            head, *rest = raw.split(":")
+            if head.startswith("seed="):
+                # the global seed event: spelled seed=S, no colon params
+                value = head.partition("=")[2]
+                try:
+                    seed = int(value)
+                except ValueError:
+                    raise InvalidParameterError(
+                        f"REPRO_CHAOS: seed must be an integer, got {value!r}"
+                    ) from None
+                continue
+            if head not in _KINDS or head == "seed":
+                raise InvalidParameterError(
+                    f"REPRO_CHAOS: unknown event kind {head!r}; "
+                    f"known: {', '.join(_KINDS)}"
+                )
+            params: dict[str, str] = {}
+            for part in rest:
+                key, sep, value = part.partition("=")
+                if not sep or not key:
+                    if part == "all":  # bare flag: attach-fail:all etc.
+                        params["all"] = ""
+                        continue
+                    raise InvalidParameterError(
+                        f"REPRO_CHAOS: malformed parameter {part!r} in {raw!r} "
+                        "(expected key=value)"
+                    )
+                params[key] = value
+            event = ChaosEvent(head, params)
+            _validate_event(event)
+            events.append(event)
+        return cls(tuple(events), seed=seed)
+
+    def _gate(self, event: ChaosEvent, site: str) -> bool:
+        """The optional probabilistic gate ``p=`` (seeded, replayable)."""
+        raw = event.params.get("p")
+        if raw is None:
+            return True
+        try:
+            p = float(raw)
+        except ValueError:
+            raise InvalidParameterError(
+                f"REPRO_CHAOS: p must be a float, got {raw!r}"
+            ) from None
+        return seeded_jitter(self.seed, site, 0) < p
+
+    # -- decisions ---------------------------------------------------------
+
+    def chunk_actions(
+        self, chunk_id: int, attempt: int
+    ) -> tuple[bool, float]:
+        """(kill?, delay-seconds) for one chunk execution."""
+        kill = False
+        delay = 0.0
+        for event in self.events:
+            if event.kind == "kill":
+                want_attempt = event.int_param("attempt", 0)
+                if (
+                    event.int_param("chunk") == chunk_id
+                    and attempt == want_attempt
+                    and self._gate(event, f"kill:{chunk_id}:{attempt}")
+                ):
+                    kill = True
+            elif event.kind == "delay":
+                want_attempt = event.int_param("attempt")
+                if event.int_param("chunk") == chunk_id and (
+                    want_attempt is None or attempt == want_attempt
+                ):
+                    ms = event.int_param("ms", 0) or 0
+                    if self._gate(event, f"delay:{chunk_id}:{attempt}"):
+                        delay += ms / 1000.0
+        return kill, delay
+
+    def fails_attach(self, worker_slot: int | None) -> bool:
+        for event in self.events:
+            if event.kind != "attach-fail":
+                continue
+            if "all" in event.params or event.params.get("worker") == "all":
+                return True
+            want = event.int_param("worker")
+            if want is not None and worker_slot == want:
+                return True
+        return False
+
+    def fails_export(self, nth: int) -> bool:
+        for event in self.events:
+            if event.kind != "export-fail":
+                continue
+            if "all" in event.params:
+                return True
+            if event.int_param("nth") == nth:
+                return True
+        return False
+
+    def corrupts_cache(self, nth: int) -> bool:
+        return any(
+            event.kind == "corrupt-cache" and event.int_param("nth") == nth
+            for event in self.events
+        )
+
+
+# -- per-process state -------------------------------------------------------
+
+# (spec, policy) cache: re-parsed only when the env value changes, so
+# monkeypatched tests see their spec and production pays one dict read.
+_CACHED: tuple[str, ChaosPolicy | None] | None = None
+_WORKER_SLOT: int | None = None
+_EXPORT_COUNT = 0
+_CACHE_LOAD_COUNT = 0
+
+
+def active_policy() -> ChaosPolicy | None:
+    """The process's policy, or ``None`` when ``REPRO_CHAOS`` is unset."""
+    global _CACHED
+    spec = os.environ.get("REPRO_CHAOS", "").strip()
+    if _CACHED is not None and _CACHED[0] == spec:
+        return _CACHED[1]
+    policy = ChaosPolicy.parse(spec) if spec else None
+    _CACHED = (spec, policy)
+    return policy
+
+
+def set_worker_slot(slot: int | None) -> None:
+    """Record this process's pool worker slot (parent = ``None``)."""
+    global _WORKER_SLOT
+    _WORKER_SLOT = slot
+
+
+def reset() -> None:
+    """Clear cached policy and counters (test isolation)."""
+    global _CACHED, _WORKER_SLOT, _EXPORT_COUNT, _CACHE_LOAD_COUNT
+    _CACHED = None
+    _WORKER_SLOT = None
+    _EXPORT_COUNT = 0
+    _CACHE_LOAD_COUNT = 0
+
+
+# -- hooks (called from the execution layer) ---------------------------------
+
+
+def on_chunk(chunk_id: int, attempt: int) -> None:
+    """Worker-side hook before executing a chunk: may delay or die."""
+    policy = active_policy()
+    if policy is None:
+        return
+    kill, delay = policy.chunk_actions(chunk_id, attempt)
+    if delay > 0:
+        time.sleep(delay)
+    if kill:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def should_fail_attach() -> bool:
+    """Shm-attach hook: inject an attach failure in this process?"""
+    policy = active_policy()
+    return policy is not None and policy.fails_attach(_WORKER_SLOT)
+
+
+def should_fail_export() -> bool:
+    """Shm-export hook: inject an export failure for this call?"""
+    global _EXPORT_COUNT
+    policy = active_policy()
+    if policy is None:
+        return False
+    nth = _EXPORT_COUNT
+    _EXPORT_COUNT += 1
+    return policy.fails_export(nth)
+
+
+def corrupt_cache_entry(path: str | os.PathLike[str]) -> None:
+    """Cache-read hook: maybe scribble garbage over the entry first.
+
+    Corruption is a torn-JSON prefix, which the cache loaders must
+    treat as a miss (re-execute) — never a crash, never a stale row.
+    """
+    global _CACHE_LOAD_COUNT
+    policy = active_policy()
+    if policy is None:
+        return
+    nth = _CACHE_LOAD_COUNT
+    _CACHE_LOAD_COUNT += 1
+    if policy.corrupts_cache(nth):
+        with open(os.fspath(path), "wb") as fh:
+            fh.write(_CORRUPT_BYTES)

@@ -1,4 +1,4 @@
-"""The project lint rules (RL001..RL009).
+"""The project lint rules (RL001..RL010).
 
 Each rule machine-checks one invariant the engine's correctness story
 depends on.  Most are grounded in a real past bug (noted per rule); the
@@ -627,4 +627,75 @@ def rl009_shm_managed_registry(ctx: FileContext) -> Iterable[Finding]:
                 f"{short} created outside repro.engine.shm's managed "
                 "PlaneRegistry; export planes through a registry so the "
                 "segment is guaranteed to unlink",
+            )
+
+
+# -- RL010: fault handling through the sanctioned boundaries -----------------
+
+# The modules allowed to sleep and to catch broadly: the retry policy
+# (every backoff is policy-driven and deterministic), the error
+# taxonomy (capture/captured_call are the accounted catch-alls), and
+# the chaos harness (injected delays are the point).
+_RL010_BOUNDARIES = (
+    "repro/util/retry.py",
+    "repro/errors.py",
+    "repro/devtools/chaos.py",
+)
+
+
+def _catches_broadly(handler: ast.ExceptHandler) -> bool:
+    """Does this handler swallow every exception type?"""
+    if handler.type is None:
+        return True  # bare `except:`
+    exprs = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return any(
+        isinstance(e, ast.Name) and e.id in ("Exception", "BaseException")
+        for e in exprs
+    )
+
+
+@rule(
+    "RL010",
+    "fault-handling-boundaries",
+    "no ad-hoc time.sleep or broad `except Exception` outside the "
+    "retry/errors/chaos boundary modules",
+)
+def rl010_fault_handling_boundaries(ctx: FileContext) -> Iterable[Finding]:
+    """Fault handling funnels through the PR-8 execution layer.
+
+    Before the layer existed, transient faults were handled ad hoc:
+    hand-rolled ``time.sleep`` retry loops (nondeterministic, unbounded)
+    and bare ``except Exception`` blocks that silently swallowed worker
+    crashes alongside real bugs (the pre-PR-8
+    ``analysis/campaigns.py`` failure path).  Now every backoff is a
+    :class:`repro.util.retry.RetryPolicy` decision and every broad
+    catch goes through :func:`repro.errors.capture` /
+    :func:`repro.errors.captured_call`, so swallowed exceptions are
+    accounted for.  Genuinely unavoidable boundary catches elsewhere
+    (e.g. optional-dependency probes) carry an inline suppression with
+    a justification.
+    """
+    if ctx.is_test_file or ctx.in_module(*_RL010_BOUNDARIES):
+        return
+    for call in _calls(ctx):
+        if ctx.resolve(call.func) == "time.sleep":
+            yield (
+                call.lineno,
+                call.col_offset,
+                "ad-hoc time.sleep; use repro.util.retry (RetryPolicy "
+                "backoff / pause) so waits are policy-driven and "
+                "deterministic",
+            )
+    for node in ctx.walk():
+        if isinstance(node, ast.ExceptHandler) and _catches_broadly(node):
+            yield (
+                node.lineno,
+                node.col_offset,
+                "broad exception catch; route through repro.errors.capture/"
+                "captured_call (or catch the specific exceptions) so "
+                "swallowed failures are accounted for",
             )

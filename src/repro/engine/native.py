@@ -282,7 +282,7 @@ def _try_compile() -> bool:
         return False
     try:
         from numba import njit
-    except Exception:
+    except Exception:  # repro-lint: disable=RL010 (optional-dependency probe: any numba import failure means "no native", never a fault to retry)
         return False
     try:
         sc = njit(cache=True, nogil=True)(_screen_counts_py)
@@ -311,7 +311,7 @@ def _try_compile() -> bool:
             1,
             np.zeros(1, np.uint64),
         )
-    except Exception:
+    except Exception:  # repro-lint: disable=RL010 (compile/warm failure of any kind degrades to the NumPy fallback paths; nothing is swallowed silently — NATIVE_COMPILED records it)
         return False
     _screen_counts_k, _batch_rounds_k, _reachable_k = sc, br, rc
     return True

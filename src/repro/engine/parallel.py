@@ -23,15 +23,35 @@ serial path by construction: workers run the same
 fallback) over the same arrays, and results are reassembled in input
 order.  The registry closes only after the pool has joined, so shared
 segments never outlive the call — including on error.
+
+Transport degrades instead of aborting.  Tier 1 is the shared-plane
+path above; a plane whose *export* fails
+(:class:`~repro.errors.ShmAttachError`) is downgraded individually to
+pickled-copy transport (:class:`~repro.engine.shm.InlinePlaneHandle`).
+If the shared tier fails as a whole — workers cannot *attach* (the
+initializer raises), or the pool exhausts its retry budget — tier 2
+re-runs the batch with every plane pickled by value, and tier 3 is the
+serial path in the parent.  Every downgrade is logged and counted
+(:func:`transport_stats`); verdicts are byte-identical on all tiers
+because each one feeds the same arrays to the same kernels.
 """
 
 from __future__ import annotations
+
+import logging
 
 import numpy as np
 
 from repro.engine.batch import StackedSchedules, _group_by_layout
 from repro.engine.cache import batch_validator_for
-from repro.engine.shm import GraphHandle, PlaneHandle, PlaneRegistry, detach_all
+from repro.engine.shm import (
+    AnyPlaneHandle,
+    GraphHandle,
+    PlaneRegistry,
+    detach_all,
+    inline_plane,
+)
+from repro.errors import ExecutionError, ShmAttachError, format_cause
 from repro.graphs.base import Graph
 from repro.model.validator import ValidationReport
 from repro.model.validator_fast import ScheduleLayout
@@ -39,10 +59,32 @@ from repro.util.pool import fan_out
 from repro.frame import ScheduleFrame
 from repro.types import Schedule
 
-__all__ = ["validate_many_parallel"]
+__all__ = ["validate_many_parallel", "transport_stats", "reset_transport_stats"]
+
+_LOG = logging.getLogger(__name__)
 
 # Below this many schedules the pool spin-up dominates any win.
 MIN_PARALLEL_SCHEDULES = 8
+
+# Degradation accounting (per process): how often each transport tier
+# ran and how many individual planes fell back to pickled copies.
+_TRANSPORT_COUNTS = {
+    "shared": 0,
+    "inline_planes": 0,
+    "pickle": 0,
+    "serial_fallback": 0,
+}
+
+
+def transport_stats() -> dict[str, int]:
+    """A copy of this process's transport-tier counters."""
+    return dict(_TRANSPORT_COUNTS)
+
+
+def reset_transport_stats() -> None:
+    """Zero the counters (test isolation)."""
+    for key in _TRANSPORT_COUNTS:
+        _TRANSPORT_COUNTS[key] = 0
 
 # -- worker side ------------------------------------------------------------
 
@@ -52,7 +94,7 @@ _WORKER: dict[str, object] | None = None
 
 def _init_worker(
     graph_handle: GraphHandle,
-    stack_meta: tuple[tuple[PlaneHandle, PlaneHandle, bytes, bytes], ...],
+    stack_meta: tuple[tuple[AnyPlaneHandle, AnyPlaneHandle, bytes, bytes], ...],
 ) -> None:
     """Attach shared planes and warm the kernel cache (once per worker)."""
     global _WORKER
@@ -120,6 +162,76 @@ def _slice_tasks(
     return tasks
 
 
+def _export_plane(registry: PlaneRegistry, arr: np.ndarray) -> AnyPlaneHandle:
+    """Export one plane; degrade to a pickled copy on export failure."""
+    try:
+        return registry.export(arr)
+    except ShmAttachError as exc:
+        _TRANSPORT_COUNTS["inline_planes"] += 1
+        _LOG.warning(
+            "plane export failed (%s); using pickled-copy transport for "
+            "this plane",
+            format_cause(exc),
+        )
+        return inline_plane(arr)
+
+
+def _run_tier(
+    tier: str,
+    graph: Graph,
+    groups: list[tuple[ScheduleLayout, list[int], np.ndarray]],
+    sources_per_group: list[np.ndarray],
+    tasks: list[tuple[int, int, int, int, bool, bool]],
+    jobs: int,
+    backend: str | None,
+) -> list[list[ValidationReport]]:
+    """One transport tier end-to-end: export, fan out, join, clean up."""
+    global _WORKER
+    indptr, indices_arr = graph.csr_arrays()
+    try:
+        with PlaneRegistry(backend) as registry:  # type: ignore[arg-type]
+            if tier == "shared":
+                export = _export_plane
+            else:  # "pickle": every plane rides inside the task pickle
+                def export(
+                    _reg: PlaneRegistry, arr: np.ndarray
+                ) -> AnyPlaneHandle:
+                    return inline_plane(arr)
+            graph_handle = GraphHandle(
+                indptr=export(registry, indptr),
+                indices=export(registry, indices_arr),
+            )
+            stack_meta = []
+            for (layout, _indices, rows), sources in zip(
+                groups, sources_per_group
+            ):
+                stack_meta.append(
+                    (
+                        export(registry, sources),
+                        export(registry, rows),
+                        layout.counts.tobytes(),
+                        layout.lengths.tobytes(),
+                    )
+                )
+            # fan_out joins its pool before returning, so every worker
+            # has detached before the registry unlinks on __exit__.
+            return fan_out(
+                _validate_slice,
+                tasks,
+                jobs,
+                initializer=_init_worker,
+                initargs=(graph_handle, tuple(stack_meta)),
+            )
+    finally:
+        if _WORKER is not None:
+            # fan_out took its in-process path, so _init_worker ran in
+            # THIS process and attached the registry's planes here.  The
+            # registry has now unlinked them; drop the parent-side
+            # attach cache so no stale name-keyed mappings survive.
+            _WORKER = None
+            detach_all()
+
+
 def validate_many_parallel(
     graph: Graph,
     schedules: list[Schedule | ScheduleFrame],
@@ -136,7 +248,10 @@ def validate_many_parallel(
     Drop-in parallel twin of ``BatchValidator.validate_many`` (which
     delegates here when asked for ``jobs > 1``); falls back to the
     serial path when parallelism cannot pay.  ``backend`` forces the
-    plane store ("shm"/"mmap", default: probe).
+    plane store ("shm"/"mmap", default: probe).  Infrastructure faults
+    never abort the call: the transport degrades shared → pickled-copy
+    → serial (logged, counted via :func:`transport_stats`) and the
+    reports are byte-identical on every tier.
     """
     if jobs <= 1 or len(schedules) < MIN_PARALLEL_SCHEDULES:
         return batch_validator_for(graph).validate_many(
@@ -145,49 +260,43 @@ def validate_many_parallel(
             require_minimum_time=require_minimum_time,
             vertex_disjoint=vertex_disjoint,
         )
-    global _WORKER
     groups = _group_by_layout(schedules)
+    sources_per_group = [
+        np.array([schedules[idx].source for idx in indices], dtype=np.int64)
+        for _layout, indices, _rows in groups
+    ]
+    tasks = _slice_tasks(
+        [len(indices) for _, indices, _ in groups],
+        jobs,
+        k,
+        require_minimum_time,
+        vertex_disjoint,
+    )
+    slices: list[list[ValidationReport]] | None = None
+    for tier in ("shared", "pickle"):
+        try:
+            slices = _run_tier(
+                tier, graph, groups, sources_per_group, tasks, jobs, backend
+            )
+            _TRANSPORT_COUNTS[tier] += 1
+            break
+        except ExecutionError as exc:
+            _LOG.warning(
+                "parallel validation %s tier failed (%s); degrading",
+                tier,
+                format_cause(exc),
+            )
+    if slices is None:
+        # tier 3: the serial path in the parent — always available
+        _TRANSPORT_COUNTS["serial_fallback"] += 1
+        _LOG.warning("all parallel transport tiers failed; validating serially")
+        return batch_validator_for(graph).validate_many(
+            schedules,
+            k,
+            require_minimum_time=require_minimum_time,
+            vertex_disjoint=vertex_disjoint,
+        )
     results: list[ValidationReport | None] = [None] * len(schedules)
-    try:
-        with PlaneRegistry(backend) as registry:  # type: ignore[arg-type]
-            graph_handle = registry.export_graph(graph)
-            stack_meta = []
-            for layout, indices, rows in groups:
-                sources = np.array(
-                    [schedules[idx].source for idx in indices], dtype=np.int64
-                )
-                stack_meta.append(
-                    (
-                        registry.export(sources),
-                        registry.export(rows),
-                        layout.counts.tobytes(),
-                        layout.lengths.tobytes(),
-                    )
-                )
-            tasks = _slice_tasks(
-                [len(indices) for _, indices, _ in groups],
-                jobs,
-                k,
-                require_minimum_time,
-                vertex_disjoint,
-            )
-            # fan_out joins its pool before returning, so every worker
-            # has detached before the registry unlinks on __exit__.
-            slices = fan_out(
-                _validate_slice,
-                tasks,
-                jobs,
-                initializer=_init_worker,
-                initargs=(graph_handle, tuple(stack_meta)),
-            )
-    finally:
-        if _WORKER is not None:
-            # fan_out took its in-process path, so _init_worker ran in
-            # THIS process and attached the registry's planes here.  The
-            # registry has now unlinked them; drop the parent-side
-            # attach cache so no stale name-keyed mappings survive.
-            _WORKER = None
-            detach_all()
     for (stack_idx, lo, _hi, *_rest), reports in zip(tasks, slices):
         indices = groups[stack_idx][1]
         for offset, report in enumerate(reports):

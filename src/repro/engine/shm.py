@@ -26,6 +26,16 @@ handles, same zero-copy reads through the page cache.  ``REPRO_SHM=shm``
 or ``REPRO_SHM=mmap`` forces a backend; the default probes once per
 process.
 
+Failures at this layer are never fatal to a run: every export/attach
+fault (including ones injected by :mod:`repro.devtools.chaos`) surfaces
+as :class:`~repro.errors.ShmAttachError`, and
+:class:`InlinePlaneHandle` provides the degraded transport tier — the
+same handle protocol, but the array rides inside the pickle (a copy per
+worker instead of a shared mapping).  :mod:`repro.engine.parallel`
+falls back plane-by-plane on export failures and process-wide on attach
+failures; verdicts are byte-identical on every tier because attached
+arrays are read-only and value-equal regardless of how they traveled.
+
 CPython ≤ 3.12 registers *attached* segments with the resource tracker
 as if they were owned (python/cpython#82300); :func:`_attach_segment`
 documents why that is harmless inside one pool's process tree (shared
@@ -46,17 +56,22 @@ from typing import Literal
 
 import numpy as np
 
+from repro.devtools import chaos
+from repro.errors import ShmAttachError
 from repro.frame import ScheduleFrame
 from repro.graphs.base import Graph
 
 __all__ = [
+    "AnyPlaneHandle",
     "Backend",
+    "InlinePlaneHandle",
     "PlaneHandle",
     "FrameHandle",
     "GraphHandle",
     "PlaneRegistry",
     "default_backend",
     "detach_all",
+    "inline_plane",
 ]
 
 Backend = Literal["shm", "mmap"]
@@ -143,28 +158,80 @@ class PlaneHandle:
     shape: tuple[int, ...]
 
     def attach(self) -> np.ndarray:
-        """A read-only view over the shared plane (cached per process)."""
+        """A read-only view over the shared plane (cached per process).
+
+        Raises :class:`~repro.errors.ShmAttachError` when the segment or
+        backing file cannot be mapped (gone, truncated, permission, or a
+        chaos-injected failure) — the signal the parallel engine uses to
+        degrade to pickled-copy transport.
+        """
         key = (self.backend, self.name)
         cached = _ATTACHED.get(key)
         if cached is None:
-            if self.backend == "shm":
-                seg = _attach_segment(self.name)
-                base = np.frombuffer(seg.buf, dtype=np.uint8)
-                cached = (seg, base)
-            else:
-                size = os.path.getsize(self.name)
-                if size == 0:
-                    base = np.empty(0, dtype=np.uint8)
+            if chaos.should_fail_attach():
+                raise ShmAttachError(
+                    f"chaos-injected attach failure for plane {self.name!r}",
+                    name=self.name,
+                )
+            try:
+                if self.backend == "shm":
+                    seg = _attach_segment(self.name)
+                    base = np.frombuffer(seg.buf, dtype=np.uint8)
+                    cached = (seg, base)
                 else:
-                    base = np.memmap(self.name, dtype=np.uint8, mode="r")
-                cached = (None, base)
+                    size = os.path.getsize(self.name)
+                    if size == 0:
+                        base = np.empty(0, dtype=np.uint8)
+                    else:
+                        base = np.memmap(self.name, dtype=np.uint8, mode="r")
+                    cached = (None, base)
+            except (OSError, ValueError) as exc:
+                raise ShmAttachError(
+                    f"cannot attach plane {self.name!r}: {exc}", name=self.name
+                ) from exc
             _ATTACHED[key] = cached
         _, base = cached
         dtype = np.dtype(self.dtype)
         count = int(np.prod(self.shape, dtype=np.int64))
-        arr = base[: count * dtype.itemsize].view(dtype).reshape(self.shape)
+        try:
+            arr = base[: count * dtype.itemsize].view(dtype).reshape(self.shape)
+        except ValueError as exc:  # truncated segment/file
+            raise ShmAttachError(
+                f"plane {self.name!r} too small for {self.dtype}{self.shape}: "
+                f"{exc}",
+                name=self.name,
+            ) from exc
         arr.setflags(write=False)
         return arr
+
+
+@dataclass(frozen=True)
+class InlinePlaneHandle:
+    """Degraded transport tier: the plane rides inside the pickle.
+
+    Same ``attach()`` protocol as :class:`PlaneHandle`, but the array is
+    carried by value — each worker receives a private copy instead of a
+    shared mapping.  Used when shared-memory export or attach fails
+    (:class:`~repro.errors.ShmAttachError`): slower, never wrong, and
+    value-equal to the shared tier so verdicts stay byte-identical.
+    """
+
+    data: np.ndarray
+
+    def attach(self) -> np.ndarray:
+        arr = self.data
+        arr.setflags(write=False)
+        return arr
+
+
+AnyPlaneHandle = PlaneHandle | InlinePlaneHandle
+
+
+def inline_plane(arr: np.ndarray) -> InlinePlaneHandle:
+    """Wrap ``arr`` for pickled-copy transport (read-only, contiguous)."""
+    contig = np.ascontiguousarray(arr)
+    contig.setflags(write=False)
+    return InlinePlaneHandle(contig)
 
 
 @dataclass(frozen=True)
@@ -172,9 +239,9 @@ class FrameHandle:
     """A :class:`ScheduleFrame` as three plane handles plus its source."""
 
     source: int
-    path_verts: PlaneHandle
-    call_offsets: PlaneHandle
-    round_offsets: PlaneHandle
+    path_verts: AnyPlaneHandle
+    call_offsets: AnyPlaneHandle
+    round_offsets: AnyPlaneHandle
 
     def attach(self) -> ScheduleFrame:
         """Rebuild the frame over shared planes (zero-copy: the frame
@@ -191,8 +258,8 @@ class FrameHandle:
 class GraphHandle:
     """A frozen graph's CSR adjacency as two plane handles."""
 
-    indptr: PlaneHandle
-    indices: PlaneHandle
+    indptr: AnyPlaneHandle
+    indices: AnyPlaneHandle
 
     def attach(self) -> Graph:
         """Rebuild the frozen graph; the shared CSR views become the
@@ -277,19 +344,28 @@ class PlaneRegistry:
         pinned = self._by_id.get(id(arr))
         if pinned is not None:
             return pinned[1]
+        if chaos.should_fail_export():
+            raise ShmAttachError("chaos-injected export failure")
         contig = np.ascontiguousarray(arr)
-        if self.backend == "shm":
-            seg = shared_memory.SharedMemory(create=True, size=max(1, contig.nbytes))
-            dst = np.frombuffer(seg.buf, dtype=np.uint8)
-            dst[: contig.nbytes] = contig.view(np.uint8).reshape(-1)
-            del dst
-            self._segments.append(seg)
-            name = seg.name
-        else:
-            if self._tmpdir is None:
-                self._tmpdir = tempfile.mkdtemp(prefix="repro-planes-")
-            name = os.path.join(self._tmpdir, f"plane-{self._n_planes:04d}.bin")
-            contig.tofile(name)
+        try:
+            if self.backend == "shm":
+                seg = shared_memory.SharedMemory(
+                    create=True, size=max(1, contig.nbytes)
+                )
+                dst = np.frombuffer(seg.buf, dtype=np.uint8)
+                dst[: contig.nbytes] = contig.view(np.uint8).reshape(-1)
+                del dst
+                self._segments.append(seg)
+                name = seg.name
+            else:
+                if self._tmpdir is None:
+                    self._tmpdir = tempfile.mkdtemp(prefix="repro-planes-")
+                name = os.path.join(
+                    self._tmpdir, f"plane-{self._n_planes:04d}.bin"
+                )
+                contig.tofile(name)
+        except OSError as exc:  # /dev/shm full, tmpdir unwritable, ...
+            raise ShmAttachError(f"cannot export plane: {exc}") from exc
         self._n_planes += 1
         handle = PlaneHandle(self.backend, name, str(contig.dtype), contig.shape)
         self._by_id[id(arr)] = (arr, handle)

@@ -1,0 +1,155 @@
+"""Structured error taxonomy for the fault-tolerant execution layer.
+
+Everything that can go wrong while *executing* work (as opposed to the
+domain errors in :mod:`repro.types` — invalid parameters, invalid
+schedules, construction invariants) is classified here, because the
+retry machinery needs to tell the two kinds apart:
+
+* :class:`ExecutionError` subclasses are **infrastructure faults** — a
+  worker process died, a task blew its deadline, a shared-memory
+  segment could not be attached.  They are transient by nature and the
+  sanctioned response is the retry/quarantine discipline of
+  :mod:`repro.util.retry` and :class:`repro.util.pool.WorkerPool`.
+* :class:`ScenarioError` wraps a **task-level failure**: the scenario's
+  own code raised.  Deterministic code errors are never retried — the
+  same inputs would fail the same way — so they are captured once,
+  attributed to their scenario id, and reported.
+
+This module (together with :mod:`repro.util.retry`) is also the one
+sanctioned *broad-exception boundary* in the library: lint rule RL010
+bans ``except Exception`` elsewhere, so catch-alls funnel through
+:func:`capture` / :func:`captured_call` and every swallowed exception
+is accounted for instead of silently discarded.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Literal, TypeVar
+
+from repro.types import ReproError
+
+__all__ = [
+    "ReproError",
+    "ExecutionError",
+    "WorkerCrash",
+    "TaskTimeout",
+    "ShmAttachError",
+    "ScenarioError",
+    "format_cause",
+    "capture",
+    "captured_call",
+]
+
+_R = TypeVar("_R")
+
+
+class ExecutionError(ReproError):
+    """An infrastructure fault in the parallel execution stack.
+
+    Subclasses are the *retryable* family: the failure is a property of
+    the process/OS environment (a killed worker, a missed deadline, a
+    vanished shared-memory segment), not of the task's inputs, so
+    re-running the task is meaningful.
+    """
+
+
+class WorkerCrash(ExecutionError):
+    """A worker process died without delivering its result.
+
+    Detected by the pool through the process sentinel (the
+    ``BrokenProcessPool`` analogue for the repo's own worker pool);
+    carries the observed exit code and how many attempts the affected
+    task has consumed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        exitcode: int | None = None,
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.exitcode = exitcode
+        self.attempts = attempts
+
+
+class TaskTimeout(ExecutionError):
+    """A task exceeded its per-task deadline and its worker was culled."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        seconds: float | None = None,
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.seconds = seconds
+        self.attempts = attempts
+
+
+class ShmAttachError(ExecutionError):
+    """A shared-memory plane could not be exported or attached.
+
+    Raised by :mod:`repro.engine.shm` wherever the OS layer fails (or
+    the chaos harness injects a failure); the parallel engine responds
+    by degrading to pickled-copy transport and ultimately to the serial
+    path (:mod:`repro.engine.parallel`), never by aborting.
+    """
+
+    def __init__(self, message: str, *, name: str | None = None) -> None:
+        super().__init__(message)
+        self.name = name
+
+
+class ScenarioError(ReproError):
+    """A campaign scenario's own code raised.
+
+    Keeps the scenario identity next to the cause so a campaign report
+    can say *which* grid point failed and why, instead of surfacing a
+    bare traceback string torn from its context.
+    """
+
+    def __init__(self, scenario_id: str, cause: str) -> None:
+        super().__init__(f"scenario {scenario_id}: {cause}")
+        self.scenario_id = scenario_id
+        self.cause = cause
+
+
+def format_cause(exc: BaseException) -> str:
+    """The canonical one-line rendering of a captured exception."""
+    return f"{type(exc).__name__}: {exc}"
+
+
+def capture(
+    fn: Callable[..., _R], *args: object, **kwargs: object
+) -> tuple[Literal["ok"], _R] | tuple[Literal["error"], str]:
+    """Run ``fn`` and return ``("ok", result)`` or ``("error", cause)``.
+
+    The sanctioned broad-exception boundary (RL010): failures come back
+    as *values* so a parent process can account for every completed
+    sibling task before deciding what to do — the resumable-run
+    contract of the campaign runner.  ``KeyboardInterrupt``/``SystemExit``
+    still propagate.
+    """
+    try:
+        return "ok", fn(*args, **kwargs)
+    except Exception as exc:  # the one sanctioned catch-all (RL010)
+        return "error", format_cause(exc)
+
+
+def captured_call(
+    fn: Callable[..., _R], *args: object, **kwargs: object
+) -> tuple[Literal["ok"], _R] | tuple[Literal["raise"], BaseException]:
+    """Like :func:`capture` but keeps the exception *object*.
+
+    Used by the worker pool's child loop: the original exception is
+    shipped back over the result pipe so the parent re-raises the real
+    type (pinned by the pool tests), not a stringified shadow.
+    """
+    try:
+        return "ok", fn(*args, **kwargs)
+    except Exception as exc:  # the one sanctioned catch-all (RL010)
+        return "raise", exc

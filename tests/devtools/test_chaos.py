@@ -1,0 +1,132 @@
+"""The chaos harness: spec parsing and deterministic injection hooks."""
+
+import json
+
+import pytest
+
+from repro.devtools import chaos
+from repro.devtools.chaos import ChaosPolicy
+from repro.types import InvalidParameterError
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos_state(monkeypatch):
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    chaos.reset()
+    yield
+    chaos.reset()
+
+
+class TestParse:
+    def test_kill_event(self):
+        policy = ChaosPolicy.parse("kill:chunk=3")
+        assert policy.chunk_actions(3, 0) == (True, 0.0)
+        assert policy.chunk_actions(3, 1) == (False, 0.0)  # retry survives
+        assert policy.chunk_actions(2, 0) == (False, 0.0)
+
+    def test_kill_on_specific_attempt(self):
+        policy = ChaosPolicy.parse("kill:chunk=1:attempt=2")
+        assert policy.chunk_actions(1, 0) == (False, 0.0)
+        assert policy.chunk_actions(1, 2) == (True, 0.0)
+
+    def test_delay_event(self):
+        policy = ChaosPolicy.parse("delay:chunk=0:ms=250")
+        kill, delay = policy.chunk_actions(0, 0)
+        assert not kill and delay == 0.25
+        _, delay_retry = policy.chunk_actions(0, 3)
+        assert delay_retry == 0.25  # any attempt when attempt= omitted
+
+    def test_multiple_events(self):
+        policy = ChaosPolicy.parse("kill:chunk=2; delay:chunk=2:ms=100")
+        assert policy.chunk_actions(2, 0) == (True, 0.1)
+
+    def test_attach_fail_by_worker_and_all(self):
+        by_slot = ChaosPolicy.parse("attach-fail:worker=1")
+        assert by_slot.fails_attach(1)
+        assert not by_slot.fails_attach(0)
+        assert not by_slot.fails_attach(None)
+        everywhere = ChaosPolicy.parse("attach-fail:all")
+        assert everywhere.fails_attach(0) and everywhere.fails_attach(None)
+
+    def test_export_fail_nth_and_all(self):
+        policy = ChaosPolicy.parse("export-fail:nth=2")
+        assert [policy.fails_export(n) for n in range(4)] == [
+            False,
+            False,
+            True,
+            False,
+        ]
+        assert ChaosPolicy.parse("export-fail:all").fails_export(17)
+
+    def test_corrupt_cache_nth(self):
+        policy = ChaosPolicy.parse("corrupt-cache:nth=1")
+        assert not policy.corrupts_cache(0)
+        assert policy.corrupts_cache(1)
+
+    def test_seed_event(self):
+        assert ChaosPolicy.parse("seed=9").seed == 9
+        assert ChaosPolicy.parse("kill:chunk=0;seed=4").seed == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown event kind"):
+            ChaosPolicy.parse("explode:chunk=1")
+
+    def test_malformed_param_rejected(self):
+        with pytest.raises(InvalidParameterError, match="malformed"):
+            ChaosPolicy.parse("kill:chunk")
+
+    def test_non_integer_param_rejected(self):
+        with pytest.raises(InvalidParameterError, match="integer"):
+            ChaosPolicy.parse("kill:chunk=abc")
+
+
+class TestProcessHooks:
+    def test_inactive_without_env(self):
+        assert chaos.active_policy() is None
+        assert not chaos.should_fail_attach()
+        assert not chaos.should_fail_export()
+
+    def test_policy_cached_until_spec_changes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "kill:chunk=0")
+        first = chaos.active_policy()
+        assert first is chaos.active_policy()
+        monkeypatch.setenv("REPRO_CHAOS", "kill:chunk=1")
+        second = chaos.active_policy()
+        assert second is not first
+
+    def test_worker_slot_gates_attach_failures(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "attach-fail:worker=0")
+        assert not chaos.should_fail_attach()  # parent: slot is None
+        chaos.set_worker_slot(0)
+        assert chaos.should_fail_attach()
+        chaos.set_worker_slot(1)
+        assert not chaos.should_fail_attach()
+
+    def test_export_counter_advances(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "export-fail:nth=1")
+        assert not chaos.should_fail_export()
+        assert chaos.should_fail_export()
+        assert not chaos.should_fail_export()
+
+    def test_corrupt_cache_entry_scribbles_the_nth_read(
+        self, monkeypatch, tmp_path
+    ):
+        entry = tmp_path / "entry.json"
+        entry.write_text(json.dumps({"digest": "abc", "row": {}}))
+        monkeypatch.setenv("REPRO_CHAOS", "corrupt-cache:nth=1")
+        chaos.corrupt_cache_entry(entry)  # nth=0: untouched
+        json.loads(entry.read_text())
+        chaos.corrupt_cache_entry(entry)  # nth=1: torn
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(entry.read_text())
+
+    def test_on_chunk_noop_without_policy(self):
+        chaos.on_chunk(0, 0)  # must not raise or sleep
+
+    def test_probabilistic_gate_is_deterministic(self):
+        policy = ChaosPolicy.parse("kill:chunk=0:p=0.5;seed=3")
+        first = policy.chunk_actions(0, 0)
+        assert first == policy.chunk_actions(0, 0)
+        # p=0 never fires, p=1 always does
+        assert not ChaosPolicy.parse("kill:chunk=0:p=0.0").chunk_actions(0, 0)[0]
+        assert ChaosPolicy.parse("kill:chunk=0:p=1.0").chunk_actions(0, 0)[0]

@@ -494,6 +494,101 @@ class TestRL009ShmManagedRegistry:
         assert run_rule(tmp_path, good, "RL009") == []
 
 
+class TestRL010FaultHandlingBoundaries:
+    def test_ad_hoc_sleep_retry_loop_flagged(self, tmp_path):
+        bad = """\
+            import time
+
+
+            def fetch(fn):
+                for _ in range(3):
+                    try:
+                        return fn()
+                    except ValueError:
+                        time.sleep(0.5)
+            """
+        assert_flagged(run_rule(tmp_path, bad, "RL010"), "RL010", 9)
+
+    def test_broad_except_exception_flagged(self, tmp_path):
+        bad = """\
+            def run(fn):
+                try:
+                    return fn()
+                except Exception:
+                    return None
+            """
+        assert_flagged(run_rule(tmp_path, bad, "RL010"), "RL010", 4)
+
+    def test_bare_except_flagged(self, tmp_path):
+        bad = """\
+            def run(fn):
+                try:
+                    return fn()
+                except:  # noqa: E722
+                    return None
+            """
+        assert_flagged(run_rule(tmp_path, bad, "RL010"), "RL010", 4)
+
+    def test_broad_catch_in_tuple_flagged(self, tmp_path):
+        bad = """\
+            def run(fn):
+                try:
+                    return fn()
+                except (ValueError, Exception):
+                    return None
+            """
+        assert_flagged(run_rule(tmp_path, bad, "RL010"), "RL010", 4)
+
+    def test_specific_exceptions_pass(self, tmp_path):
+        good = """\
+            def run(fn):
+                try:
+                    return fn()
+                except (ValueError, OSError):
+                    return None
+            """
+        assert run_rule(tmp_path, good, "RL010") == []
+
+    def test_retry_module_boundary_passes(self, tmp_path):
+        good = """\
+            import time
+
+
+            def pause(seconds):
+                time.sleep(seconds)
+            """
+        assert run_rule(tmp_path, good, "RL010", "repro/util/retry.py") == []
+
+    def test_errors_module_boundary_passes(self, tmp_path):
+        good = """\
+            def capture(fn):
+                try:
+                    return "ok", fn()
+                except Exception as exc:
+                    return "error", str(exc)
+            """
+        assert run_rule(tmp_path, good, "RL010", "repro/errors.py") == []
+
+    def test_chaos_module_boundary_passes(self, tmp_path):
+        good = """\
+            import time
+
+
+            def on_chunk(delay):
+                time.sleep(delay)
+            """
+        assert run_rule(tmp_path, good, "RL010", "repro/devtools/chaos.py") == []
+
+    def test_local_sleep_name_passes(self, tmp_path):
+        good = """\
+            def wait(times):
+                def sleep(x):
+                    return x
+                return [sleep(t) for t in times]
+            """
+        assert run_rule(tmp_path, good, "RL010") == []
+
+
 class TestEveryRuleHasFixture:
     def test_all_registered_rules_are_exercised_above(self):
         exercised = {

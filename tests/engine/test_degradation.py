@@ -1,0 +1,137 @@
+"""Transport degradation: shared planes → pickled copies → serial.
+
+The contract: chaos-injected shm failures (export or attach) never
+abort ``validate_many_parallel`` and never change a verdict — reports
+stay byte-identical to the serial path on every tier, on both plane
+backends, and the downgrade is visible in :func:`transport_stats`.
+"""
+
+import os
+
+import pytest
+
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct_base
+from repro.devtools import chaos
+from repro.engine import parallel
+from repro.engine.batch import BatchValidator
+from repro.engine.parallel import (
+    reset_transport_stats,
+    transport_stats,
+    validate_many_parallel,
+)
+from repro.errors import WorkerCrash
+from repro.types import Round, Schedule
+
+
+@pytest.fixture(autouse=True)
+def _clean_injection_state(monkeypatch):
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    chaos.reset()
+    reset_transport_stats()
+    yield
+    chaos.reset()
+    reset_transport_stats()
+
+
+@pytest.fixture(scope="module")
+def sh():
+    return construct_base(4, 2)
+
+
+def _corpus(sh):
+    """9 schedules (>= MIN_PARALLEL_SCHEDULES), including failures, so
+    verdicts and error strings both have to survive each transport."""
+    base = broadcast_schedule(sh, 0)
+    bad_source = Schedule(source=77, rounds=list(base.rounds))
+    dropped = Schedule(source=0, rounds=list(base.rounds))
+    dropped.rounds[0] = Round(())
+    return [
+        base,
+        broadcast_schedule(sh, 3),
+        bad_source,
+        broadcast_schedule(sh, 5),
+        dropped,
+        broadcast_schedule(sh, 9),
+        broadcast_schedule(sh, 12),
+        broadcast_schedule(sh, 7),
+        broadcast_schedule(sh, 1),
+    ]
+
+
+def _tuples(reports):
+    return [
+        (r.ok, r.errors, r.rounds, r.informed_per_round, r.max_call_length)
+        for r in reports
+    ]
+
+
+def _shm_names():
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:
+        return set()
+
+
+class TestExportFallback:
+    @pytest.mark.parametrize("backend", ["shm", "mmap"])
+    def test_failed_export_degrades_one_plane(self, sh, backend, monkeypatch):
+        corpus = _corpus(sh)
+        serial = BatchValidator(sh.graph).validate_many(corpus, sh.k)
+        monkeypatch.setenv("REPRO_CHAOS", "export-fail:nth=0")
+        para = validate_many_parallel(
+            sh.graph, corpus, sh.k, jobs=2, backend=backend
+        )
+        assert _tuples(para) == _tuples(serial)
+        stats = transport_stats()
+        assert stats["shared"] == 1  # still the shared tier overall
+        assert stats["inline_planes"] == 1  # exactly the injected plane
+        assert stats["pickle"] == 0 and stats["serial_fallback"] == 0
+
+    def test_every_export_failing_still_matches_serial(self, sh, monkeypatch):
+        corpus = _corpus(sh)
+        serial = BatchValidator(sh.graph).validate_many(corpus, sh.k)
+        monkeypatch.setenv("REPRO_CHAOS", "export-fail:all")
+        before = _shm_names()
+        para = validate_many_parallel(sh.graph, corpus, sh.k, jobs=2)
+        assert _tuples(para) == _tuples(serial)
+        assert _shm_names() <= before  # nothing half-exported leaks
+        stats = transport_stats()
+        assert stats["shared"] == 1
+        assert stats["inline_planes"] >= 2  # graph planes + stack planes
+
+
+class TestAttachFallback:
+    @pytest.mark.parametrize("backend", ["shm", "mmap"])
+    def test_attach_failure_degrades_to_pickle_tier(
+        self, sh, backend, monkeypatch
+    ):
+        corpus = _corpus(sh)
+        serial = BatchValidator(sh.graph).validate_many(corpus, sh.k)
+        monkeypatch.setenv("REPRO_CHAOS", "attach-fail:all")
+        para = validate_many_parallel(
+            sh.graph, corpus, sh.k, jobs=2, backend=backend
+        )
+        assert _tuples(para) == _tuples(serial)
+        stats = transport_stats()
+        assert stats["shared"] == 0  # the shared tier failed...
+        assert stats["pickle"] == 1  # ...and the pickled tier carried it
+        assert stats["serial_fallback"] == 0
+
+
+class TestSerialFallback:
+    def test_all_parallel_tiers_failing_degrades_to_serial(
+        self, sh, monkeypatch
+    ):
+        corpus = _corpus(sh)
+        serial = BatchValidator(sh.graph).validate_many(corpus, sh.k)
+
+        def _doomed_pool(*args, **kwargs):
+            raise WorkerCrash("every worker died", attempts=3)
+
+        monkeypatch.setattr(parallel, "fan_out", _doomed_pool)
+        para = validate_many_parallel(sh.graph, corpus, sh.k, jobs=2)
+        assert _tuples(para) == _tuples(serial)
+        stats = transport_stats()
+        assert stats["shared"] == 0 and stats["pickle"] == 0
+        assert stats["serial_fallback"] == 1

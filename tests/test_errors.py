@@ -1,0 +1,83 @@
+"""The structured error taxonomy and its capture helpers."""
+
+import pytest
+
+from repro.errors import (
+    ExecutionError,
+    ReproError,
+    ScenarioError,
+    ShmAttachError,
+    TaskTimeout,
+    WorkerCrash,
+    capture,
+    captured_call,
+    format_cause,
+)
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(ExecutionError, ReproError)
+        for cls in (WorkerCrash, TaskTimeout, ShmAttachError):
+            assert issubclass(cls, ExecutionError)
+        assert issubclass(ScenarioError, ReproError)
+        # scenario failures are deterministic, never a retryable fault
+        assert not issubclass(ScenarioError, ExecutionError)
+
+    def test_worker_crash_carries_exitcode_and_attempts(self):
+        err = WorkerCrash("worker died", exitcode=-9, attempts=3)
+        assert err.exitcode == -9
+        assert err.attempts == 3
+        assert "worker died" in str(err)
+
+    def test_task_timeout_carries_deadline(self):
+        err = TaskTimeout("too slow", seconds=1.5, attempts=2)
+        assert err.seconds == 1.5
+        assert err.attempts == 2
+
+    def test_shm_attach_error_carries_segment_name(self):
+        err = ShmAttachError("gone", name="psm_feedface")
+        assert err.name == "psm_feedface"
+
+    def test_scenario_error_names_the_scenario(self):
+        err = ScenarioError("g=path:8|s=greedy", "ValueError: boom")
+        assert err.scenario_id == "g=path:8|s=greedy"
+        assert err.cause == "ValueError: boom"
+        assert "g=path:8|s=greedy" in str(err)
+        assert "boom" in str(err)
+
+
+class TestCapture:
+    def test_ok_path_returns_value(self):
+        assert capture(lambda: 41 + 1) == ("ok", 42)
+
+    def test_error_path_returns_formatted_cause(self):
+        def boom():
+            raise ValueError("bad input")
+
+        status, cause = capture(boom)
+        assert status == "error"
+        assert cause == "ValueError: bad input"
+
+    def test_arguments_pass_through(self):
+        assert capture(divmod, 7, 3) == ("ok", (2, 1))
+
+    def test_keyboard_interrupt_propagates(self):
+        def interrupted():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            capture(interrupted)
+
+    def test_captured_call_keeps_exception_object(self):
+        original = ValueError("keep me")
+
+        def boom():
+            raise original
+
+        status, exc = captured_call(boom)
+        assert status == "raise"
+        assert exc is original
+
+    def test_format_cause(self):
+        assert format_cause(RuntimeError("x")) == "RuntimeError: x"
