@@ -1,0 +1,193 @@
+"""Service-layer benchmarks: request throughput under cache reuse.
+
+Drives :class:`repro.service.app.ReproService` in-process (no sockets —
+the TCP layer is exercised by the e2e test; here we measure the layers
+the daemon exists for):
+
+* **cold vs warm**: a cold request pays graph construction plus engine
+  cache builds in a fresh service with cleared process caches — the
+  per-invocation cost a CLI user pays every time.  A warm request hits
+  the spec-keyed graph cache and the per-graph engine caches.  The
+  warm/cold per-request gap is the daemon's reason to exist; the floor
+  (warm >= 3x cold) is asserted at full size.
+* **coalesced vs serial**: the same validate requests issued
+  concurrently (the coalescer stacks them into single batch passes)
+  versus strictly one at a time (one pass each).
+
+Every response in the harness is byte-compared against serial
+``api.validate`` verdicts re-encoded through the same wire codec — the
+coalescer must never change a verdict, only its throughput.  Rows land
+in ``BENCH_results.json`` via the shared conftest.
+"""
+
+import asyncio
+import json
+import os
+import time
+
+import repro.api as api
+from repro.core.broadcast import broadcast_schedule
+from repro.engine.cache import clear_cache
+from repro.frame import as_frame
+from repro.io import frame_to_dict
+from repro.service import protocol
+from repro.service.app import ReproService
+
+FULL = int(os.environ.get("REPRO_BENCH_N", "12")) >= 12
+N_REQUESTS = 24 if FULL else 8
+GRAPH_SPEC = "sparse:11:4"
+K = 2
+WARM_SPEEDUP_FLOOR = 3.0
+
+
+def _validate_bodies(n):
+    """n single-schedule validate request bodies on GRAPH_SPEC."""
+    sh = api.construction(GRAPH_SPEC)
+    bodies = []
+    frames = []
+    for source in range(n):
+        frame = as_frame(broadcast_schedule(sh, source % sh.n_vertices))
+        frames.append(frame)
+        bodies.append(
+            json.dumps(
+                {
+                    "graph": GRAPH_SPEC,
+                    "k": K,
+                    "schedules": [frame_to_dict(frame)],
+                }
+            ).encode()
+        )
+    return frames, bodies
+
+
+async def _dispatch_serial(service, bodies):
+    return [
+        await service.dispatch("POST", "/v1/validate", body) for body in bodies
+    ]
+
+
+async def _dispatch_concurrent(service, bodies):
+    return await asyncio.gather(
+        *(service.dispatch("POST", "/v1/validate", body) for body in bodies)
+    )
+
+
+def _assert_serial_identical(frames, responses):
+    """Every served verdict == serial api.validate, byte for byte."""
+    graph = api.build_graph(GRAPH_SPEC)
+    for frame, (status, payload) in zip(frames, responses):
+        assert status == 200, payload
+        served = json.loads(payload)["reports"]
+        reference = api.validate(graph, frame, K)
+        expected = protocol.ReportV1(
+            ok=reference.ok,
+            rounds=reference.rounds,
+            max_call_length=reference.max_call_length,
+            errors=tuple(reference.errors),
+        ).to_wire()
+        assert (
+            protocol.encode_canonical(served[0])
+            == protocol.encode_canonical(expected)
+        ), f"served verdict diverged from serial api.validate: {served[0]}"
+
+
+def _cold_request(body):
+    """One request the way a fresh process would pay for it."""
+    clear_cache()
+    service = ReproService(workers=2)
+    try:
+        return asyncio.run(_dispatch_serial(service, [body]))[0]
+    finally:
+        service.close()
+
+
+def test_serve_throughput_cold_warm_coalesced(print_once, bench_json):
+    """Headline numbers: requests/sec across the four service regimes."""
+    frames, bodies = _validate_bodies(N_REQUESTS)
+
+    # cold: fresh service + cleared engine caches per request
+    cold_n = max(3, N_REQUESTS // 4)
+    t0 = time.perf_counter()
+    cold_responses = [_cold_request(body) for body in bodies[:cold_n]]
+    t_cold = (time.perf_counter() - t0) / cold_n
+
+    # warm: one long-lived service, caches primed by the first request
+    service = ReproService(workers=2)
+    try:
+        asyncio.run(_dispatch_serial(service, bodies[:1]))  # prime
+        t0 = time.perf_counter()
+        warm_responses = asyncio.run(_dispatch_serial(service, bodies))
+        t_warm = (time.perf_counter() - t0) / N_REQUESTS
+
+        # serial vs coalesced on the warm service
+        t0 = time.perf_counter()
+        serial_responses = asyncio.run(_dispatch_serial(service, bodies))
+        t_serial = (time.perf_counter() - t0) / N_REQUESTS
+        passes_before = service._coalescer.passes
+        t0 = time.perf_counter()
+        coalesced_responses = asyncio.run(_dispatch_concurrent(service, bodies))
+        t_coalesced = (time.perf_counter() - t0) / N_REQUESTS
+        passes = service._coalescer.passes - passes_before
+    finally:
+        service.close()
+
+    # the acceptance bar: every response byte-identical to serial verdicts
+    _assert_serial_identical(frames[:cold_n], cold_responses)
+    _assert_serial_identical(frames, warm_responses)
+    _assert_serial_identical(frames, serial_responses)
+    _assert_serial_identical(frames, coalesced_responses)
+    assert passes < N_REQUESTS, "concurrent requests never shared a batch pass"
+
+    warm_speedup = t_cold / t_warm
+    row = {
+        "graph": GRAPH_SPEC,
+        "requests": N_REQUESTS,
+        "cold (req/s)": f"{1 / t_cold:.1f}",
+        "warm (req/s)": f"{1 / t_warm:.1f}",
+        "warm speedup": f"{warm_speedup:.1f}x",
+        "serial (req/s)": f"{1 / t_serial:.1f}",
+        "coalesced (req/s)": f"{1 / t_coalesced:.1f}",
+        "batch passes": f"{passes}/{N_REQUESTS}",
+    }
+    print_once("serve-throughput", [row], title="service request throughput")
+    bench_json(
+        "bench_serve",
+        "validate_throughput",
+        graph=GRAPH_SPEC,
+        requests=N_REQUESTS,
+        cold_rps=round(1 / t_cold, 2),
+        warm_rps=round(1 / t_warm, 2),
+        warm_speedup=round(warm_speedup, 2),
+        serial_rps=round(1 / t_serial, 2),
+        coalesced_rps=round(1 / t_coalesced, 2),
+        coalesce_speedup=round(t_serial / t_coalesced, 2),
+        batch_passes=passes,
+        floor=WARM_SPEEDUP_FLOOR,
+        full_size=FULL,
+    )
+    if FULL:
+        assert warm_speedup >= WARM_SPEEDUP_FLOOR, (
+            f"warm requests only {warm_speedup:.1f}x faster than cold "
+            f"(floor is {WARM_SPEEDUP_FLOOR}x)"
+        )
+
+
+def test_serve_schedule_endpoint_warm(benchmark):
+    """pytest-benchmark row: the schedule endpoint on a warm service."""
+    service = ReproService(workers=2)
+    body = json.dumps(
+        {"graph": "hypercube:4", "scheduler": "greedy", "k": 2, "seed": 1}
+    ).encode()
+    try:
+        asyncio.run(service.dispatch("POST", "/v1/schedule", body))  # prime
+
+        def once():
+            status, payload = asyncio.run(
+                service.dispatch("POST", "/v1/schedule", body)
+            )
+            assert status == 200
+            return payload
+
+        benchmark.pedantic(once, rounds=5, iterations=1)
+    finally:
+        service.close()

@@ -256,11 +256,13 @@ def experiment_e21_wormhole(
     sparse graphs pay (k−1) extra cycles per round — an overhead fraction
     that *vanishes* as messages grow, while the degree saving is constant.
     """
-    from repro.schedulers import binomial_hypercube_broadcast
+    from repro.schedulers.registry import ScheduleRequest, run_scheduler
     from repro.wormhole import schedule_latency
 
     q = hypercube(n)
-    q_sched = binomial_hypercube_broadcast(n, 0)
+    q_sched = run_scheduler(
+        "store_forward", ScheduleRequest(graph=q, source=0), validate=False
+    ).schedule
     sh2 = construct_base(n, theorem5_m_star(n))
     sh2_sched = broadcast_schedule(sh2, 0)
     sh3 = construct(3, n, theorem7_params(3, n))

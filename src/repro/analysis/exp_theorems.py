@@ -37,7 +37,7 @@ from repro.core.params import (
 from repro.engine.batch import validate_all_sources
 from repro.engine.cache import fast_validator_for
 from repro.graphs.hypercube import hypercube
-from repro.schedulers import binomial_hypercube_broadcast
+from repro.schedulers.registry import ScheduleRequest, run_scheduler
 
 __all__ = [
     "experiment_e09_broadcast2",
@@ -240,7 +240,11 @@ def experiment_e16_baseline_k1(
     rows = []
     for n in n_values:
         g = hypercube(n)
-        sched = binomial_hypercube_broadcast(n, 0)
+        sched = run_scheduler(
+            "store_forward",
+            ScheduleRequest(graph=g, source=0),
+            validate=False,
+        ).schedule
         rep1 = fast_validator_for(g).validate(sched, 1)
         m = theorem5_m_star(n)
         sh = construct_base(n, m)

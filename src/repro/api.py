@@ -2,14 +2,23 @@
 
 Everything a consumer needs to build graphs, produce broadcast
 schedules, validate them, and export machine-checkable artifacts lives
-behind five functions::
+behind a handful of functions::
 
     import repro.api as api
 
-    graph = api.build_graph("hypercube:4")
-    result = api.schedule(graph, scheduler="greedy", k=2, seed=1)
-    report = api.validate(graph, result.frame, k=2)
+    result = api.schedule("hypercube:4", scheduler="greedy", k=2, seed=1)
+    report = api.validate("hypercube:4", result.frame, k=2)
     assert report.ok
+    cert = api.certificate("sparse:8:3")          # Construct_BASE(8, 3)
+
+Every entry point is *spec-or-object agnostic*: ``schedule`` and
+``validate`` take a textual graph spec (``family:arg[:arg...]``, see
+:func:`build_graph`) or a :class:`~repro.graphs.base.Graph`;
+``certificate`` takes a construction spec (``sparse:N[:M...]``, see
+:func:`construction`) or a built
+:class:`~repro.core.sparse_hypercube.SparseHypercube`.  The CLI, the
+campaign runner, and the ``repro serve`` daemon all funnel through this
+one parsing path, so a spec string means the same thing everywhere.
 
 The interchange format between the stages is the columnar
 :class:`~repro.frame.ScheduleFrame`; the object API
@@ -62,6 +71,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 __all__ = [
     "ENGINES",
     "build_graph",
+    "construction",
     "schedule",
     "validate",
     "certificate",
@@ -85,6 +95,50 @@ def build_graph(spec: str | Graph) -> Graph:
     from repro.graphs.specs import graph_from_spec
 
     return graph_from_spec(spec)
+
+
+def construction(spec: "str | SparseHypercube") -> "SparseHypercube":
+    """A :class:`SparseHypercube` from a textual construction spec.
+
+    The grammar mirrors the graph-spec family of the same name, but
+    keeps the construction object (thresholds, levels, ``Broadcast_k``)
+    instead of flattening to its edge set::
+
+        sparse:N              Construct_BASE(N, m*)   m* = Theorem-5 optimum
+        sparse:N:M            Construct_BASE(N, M)    k = 2
+        sparse:N:M1:...:Mj    Construct(j+1, N, (M1..Mj))
+
+    A built ``SparseHypercube`` passes through unchanged, so callers can
+    be spec-or-object agnostic (the :func:`build_graph` convention).
+    """
+    from repro.core.sparse_hypercube import SparseHypercube
+
+    if isinstance(spec, SparseHypercube):
+        return spec
+    parts = spec.split(":")
+    if parts[0] != "sparse":
+        raise InvalidParameterError(
+            f"unknown construction spec {spec!r}; expected sparse:N[:M...]"
+        )
+    try:
+        args = [int(p) for p in parts[1:]]
+    except ValueError:
+        raise InvalidParameterError(
+            f"construction spec {spec!r}: arguments must be integers"
+        ) from None
+    if not args:
+        raise InvalidParameterError(
+            f"construction spec {spec!r} needs at least the dimension N"
+        )
+    from repro.core.construct import construct, construct_base
+    from repro.core.params import theorem5_m_star
+
+    n, thresholds = args[0], tuple(args[1:])
+    if not thresholds:
+        return construct_base(n, theorem5_m_star(n))
+    if len(thresholds) == 1:
+        return construct_base(n, thresholds[0])
+    return construct(len(thresholds) + 1, n, thresholds)
 
 
 def schedule(
@@ -160,7 +214,7 @@ def _validate_one(
 
 
 def validate(
-    graph: Graph,
+    graph: str | Graph,
     schedules: "Schedule | ScheduleFrame | Iterable[Schedule | ScheduleFrame]",
     k: int,
     *,
@@ -170,6 +224,9 @@ def validate(
 ) -> ValidationReport | list[ValidationReport]:
     """Validate schedule(s) against Definition 1 on ``graph`` under ``k``.
 
+    ``graph`` is a textual spec or a :class:`Graph` (the
+    :func:`build_graph` convention — specs build frozen graphs, so spec
+    callers always hit the cached ``fast``/``batch`` engines).
     ``schedules`` may be a single :class:`~repro.types.Schedule` or
     :class:`~repro.frame.ScheduleFrame` (returns one
     :class:`~repro.model.validator.ValidationReport`) or a list of
@@ -181,6 +238,7 @@ def validate(
         raise InvalidParameterError(
             f"unknown engine {engine!r}; known: {', '.join(ENGINES)}"
         )
+    graph = build_graph(graph)
     single = isinstance(schedules, ScheduleFrame) or hasattr(schedules, "rounds")
     if single:
         return _validate_one(
@@ -215,17 +273,21 @@ def validate(
 
 
 def certificate(
-    sh: "SparseHypercube", sources: Sequence[int] | None = None
+    sh: "str | SparseHypercube", sources: Sequence[int] | None = None
 ) -> dict[str, Any]:
     """A machine-checkable k-mlbg certificate for a sparse hypercube.
 
-    Schedules come from the batch all-sources engine (coset-translated
+    ``sh`` is a built :class:`SparseHypercube` or a textual construction
+    spec (``sparse:N[:M...]``, see :func:`construction`).  Schedules
+    come from the batch all-sources engine (coset-translated
     generation); :func:`repro.io.verify_certificate` re-validates the
     payload from JSON alone.
     """
     from repro.io import certificate_for
 
-    return certificate_for(sh, list(sources) if sources is not None else None)
+    return certificate_for(
+        construction(sh), list(sources) if sources is not None else None
+    )
 
 
 def run_campaign(

@@ -54,9 +54,25 @@ runner — see :mod:`repro.analysis.registry` / :mod:`repro.analysis.runner`):
     ``--rule RL002 --format json`` narrows and machine-formats the
     report.  Exit 0 = clean, 1 = violations.
 
-Legacy spellings from the sequential CLI era keep working:
-``python -m repro e06``, ``python -m repro all``, ``--list`` and
-``--export-csv DIR``.
+``serve``
+    Run the long-lived schedule service (:mod:`repro.service`):
+    ``repro serve --port 8571`` answers ``POST /v1/schedule``,
+    ``POST /v1/validate``, ``POST /v1/certificate``, ``GET /v1/healthz``
+    and ``GET /v1/stats`` over HTTP, amortizing the process-wide
+    engine caches across requests and coalescing concurrent validates
+    into single batch passes.  ``--port 0`` picks an ephemeral port
+    (printed on startup); SIGTERM/SIGINT drain in-flight requests and
+    exit 0.
+
+Failures exit 2 with a single stderr line carrying the stable
+machine-readable error code from :mod:`repro.errors`, e.g.
+``schedule failed [invalid-parameter]: ...`` — the same codes the
+service returns in its HTTP error JSON.
+
+Legacy spellings from the sequential CLI era keep working but warn
+with ``DeprecationWarning``: ``python -m repro e06``,
+``python -m repro all``, ``--list`` and ``--export-csv DIR`` (see the
+migration table in CONTRIBUTING.md).
 """
 
 from __future__ import annotations
@@ -76,7 +92,25 @@ _SUBCOMMANDS = (
     "validate",
     "campaign",
     "lint",
+    "serve",
 )
+
+
+def _fail(verb: str, exc: BaseException) -> int:
+    """The exit-2 contract: one stderr line ``<verb> failed [<code>]: <msg>``.
+
+    The bracketed code is the stable machine-readable identifier from
+    :func:`repro.errors.error_code` — identical to the ``code`` field
+    the service puts in its HTTP error JSON, so scripts can match on it
+    instead of on prose.
+    """
+    from repro.errors import error_code
+
+    message: object = exc
+    if isinstance(exc, KeyError) and exc.args:
+        message = exc.args[0]  # registry lookups: unwrap the message string
+    print(f"{verb} failed [{error_code(exc)}]: {message}", file=sys.stderr)
+    return 2
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -279,6 +313,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report format (default text)",
     )
     p_lint.add_argument("--list", action="store_true", help="list registered rules")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived schedule service (HTTP, asyncio)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8571, metavar="PORT",
+        help="TCP port (default 8571; 0 = ephemeral, printed on startup)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="validation thread-pool size (default 2)",
+    )
     return parser
 
 
@@ -340,13 +391,8 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             from repro.io import save_schedule
 
             save_schedule(args.out, graph, result.frame, k=args.k)
-    except KeyError as exc:  # registry lookup: unwrap the message string
-        message = exc.args[0] if exc.args else exc
-        print(f"schedule failed: {message}", file=sys.stderr)
-        return 2
-    except (ReproError, OSError) as exc:
-        print(f"schedule failed: {exc}", file=sys.stderr)
-        return 2
+    except (ReproError, OSError, KeyError) as exc:
+        return _fail("schedule", exc)
     row = {
         "scheduler": result.scheduler,
         "graph": args.graph,
@@ -413,8 +459,7 @@ def _cmd_validate_file(args: argparse.Namespace) -> int:
         )
         seconds = time.perf_counter() - t0
     except (ReproError, OSError) as exc:
-        print(f"validate failed: {exc}", file=sys.stderr)
-        return 2
+        return _fail("validate", exc)
     row = {
         "file": args.schedule,
         "N": graph.n_vertices,
@@ -434,12 +479,40 @@ def _cmd_validate_file(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _construction_spec(args: argparse.Namespace) -> str:
+    """Map the validate flags onto one ``sparse:...`` construction spec.
+
+    All parsing/validation of the construction itself lives in
+    :func:`repro.api.construction`; this only translates flag spellings
+    and preserves the historical ``--k``/``--thresholds`` cross-checks.
+    """
+    from repro.types import InvalidParameterError
+
+    if args.thresholds is not None:
+        if args.k is None:
+            raise InvalidParameterError("--thresholds requires --k")
+        parts = args.thresholds.split(",")
+        if args.k != len(parts) + 1:
+            raise InvalidParameterError(
+                f"k={args.k} needs {args.k - 1} thresholds "
+                f"(n_1..n_{{k-1}}), got {len(parts)}"
+            )
+        return f"sparse:{args.n}:" + ":".join(p.strip() for p in parts)
+    if args.k is not None and args.k != 2:
+        raise InvalidParameterError(
+            f"--k {args.k} requires --thresholds (only the k=2 base "
+            "construction can be built from --m alone)"
+        )
+    if args.m is not None:
+        return f"sparse:{args.n}:{args.m}"
+    return f"sparse:{args.n}"
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     import time
 
+    from repro import api
     from repro.analysis.common import sample_sources
-    from repro.core.construct import construct, construct_base
-    from repro.core.params import theorem5_m_star
     from repro.types import ReproError
 
     if args.schedule is not None:
@@ -459,25 +532,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         )
         return 2
     try:
-        if args.thresholds is not None:
-            if args.k is None:
-                print("--thresholds requires --k", file=sys.stderr)
-                return 2
-            thresholds = tuple(int(t) for t in args.thresholds.split(","))
-            sh = construct(args.k, args.n, thresholds)
-        else:
-            if args.k is not None and args.k != 2:
-                print(
-                    f"--k {args.k} requires --thresholds (only the k=2 base "
-                    "construction can be built from --m alone)",
-                    file=sys.stderr,
-                )
-                return 2
-            m = args.m if args.m is not None else theorem5_m_star(args.n)
-            sh = construct_base(args.n, m)
+        sh = api.construction(_construction_spec(args))
     except (ReproError, ValueError) as exc:
-        print(f"validate failed: {exc}", file=sys.stderr)
-        return 2
+        return _fail("validate", exc)
     n_vertices = sh.n_vertices
     srcs = (
         list(range(n_vertices))
@@ -583,8 +640,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"artifact: {target}")
         return 0
     except (ReproError, OSError) as exc:
-        print(f"campaign failed: {exc}", file=sys.stderr)
-        return 2
+        return _fail("campaign", exc)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -602,8 +658,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     try:
         report = lint_paths(args.paths, rule_id=args.rule)
     except (ReproError, OSError) as exc:
-        print(f"lint failed: {exc}", file=sys.stderr)
-        return 2
+        return _fail("lint", exc)
     if args.format == "json":
         print(report.to_json())
     else:
@@ -655,8 +710,7 @@ def _cmd_run(
     except (ReproError, OSError) as exc:
         # execution-layer faults (exhausted retry budget, bad
         # REPRO_CHAOS spec, cache IO): one line, never a traceback
-        print(f"run failed: {exc}", file=sys.stderr)
-        return 2
+        return _fail("run", exc)
     for res in results:
         origin = "cache" if res.cached else f"{res.seconds:.2f}s"
         title = f"[{res.name.upper()}] {res.title}  ({origin})"
@@ -670,19 +724,52 @@ def _cmd_run(
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.types import ReproError
+
+    try:
+        from repro.service import serve_forever
+
+        return serve_forever(
+            host=args.host, port=args.port, workers=args.workers
+        )
+    except (ReproError, OSError) as exc:
+        return _fail("serve", exc)
+
+
+def _warn_legacy(legacy: str, modern: str) -> None:
+    import warnings
+
+    warnings.warn(
+        f"the legacy CLI spelling {legacy!r} is deprecated; "
+        f"use {modern!r} (see the migration table in CONTRIBUTING.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def _legacy_argv(argv: list[str]) -> list[str] | None:
-    """Map the pre-subcommand CLI onto the new one (None = not legacy)."""
+    """Map the pre-subcommand CLI onto the new one (None = not legacy).
+
+    Each rewrite emits a :class:`DeprecationWarning` naming the modern
+    spelling; a bare ``python -m repro`` (no arguments at all) is the
+    documented default, not a legacy form, and stays silent.
+    """
     if argv and argv[0] in _SUBCOMMANDS:
         return None  # explicit subcommand — never rewrite
     if "--list" in argv:
+        _warn_legacy("--list", "repro list")
         return ["list"]
     if "--export-csv" in argv:
         idx = argv.index("--export-csv")
         if idx + 1 < len(argv):
+            _warn_legacy("--export-csv DIR", "repro export-csv DIR")
             return ["export-csv", argv[idx + 1]]
         return None
     if argv and not argv[0].startswith("-"):
         targets = [] if argv == ["all"] else argv
+        modern = "repro run" + ("" if not targets else " " + " ".join(targets))
+        _warn_legacy(" ".join(argv), modern)
         return ["run", *targets]
     if not argv:
         return ["run"]
@@ -709,6 +796,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_campaign(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     # "run"
     names = list(args.experiments)
     if args.all:
@@ -720,8 +809,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         retry = _retry_from_args(args)
     except ReproError as exc:
-        print(f"run failed: {exc}", file=sys.stderr)
-        return 2
+        return _fail("run", exc)
     return _cmd_run(
         names,
         jobs=args.jobs,

@@ -17,10 +17,7 @@ from __future__ import annotations
 from repro.graphs.base import Graph
 from repro.graphs.trees import balanced_ternary_core_tree, ternary_core_tree_order
 from repro.model.validator import assert_valid_broadcast, minimum_broadcast_rounds
-from repro.schedulers import (
-    find_minimum_time_schedule,
-    heuristic_line_broadcast,
-)
+from repro.schedulers.registry import ScheduleRequest, run_scheduler
 from repro.types import InvalidParameterError, ReproError, Schedule
 
 __all__ = [
@@ -71,11 +68,23 @@ def theorem1_tree_broadcast(
 
         schedule = ternary_tree_schedule(h, source)
     elif tree.n_vertices <= exact_limit:
-        schedule = find_minimum_time_schedule(tree, source, k_eff)
+        schedule = run_scheduler(
+            "search",
+            ScheduleRequest(graph=tree, source=source, k=k_eff),
+            validate=False,
+        ).schedule
     else:
-        schedule = heuristic_line_broadcast(
-            tree, source, k_eff, restarts=restarts, seed=seed
-        )
+        schedule = run_scheduler(
+            "greedy",
+            ScheduleRequest(
+                graph=tree,
+                source=source,
+                k=k_eff,
+                seed=seed,
+                params={"restarts": restarts},
+            ),
+            validate=False,
+        ).schedule
     if schedule is None:
         raise ReproError(
             f"no minimum-time schedule found (N={tree.n_vertices}, "

@@ -36,6 +36,7 @@ __all__ = [
     "TaskTimeout",
     "ShmAttachError",
     "ScenarioError",
+    "error_code",
     "format_cause",
     "capture",
     "captured_call",
@@ -53,6 +54,8 @@ class ExecutionError(ReproError):
     re-running the task is meaningful.
     """
 
+    code = "execution-error"
+
 
 class WorkerCrash(ExecutionError):
     """A worker process died without delivering its result.
@@ -62,6 +65,8 @@ class WorkerCrash(ExecutionError):
     carries the observed exit code and how many attempts the affected
     task has consumed.
     """
+
+    code = "worker-crash"
 
     def __init__(
         self,
@@ -77,6 +82,8 @@ class WorkerCrash(ExecutionError):
 
 class TaskTimeout(ExecutionError):
     """A task exceeded its per-task deadline and its worker was culled."""
+
+    code = "task-timeout"
 
     def __init__(
         self,
@@ -99,6 +106,8 @@ class ShmAttachError(ExecutionError):
     path (:mod:`repro.engine.parallel`), never by aborting.
     """
 
+    code = "shm-attach-error"
+
     def __init__(self, message: str, *, name: str | None = None) -> None:
         super().__init__(message)
         self.name = name
@@ -112,10 +121,31 @@ class ScenarioError(ReproError):
     bare traceback string torn from its context.
     """
 
+    code = "scenario-error"
+
     def __init__(self, scenario_id: str, cause: str) -> None:
         super().__init__(f"scenario {scenario_id}: {cause}")
         self.scenario_id = scenario_id
         self.cause = cause
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable machine-readable code for an exception.
+
+    :class:`ReproError` subclasses carry their own ``code``; the few
+    non-library types that legitimately cross the CLI/service boundary
+    get fixed spellings here.  Everything else is ``internal-error`` —
+    an unclassified failure is a bug, and the code says so.
+    """
+    if isinstance(exc, ReproError):
+        return exc.code
+    if isinstance(exc, KeyError):
+        return "unknown-name"
+    if isinstance(exc, OSError):
+        return "io-error"
+    if isinstance(exc, ValueError):
+        return "invalid-parameter"
+    return "internal-error"
 
 
 def format_cause(exc: BaseException) -> str:

@@ -1,0 +1,33 @@
+"""The long-running schedule service (``repro serve``).
+
+A stdlib-only asyncio HTTP daemon over the :mod:`repro.api` facade.
+Layering, bottom up:
+
+:mod:`repro.service.protocol`
+    the versioned wire format: frozen typed request/response
+    dataclasses, canonical JSON codecs (byte-pinned like io v2), and
+    the stable error-code → HTTP-status mapping.
+:mod:`repro.service.http`
+    a minimal HTTP/1.1 reader/writer over asyncio streams — just
+    enough protocol for JSON-over-POST with keep-alive.
+:mod:`repro.service.coalesce`
+    the validate coalescer: concurrent ``POST /v1/validate`` calls for
+    the same frozen graph are funnelled into single
+    :mod:`repro.engine.batch` stacked passes (verdicts byte-identical
+    to serial ``api.validate``; pinned by test).
+:mod:`repro.service.app`
+    the endpoint handlers, per-spec graph/construction caches,
+    per-endpoint latency/hit counters, and the graceful-shutdown
+    choreography (drain in-flight, shut the pool down,
+    ``detach_all()`` the shm planes).
+
+The point of the daemon is cache amortization: every request with the
+same graph spec reuses one frozen :class:`~repro.graphs.base.Graph`
+object, so the process-wide per-graph kernel/validator caches
+(:mod:`repro.engine.cache`) hit on identity — see
+``benchmarks/bench_serve.py`` for the measured cold/warm gap.
+"""
+
+from repro.service.app import ReproService, serve_forever
+
+__all__ = ["ReproService", "serve_forever"]

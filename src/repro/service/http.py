@@ -1,0 +1,116 @@
+"""A minimal HTTP/1.1 layer over asyncio streams.
+
+Just enough protocol for the service: request line + headers,
+``Content-Length`` bodies, keep-alive connections, and fixed-length
+responses.  Deliberately not a framework — no chunked encoding, no
+multipart, no TLS — because the daemon speaks exactly one dialect:
+JSON bodies over POST/GET on a trusted interface.
+
+The parser is strict where it is cheap to be (malformed framing closes
+the connection) and bounded everywhere (header block and body sizes are
+capped) so a confused client cannot pin server memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.types import InvalidParameterError
+
+__all__ = [
+    "HttpRequest",
+    "MAX_BODY_BYTES",
+    "read_request",
+    "render_response",
+    "STATUS_REASONS",
+]
+
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 64 * 1024 * 1024  # stacked v2 payloads can be large
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed request: method, path, lower-cased headers, raw body."""
+
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`InvalidParameterError` on malformed framing — the
+    connection handler answers 400 and closes.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise InvalidParameterError("truncated HTTP request") from None
+    except asyncio.LimitOverrunError:
+        raise InvalidParameterError("HTTP header block too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise InvalidParameterError("HTTP header block too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise InvalidParameterError(f"malformed request line {lines[0]!r}")
+    method, path, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise InvalidParameterError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise InvalidParameterError(
+            f"malformed Content-Length {length_text!r}"
+        ) from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise InvalidParameterError(f"Content-Length {length} out of range")
+    body = await reader.readexactly(length) if length else b""
+    return HttpRequest(method=method, path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one fixed-length response."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

@@ -50,15 +50,28 @@ __all__ = [
 
 
 class ReproError(Exception):
-    """Base class for all library-specific errors."""
+    """Base class for all library-specific errors.
+
+    Every subclass carries a stable machine-readable ``code`` string —
+    the same identifier surfaces in CLI exit-2 one-liners and in the
+    service's HTTP error JSON, so scripted consumers never have to
+    pattern-match prose.  Codes are append-only: once published, a code
+    never changes meaning (pinned by ``tests/test_errors.py``).
+    """
+
+    code: str = "repro-error"
 
 
 class InvalidParameterError(ReproError, ValueError):
     """A construction or scheme was invoked with out-of-range parameters."""
 
+    code = "invalid-parameter"
+
 
 class InvalidScheduleError(ReproError):
     """A schedule violates the k-line communication model (Definition 1)."""
+
+    code = "invalid-schedule"
 
 
 class ConstructionError(ReproError):
@@ -69,6 +82,8 @@ class ConstructionError(ReproError):
     cannot find a relay neighbour.  Seeing this exception always indicates
     a bug (or a deliberately corrupted input in a test).
     """
+
+    code = "construction-error"
 
 
 def canonical_edge(u: Vertex, v: Vertex) -> Edge:

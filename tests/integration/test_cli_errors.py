@@ -160,3 +160,34 @@ class TestCampaignHappyPathSubprocess:
         assert manifest["format"] == "repro-campaign-manifest/1"
         assert manifest["n_scenarios_total"] == len(manifest["scenarios"])
         assert all("seed" in s and "digest" in s for s in manifest["scenarios"])
+
+
+class TestErrorCodeBrackets:
+    """Exit-2 one-liners carry the machine-readable ``[code]`` tag.
+
+    The bracketed code is the same string the service puts in HTTP
+    error bodies (``error.code``) — one taxonomy, two transports.
+    """
+
+    def test_invalid_parameter_code(self):
+        proc = run_cli("schedule", "--graph", "bogus:3")
+        assert_clean_failure(proc, needle="[invalid-parameter]")
+        assert proc.stderr.startswith("schedule failed [invalid-parameter]: ")
+
+    def test_unknown_name_code(self):
+        proc = run_cli("schedule", "--graph", "hypercube:3", "--scheduler", "nope")
+        assert_clean_failure(proc, needle="[unknown-name]")
+
+    def test_validate_code(self):
+        proc = run_cli("validate", "--n", "6", "--k", "4")
+        assert_clean_failure(proc, needle="[invalid-parameter]")
+        assert proc.stderr.startswith("validate failed [")
+
+    def test_campaign_code(self):
+        proc = run_cli("campaign", "run", "nope")
+        assert_clean_failure(proc, needle="[invalid-parameter]")
+
+    def test_serve_bad_workers(self):
+        proc = run_cli("serve", "--workers", "0")
+        assert_clean_failure(proc, needle="[invalid-parameter]")
+        assert proc.stderr.startswith("serve failed [")

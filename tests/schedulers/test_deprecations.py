@@ -1,0 +1,100 @@
+"""The legacy surfaces warn but keep working, byte-for-byte.
+
+Two deprecation tracks land in this file:
+
+* the pre-registry scheduler facades on ``repro.schedulers`` (the
+  single-message trio superseded by ``run_scheduler``), and
+* the pre-subcommand CLI spellings rewritten by ``_legacy_argv``.
+
+Both must emit :class:`DeprecationWarning` naming the modern spelling
+(the migration table lives in CONTRIBUTING.md) while producing exactly
+the results they always did.
+"""
+
+import warnings
+
+import pytest
+
+import repro.schedulers as schedulers
+from repro.cli import _legacy_argv
+from repro.graphs.hypercube import hypercube
+from repro.io import frame_to_dict
+from repro.schedulers.registry import ScheduleRequest, run_scheduler
+
+
+class TestFacadeDeprecations:
+    @pytest.mark.parametrize(
+        "facade,strategy",
+        [
+            ("heuristic_line_broadcast", "greedy"),
+            ("find_minimum_time_schedule", "search"),
+            ("binomial_hypercube_broadcast", "store_forward"),
+        ],
+    )
+    def test_access_warns_and_names_replacement(self, facade, strategy):
+        with pytest.deprecated_call(match=strategy):
+            getattr(schedulers, facade)
+
+    def test_facade_results_unchanged(self):
+        """The deprecated spelling still returns the registry's answer."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = schedulers.binomial_hypercube_broadcast(3, 0)
+        modern = run_scheduler(
+            "store_forward",
+            ScheduleRequest(graph=hypercube(3), source=0),
+            validate=False,
+        ).schedule
+        assert frame_to_dict(legacy.to_frame()) == frame_to_dict(modern.to_frame())
+
+    def test_registry_spellings_stay_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_scheduler(
+                "greedy",
+                ScheduleRequest(graph=hypercube(3), source=0, seed=1),
+                validate=False,
+            )
+
+    def test_multimessage_functions_stay_first_class(self):
+        """The multimsg trio is not deprecated: the registry cannot carry
+        a MultiMessageSchedule for M>1, so these remain the public API."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert callable(schedulers.find_multimessage_schedule)
+            assert callable(schedulers.multimessage_lower_bound)
+            assert callable(schedulers.validate_multimessage)
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            schedulers.not_a_scheduler
+
+
+class TestLegacyCliSpellings:
+    def test_list_flag_warns_and_rewrites(self):
+        with pytest.deprecated_call(match="repro list"):
+            assert _legacy_argv(["--list"]) == ["list"]
+
+    def test_export_csv_warns_and_rewrites(self):
+        with pytest.deprecated_call(match="repro export-csv"):
+            assert _legacy_argv(["--export-csv", "out"]) == ["export-csv", "out"]
+
+    def test_bare_experiment_ids_warn_and_rewrite(self):
+        with pytest.deprecated_call(match="repro run"):
+            assert _legacy_argv(["e01", "e02"]) == ["run", "e01", "e02"]
+
+    def test_bare_all_warns_and_rewrites(self):
+        with pytest.deprecated_call(match="repro run"):
+            assert _legacy_argv(["all"]) == ["run"]
+
+    def test_empty_argv_stays_silent(self):
+        """Bare ``python -m repro`` is the documented default, not legacy."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert _legacy_argv([]) == ["run"]
+
+    def test_modern_subcommands_never_rewrite(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert _legacy_argv(["list"]) is None
+            assert _legacy_argv(["serve", "--port", "0"]) is None

@@ -1,0 +1,326 @@
+"""In-process service tests: routing, verdicts, coalescing, errors."""
+
+import asyncio
+import json
+
+import pytest
+
+import repro.api as api
+from repro.core.broadcast import broadcast_schedule
+from repro.core.construct import construct_base
+from repro.frame import as_frame
+from repro.io import certificate_for, dump_certificate, frame_from_dict, frame_to_dict
+from repro.service import protocol
+from repro.service.app import ReproService
+from repro.service.http import HttpRequest, read_request, render_response
+from repro.types import InvalidParameterError
+
+GRAPH_SPEC = "sparse:5:2"
+K = 2
+
+
+@pytest.fixture()
+def service():
+    svc = ReproService(workers=2, coalesce_window=0.002)
+    yield svc
+    svc.close()
+
+
+def dispatch(service, method, path, body=b""):
+    return asyncio.run(service.dispatch(method, path, body))
+
+
+def validate_body(frames, **overrides):
+    payload = {
+        "graph": GRAPH_SPEC,
+        "k": K,
+        "schedules": [frame_to_dict(f) for f in frames],
+    }
+    payload.update(overrides)
+    return json.dumps(payload).encode()
+
+
+def broadcast_frames(n):
+    sh = construct_base(5, 2)
+    return [
+        as_frame(broadcast_schedule(sh, s % sh.n_vertices)) for s in range(n)
+    ]
+
+
+def expected_report_wire(frame):
+    """Serial api.validate, re-encoded through the same wire codec."""
+    report = api.validate(api.build_graph(GRAPH_SPEC), frame, K)
+    return protocol.ReportV1(
+        ok=report.ok,
+        rounds=report.rounds,
+        max_call_length=report.max_call_length,
+        errors=tuple(report.errors),
+    ).to_wire()
+
+
+class TestRouting:
+    def test_healthz(self, service):
+        status, body = dispatch(service, "GET", "/v1/healthz")
+        assert status == 200
+        assert json.loads(body) == {
+            "format": protocol.SERVICE_FORMAT,
+            "status": "ok",
+        }
+
+    def test_unknown_path_is_404(self, service):
+        status, body = dispatch(service, "GET", "/v1/nope")
+        assert status == 404
+        assert json.loads(body)["error"]["code"] == "not-found"
+
+    def test_wrong_method_is_405(self, service):
+        status, body = dispatch(service, "GET", "/v1/validate")
+        assert status == 405
+        assert json.loads(body)["error"]["code"] == "method-not-allowed"
+
+    def test_bad_json_is_400(self, service):
+        status, body = dispatch(service, "POST", "/v1/validate", b"{nope")
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "invalid-parameter"
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(InvalidParameterError):
+            ReproService(workers=0)
+
+
+class TestSchedule:
+    def test_greedy_round_trip(self, service):
+        body = json.dumps(
+            {"graph": "hypercube:4", "scheduler": "greedy", "k": 2, "seed": 1}
+        ).encode()
+        status, payload = dispatch(service, "POST", "/v1/schedule", body)
+        assert status == 200
+        data = json.loads(payload)
+        assert data["format"] == protocol.SERVICE_FORMAT
+        assert data["found"] is True
+        assert data["valid"] is True
+        # the served schedule is an io v2 payload that re-validates locally
+        frame = frame_from_dict(data["schedule"])
+        assert api.validate("hypercube:4", frame, 2).ok
+
+    def test_unknown_scheduler_is_404(self, service):
+        body = json.dumps({"graph": "hypercube:4", "scheduler": "nope"}).encode()
+        status, payload = dispatch(service, "POST", "/v1/schedule", body)
+        assert status == 404
+        assert json.loads(payload)["error"]["code"] == "unknown-name"
+
+    def test_bad_graph_spec_is_400(self, service):
+        body = json.dumps({"graph": "bogus:4"}).encode()
+        status, payload = dispatch(service, "POST", "/v1/schedule", body)
+        assert status == 400
+        assert json.loads(payload)["error"]["code"] == "invalid-parameter"
+
+
+class TestValidate:
+    def test_single_matches_serial_api_validate(self, service):
+        frame = broadcast_frames(1)[0]
+        status, payload = dispatch(
+            service, "POST", "/v1/validate", validate_body([frame])
+        )
+        assert status == 200
+        data = json.loads(payload)
+        served = protocol.encode_canonical(data["reports"][0])
+        assert served == protocol.encode_canonical(expected_report_wire(frame))
+
+    def test_unknown_engine_is_400(self, service):
+        frame = broadcast_frames(1)[0]
+        status, payload = dispatch(
+            service,
+            "POST",
+            "/v1/validate",
+            validate_body([frame], engine="warp"),
+        )
+        assert status == 400
+        assert json.loads(payload)["error"]["code"] == "invalid-parameter"
+
+    def test_explicit_engine_skips_coalescer(self, service):
+        frame = broadcast_frames(1)[0]
+        status, payload = dispatch(
+            service,
+            "POST",
+            "/v1/validate",
+            validate_body([frame], engine="fast"),
+        )
+        assert status == 200
+        assert json.loads(payload)["coalesced"] is False
+        assert service._coalescer.requests == 0
+
+    def test_invalid_frame_payload_is_400(self, service):
+        status, payload = dispatch(
+            service,
+            "POST",
+            "/v1/validate",
+            json.dumps(
+                {"graph": GRAPH_SPEC, "k": K, "schedules": [{"bogus": 1}]}
+            ).encode(),
+        )
+        assert status == 400
+        assert json.loads(payload)["error"]["code"] == "invalid-parameter"
+
+
+class TestCoalescing:
+    def test_concurrent_requests_share_one_pass(self, service):
+        frames = broadcast_frames(6)
+
+        async def burst():
+            return await asyncio.gather(
+                *(
+                    service.dispatch("POST", "/v1/validate", validate_body([f]))
+                    for f in frames
+                )
+            )
+
+        responses = asyncio.run(burst())
+        assert service._coalescer.passes == 1
+        assert service._coalescer.coalesced_passes == 1
+        assert service._coalescer.requests == 6
+        for frame, (status, payload) in zip(frames, responses):
+            assert status == 200
+            data = json.loads(payload)
+            assert data["coalesced"] is True
+            served = protocol.encode_canonical(data["reports"][0])
+            assert served == protocol.encode_canonical(expected_report_wire(frame))
+
+    def test_coalesced_verdicts_byte_identical_to_serial(self, service):
+        """Reports come back in arrival order with per-request slicing."""
+        frames = broadcast_frames(4)
+
+        async def burst():
+            return await asyncio.gather(
+                *(
+                    service.dispatch(
+                        "POST", "/v1/validate", validate_body([f, frames[0]])
+                    )
+                    for f in frames
+                )
+            )
+
+        responses = asyncio.run(burst())
+        for frame, (status, payload) in zip(frames, responses):
+            data = json.loads(payload)
+            assert status == 200
+            assert len(data["reports"]) == 2
+            assert protocol.encode_canonical(
+                data["reports"][0]
+            ) == protocol.encode_canonical(expected_report_wire(frame))
+            assert protocol.encode_canonical(
+                data["reports"][1]
+            ) == protocol.encode_canonical(expected_report_wire(frames[0]))
+
+
+class TestCertificate:
+    def test_bytes_identical_to_dump_certificate(self, service, tmp_path):
+        body = json.dumps(
+            {"construction": GRAPH_SPEC, "sources": [0, 5]}
+        ).encode()
+        status, payload = dispatch(service, "POST", "/v1/certificate", body)
+        assert status == 200
+        cert = certificate_for(construct_base(5, 2), sources=[0, 5])
+        path = tmp_path / "cert.json"
+        dump_certificate(cert, str(path))
+        assert payload == path.read_bytes()
+
+    def test_bad_construction_is_400(self, service):
+        body = json.dumps({"construction": "hypercube:4"}).encode()
+        status, payload = dispatch(service, "POST", "/v1/certificate", body)
+        assert status == 400
+        assert json.loads(payload)["error"]["code"] == "invalid-parameter"
+
+
+class TestStats:
+    def test_counters_and_caches(self, service):
+        frame = broadcast_frames(1)[0]
+        dispatch(service, "GET", "/v1/healthz")
+        dispatch(service, "POST", "/v1/validate", validate_body([frame]))
+        dispatch(service, "GET", "/v1/validate")  # 405 -> error counter
+        status, payload = dispatch(service, "GET", "/v1/stats")
+        assert status == 200
+        data = json.loads(payload)
+        assert data["format"] == protocol.SERVICE_FORMAT
+        assert data["endpoints"]["healthz"]["count"] == 1
+        assert data["endpoints"]["validate"]["count"] == 1
+        assert data["endpoints"]["validate"]["errors"] == 1
+        assert data["endpoints"]["validate"]["seconds"] > 0
+        assert data["coalescer"]["passes"] == 1
+        assert data["coalescer"]["requests"] == 1
+        assert data["graphs_cached"] == 1
+        assert {"entries", "hits", "misses"} <= set(data["engine_cache"])
+
+    def test_graph_cache_is_spec_keyed(self, service):
+        frame = broadcast_frames(1)[0]
+        dispatch(service, "POST", "/v1/validate", validate_body([frame]))
+        dispatch(service, "POST", "/v1/validate", validate_body([frame]))
+        assert len(service._graphs) == 1
+        assert service._graphs[GRAPH_SPEC] is service._graphs[GRAPH_SPEC]
+
+
+class TestLifecycle:
+    def test_drain_waits_for_idle(self, service):
+        asyncio.run(service.drain())
+        assert service._closing is True
+
+    def test_close_is_idempotent_enough(self):
+        svc = ReproService(workers=1)
+        svc.close()
+        svc.close()
+
+
+class TestHttpLayer:
+    def run_reader(self, data):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            return await read_request(reader)
+
+        return asyncio.run(go())
+
+    def test_parses_post_with_body(self):
+        raw = (
+            b"POST /v1/validate HTTP/1.1\r\n"
+            b"Content-Length: 4\r\n"
+            b"Connection: close\r\n"
+            b"\r\nabcd"
+        )
+        request = self.run_reader(raw)
+        assert request == HttpRequest(
+            method="POST",
+            path="/v1/validate",
+            headers={"content-length": "4", "connection": "close"},
+            body=b"abcd",
+        )
+        assert request.keep_alive is False
+
+    def test_get_defaults_to_keep_alive(self):
+        request = self.run_reader(b"GET /v1/healthz HTTP/1.1\r\n\r\n")
+        assert request.keep_alive is True
+        assert request.body == b""
+
+    def test_clean_eof_returns_none(self):
+        assert self.run_reader(b"") is None
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"GET /v1/healthz\r\n\r\n",  # no HTTP version
+            b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+            b"GET /x HT",  # truncated mid-request
+        ],
+    )
+    def test_malformed_raises(self, raw):
+        with pytest.raises(InvalidParameterError):
+            self.run_reader(raw)
+
+    def test_render_response_framing(self):
+        data = render_response(200, b'{"x":1}', keep_alive=False)
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert body == b'{"x":1}'
+        assert b"HTTP/1.1 200 OK" in head
+        assert b"Content-Length: 7" in head
+        assert b"Connection: close" in head

@@ -119,3 +119,52 @@ class TestFramesOf:
         frames = api.frames_of([sched, sched.to_frame(), result])
         assert [f.source for f in frames] == [5, 5, 0]
         assert all(isinstance(f, ScheduleFrame) for f in frames)
+
+
+class TestConstruction:
+    def test_bare_n_uses_theorem5_m_star(self):
+        from repro.core.params import theorem5_m_star
+
+        sh = api.construction("sparse:6")
+        assert sh.n == 6
+        assert sh.thresholds == (theorem5_m_star(6),)
+
+    def test_n_m_is_construct_base(self):
+        sh = api.construction("sparse:6:2")
+        assert (sh.n, sh.thresholds) == (6, (2,))
+
+    def test_multi_threshold_is_construct_k(self):
+        sh = api.construction("sparse:8:2:5")
+        assert sh.k == 3
+        assert sh.thresholds == (2, 5)
+
+    def test_object_passthrough(self):
+        sh = construct_base(5, 2)
+        assert api.construction(sh) is sh
+
+    @pytest.mark.parametrize(
+        "spec", ["hypercube:4", "sparse", "sparse:x", "sparse:6:y"]
+    )
+    def test_bad_specs(self, spec):
+        with pytest.raises(InvalidParameterError):
+            api.construction(spec)
+
+
+class TestSpecAcceptance:
+    """schedule/validate/certificate take textual specs or objects."""
+
+    def test_validate_accepts_spec_string(self):
+        graph, sched, k = _valid_instance()
+        from_spec = api.validate("sparse:4:2", sched, k)
+        from_graph = api.validate(graph, sched, k)
+        assert from_spec.ok is from_graph.ok
+        assert from_spec.errors == from_graph.errors
+        assert from_spec.informed_per_round == from_graph.informed_per_round
+
+    def test_certificate_accepts_spec_string(self):
+        from repro.io import verify_certificate
+
+        from_spec = api.certificate("sparse:4:2", sources=[0, 5])
+        from_object = api.certificate(construct_base(4, 2), sources=[0, 5])
+        assert from_spec == from_object
+        assert verify_certificate(from_spec)

@@ -81,3 +81,43 @@ class TestCapture:
 
     def test_format_cause(self):
         assert format_cause(RuntimeError("x")) == "RuntimeError: x"
+
+
+class TestErrorCodes:
+    """Every taxonomy class carries a stable ``code`` string.
+
+    These strings appear verbatim in CLI exit-2 one-liners and in HTTP
+    error bodies (``error.code``); they are append-only wire format —
+    never rename one.
+    """
+
+    def test_codes_pinned(self):
+        from repro.types import (
+            ConstructionError,
+            InvalidParameterError,
+            InvalidScheduleError,
+        )
+
+        assert ReproError.code == "repro-error"
+        assert InvalidParameterError.code == "invalid-parameter"
+        assert InvalidScheduleError.code == "invalid-schedule"
+        assert ConstructionError.code == "construction-error"
+        assert ExecutionError.code == "execution-error"
+        assert WorkerCrash.code == "worker-crash"
+        assert TaskTimeout.code == "task-timeout"
+        assert ShmAttachError.code == "shm-attach-error"
+        assert ScenarioError.code == "scenario-error"
+
+    def test_error_code_uses_instance_code(self):
+        from repro.errors import error_code
+
+        assert error_code(WorkerCrash("x", exitcode=1, attempts=1)) == "worker-crash"
+        assert error_code(ReproError("x")) == "repro-error"
+
+    def test_error_code_maps_foreign_exceptions(self):
+        from repro.errors import error_code
+
+        assert error_code(KeyError("missing")) == "unknown-name"
+        assert error_code(FileNotFoundError("gone")) == "io-error"
+        assert error_code(ValueError("bad")) == "invalid-parameter"
+        assert error_code(RuntimeError("boom")) == "internal-error"
