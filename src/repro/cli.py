@@ -50,7 +50,7 @@ runner — see :mod:`repro.analysis.registry` / :mod:`repro.analysis.runner`):
 ``lint``
     Run the project's AST-based invariant rules
     (:mod:`repro.devtools`): ``repro lint src`` checks determinism and
-    immutability contracts (RL001..RL008), ``--list`` shows the rules,
+    immutability contracts (RL001..RL011), ``--list`` shows the rules,
     ``--rule RL002 --format json`` narrows and machine-formats the
     report.  Exit 0 = clean, 1 = violations.
 
@@ -62,7 +62,22 @@ runner — see :mod:`repro.analysis.registry` / :mod:`repro.analysis.runner`):
     engine caches across requests and coalescing concurrent validates
     into single batch passes.  ``--port 0`` picks an ephemeral port
     (printed on startup); SIGTERM/SIGINT drain in-flight requests and
-    exit 0.
+    exit 0.  ``--corpus FILE`` consults a packed corpus before
+    scheduling (byte-identical answers, O(1) instead of a scheduler
+    run); ``--max-connections N`` sheds connections over the limit
+    with ``503`` + ``Retry-After``, and ``--max-keepalive N`` caps
+    requests per keep-alive connection.
+
+``corpus``
+    Build and use packed schedule corpora (:mod:`repro.corpus`):
+    ``repro corpus build --out FILE --graph sparse:6:2`` packs one
+    frame per source (coset-derived for the default ``scheme``
+    scheduler, per-source ``api.schedule`` runs otherwise);
+    ``repro corpus query FILE --graph ... --source V`` slices one
+    frame out in O(1) (``--out`` writes a self-contained schedule
+    file); ``repro corpus verify FILE`` recomputes the section digests
+    and re-validates a seeded sample against the reference validator;
+    ``repro corpus stats FILE`` prints the footer summary.
 
 Failures exit 2 with a single stderr line carrying the stable
 machine-readable error code from :mod:`repro.errors`, e.g.
@@ -93,6 +108,7 @@ _SUBCOMMANDS = (
     "campaign",
     "lint",
     "serve",
+    "corpus",
 )
 
 
@@ -330,6 +346,84 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=2, metavar="N",
         help="validation thread-pool size (default 2)",
     )
+    p_serve.add_argument(
+        "--corpus", default=None, metavar="FILE",
+        help="consult a packed schedule corpus before scheduling "
+        "(see `repro corpus build`)",
+    )
+    p_serve.add_argument(
+        "--max-connections", type=int, default=None, metavar="N",
+        help="shed connections beyond N with 503 + Retry-After "
+        "(default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--max-keepalive", type=int, default=1000, metavar="N",
+        help="requests served per keep-alive connection before the "
+        "server closes it (default 1000)",
+    )
+
+    p_corpus = sub.add_parser(
+        "corpus",
+        help="build/query/verify packed schedule corpora (repro.corpus)",
+    )
+    corpus_sub = p_corpus.add_subparsers(dest="corpus_action")
+    p_cb = corpus_sub.add_parser(
+        "build", help="generate one corpus group into a packed file"
+    )
+    p_cb.add_argument(
+        "--out", required=True, metavar="FILE", help="corpus file to write"
+    )
+    p_cb.add_argument(
+        "--graph", required=True, metavar="SPEC",
+        help="graph spec (construction spec for the scheme scheduler, "
+        "e.g. sparse:6:2)",
+    )
+    p_cb.add_argument(
+        "--scheduler", default="scheme", metavar="NAME",
+        help="'scheme' (default: coset-derived construction schedules) "
+        "or any registry scheduler",
+    )
+    p_cb.add_argument(
+        "--k", type=int, default=None, metavar="K",
+        help="call-length bound recorded in the index key "
+        "(default: unbounded)",
+    )
+    p_cb.add_argument("--seed", type=int, default=0, metavar="N")
+    p_cb.add_argument(
+        "--sources", default=None, metavar="V0,V1,...",
+        help="comma-separated sources (default: every vertex)",
+    )
+    p_cq = corpus_sub.add_parser(
+        "query", help="slice one frame out of a corpus in O(1)"
+    )
+    p_cq.add_argument("file", metavar="FILE", help="corpus file")
+    p_cq.add_argument("--graph", required=True, metavar="SPEC")
+    p_cq.add_argument("--scheduler", default="scheme", metavar="NAME")
+    p_cq.add_argument("--source", type=int, required=True, metavar="V")
+    p_cq.add_argument("--k", type=int, default=None, metavar="K")
+    p_cq.add_argument("--seed", type=int, default=0, metavar="N")
+    p_cq.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the frame as a self-contained schedule file "
+        "(graph + columnar v2 payload)",
+    )
+    p_cv = corpus_sub.add_parser(
+        "verify", help="check digests and re-validate a seeded sample"
+    )
+    p_cv.add_argument("file", metavar="FILE", help="corpus file")
+    p_cv.add_argument(
+        "--sample", type=int, default=8, metavar="N",
+        help="frames to re-validate (default 8)",
+    )
+    p_cv.add_argument("--seed", type=int, default=0, metavar="N")
+    p_cv.add_argument(
+        "--engine", choices=("reference", "fast", "batch", "auto"),
+        default="reference",
+        help="validation engine for the sample (default reference — "
+        "the oracle)",
+    )
+    p_cs = corpus_sub.add_parser("stats", help="print the footer summary")
+    p_cs.add_argument("file", metavar="FILE", help="corpus file")
     return parser
 
 
@@ -731,10 +825,111 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.service import serve_forever
 
         return serve_forever(
-            host=args.host, port=args.port, workers=args.workers
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            corpus=args.corpus,
+            max_connections=args.max_connections,
+            max_keepalive=args.max_keepalive,
         )
     except (ReproError, OSError) as exc:
         return _fail("serve", exc)
+
+
+def _corpus_graph(graph_spec: str, scheduler: str) -> "Graph":
+    """The graph a corpus group's frames live on (spec-kind aware)."""
+    from repro import api
+
+    if scheduler == "scheme":
+        return api.construction(graph_spec).graph
+    return api.build_graph(graph_spec)
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.types import ReproError
+
+    if args.corpus_action is None:
+        print(
+            "corpus needs an action: build, query, verify, or stats "
+            "(e.g. `repro corpus build --out F.corpus --graph sparse:6:2`)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.corpus_action == "build":
+            from repro.corpus import build_corpus
+
+            sources = None
+            if args.sources is not None:
+                sources = [int(s) for s in args.sources.split(",") if s.strip()]
+            n = build_corpus(
+                args.out,
+                args.graph,
+                args.scheduler,
+                k=args.k,
+                seed=args.seed,
+                sources=sources,
+            )
+            print(f"wrote {args.out}: {n} frames ({args.scheduler} on {args.graph})")
+            return 0
+        if args.corpus_action == "query":
+            from repro.corpus import CorpusReader
+
+            with CorpusReader(args.file) as reader:
+                frame = reader.get(
+                    args.graph,
+                    args.scheduler,
+                    args.source,
+                    k=args.k,
+                    seed=args.seed,
+                )
+                if args.out is not None:
+                    from repro.io import save_schedule
+
+                    graph = _corpus_graph(args.graph, args.scheduler)
+                    save_schedule(args.out, graph, frame, k=args.k)
+            row = {
+                "corpus": args.file,
+                "graph": args.graph,
+                "scheduler": args.scheduler,
+                "source": frame.source,
+                "k": args.k if args.k is not None else "inf",
+                "rounds": frame.n_rounds,
+                "calls": frame.n_calls,
+                "max_len": frame.max_call_length(),
+            }
+            print(format_table([row], title=f"[CORPUS] query {args.graph}"))
+            if args.out is not None:
+                print(f"wrote {args.out}")
+            return 0
+        if args.corpus_action == "verify":
+            from repro.corpus import verify_corpus
+            from repro.errors import CorpusIntegrityError
+
+            report = verify_corpus(
+                args.file, sample=args.sample, seed=args.seed, engine=args.engine
+            )
+            print(json.dumps(report.to_wire(), indent=2, sort_keys=True))
+            if not report.ok:
+                raise CorpusIntegrityError(
+                    f"{args.file}: {report.errors[0]}"
+                    + (
+                        f" (+{len(report.errors) - 1} more)"
+                        if len(report.errors) > 1
+                        else ""
+                    )
+                )
+            return 0
+        # stats
+        from repro.corpus import CorpusReader
+
+        with CorpusReader(args.file) as reader:
+            print(json.dumps(reader.stats(), indent=2, sort_keys=True))
+        return 0
+    except (ReproError, OSError, ValueError) as exc:
+        return _fail("corpus", exc)
 
 
 def _warn_legacy(legacy: str, modern: str) -> None:
@@ -798,6 +993,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_lint(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "corpus":
+        return _cmd_corpus(args)
     # "run"
     names = list(args.experiments)
     if args.all:

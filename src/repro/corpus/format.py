@@ -1,0 +1,252 @@
+"""On-disk layout of the packed schedule corpus (``repro-corpus/1``).
+
+A corpus is **one** binary file holding many :class:`ScheduleFrame`
+columns concatenated plane by plane, plus a JSON footer that indexes
+them.  The layout, front to back:
+
+``header`` (32 bytes, fixed)
+    ``<8sII16s`` little-endian: the magic ``b"RPCORPUS"``, the format
+    version (``1``), the header size (``32``), and 16 reserved zero
+    bytes.  Readers reject anything else up front.
+``sections`` (7 × int64 little-endian arrays, in :data:`SECTION_NAMES`
+    order, each 8-byte aligned)
+    ``path_verts``/``call_offsets``/``round_offsets`` are every frame's
+    planes concatenated in frame order (offset arrays stay *local* to
+    their frame, exactly as the frame holds them); ``source`` is one
+    entry per frame; ``pv_bounds``/``co_bounds``/``ro_bounds`` are
+    ``n_frames + 1`` prefix bounds so frame ``i`` is three O(1) slices.
+``footer`` (canonical JSON: sorted keys, compact separators)
+    the format marker, ``n_frames``, a section table (byte offset,
+    element count, and sha256 per section), and the group index — one
+    entry per ``(graph spec, scheduler, k, seed)`` build group mapping
+    to a frame range ``[lo, hi)`` whose ``source`` plane segment is
+    strictly ascending (so per-source lookup is a binary search).
+``trailer`` (24 bytes, fixed)
+    ``<QQ8s``: footer byte offset, footer byte length, and the magic
+    again — a reader seeks here first, then jumps to the footer.
+
+Everything numeric in the planes is little-endian ``int64``; the file
+is self-describing and mmap-friendly by construction.  The header,
+trailer, and footer bytes are golden-pinned by ``tests/corpus`` the
+same way the io v2 writers are: changing any of them is a format break
+and must bump :data:`CORPUS_VERSION`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import CorpusFormatError
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "CORPUS_VERSION",
+    "MAGIC",
+    "HEADER_SIZE",
+    "TRAILER_SIZE",
+    "SECTION_NAMES",
+    "GroupInfo",
+    "pack_header",
+    "unpack_header",
+    "pack_trailer",
+    "unpack_trailer",
+    "encode_footer",
+    "decode_footer",
+    "section_sha256",
+]
+
+CORPUS_FORMAT = "repro-corpus/1"
+CORPUS_VERSION = 1
+MAGIC = b"RPCORPUS"
+
+# magic, version, header size, reserved (zeros)
+_HEADER = struct.Struct("<8sII16s")
+# footer offset, footer length, magic
+_TRAILER = struct.Struct("<QQ8s")
+
+HEADER_SIZE = _HEADER.size
+TRAILER_SIZE = _TRAILER.size
+
+# Fixed on-disk section order; all sections are little-endian int64.
+SECTION_NAMES = (
+    "path_verts",
+    "call_offsets",
+    "round_offsets",
+    "source",
+    "pv_bounds",
+    "co_bounds",
+    "ro_bounds",
+)
+
+
+@dataclass(frozen=True)
+class GroupInfo:
+    """One build group: a key mapping to the frame range ``[lo, hi)``."""
+
+    graph: str
+    scheduler: str
+    k: int | None
+    seed: int
+    lo: int
+    hi: int
+
+    @property
+    def key(self) -> tuple[str, str, int | None, int]:
+        return (self.graph, self.scheduler, self.k, self.seed)
+
+    @property
+    def n_frames(self) -> int:
+        return self.hi - self.lo
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "graph": self.graph,
+            "scheduler": self.scheduler,
+            "k": self.k,
+            "seed": self.seed,
+            "lo": self.lo,
+            "hi": self.hi,
+        }
+
+
+def pack_header() -> bytes:
+    """The fixed 32-byte file header."""
+    return _HEADER.pack(MAGIC, CORPUS_VERSION, HEADER_SIZE, b"\x00" * 16)
+
+
+def unpack_header(buf: bytes) -> None:
+    """Validate a header; raises :class:`CorpusFormatError` if not ours."""
+    if len(buf) < HEADER_SIZE:
+        raise CorpusFormatError(
+            f"corpus file too short for a header ({len(buf)} bytes)"
+        )
+    magic, version, header_size, _reserved = _HEADER.unpack(buf[:HEADER_SIZE])
+    if magic != MAGIC:
+        raise CorpusFormatError(
+            f"not a corpus file: bad magic {magic!r} (expected {MAGIC!r})"
+        )
+    if version != CORPUS_VERSION:
+        raise CorpusFormatError(
+            f"unsupported corpus version {version} "
+            f"(this reader supports {CORPUS_VERSION})"
+        )
+    if header_size != HEADER_SIZE:
+        raise CorpusFormatError(
+            f"corpus header size {header_size} != {HEADER_SIZE}"
+        )
+
+
+def pack_trailer(footer_offset: int, footer_size: int) -> bytes:
+    """The fixed 24-byte end-of-file trailer."""
+    return _TRAILER.pack(footer_offset, footer_size, MAGIC)
+
+
+def unpack_trailer(buf: bytes) -> tuple[int, int]:
+    """``(footer_offset, footer_size)``; raises on a foreign trailer."""
+    if len(buf) < TRAILER_SIZE:
+        raise CorpusFormatError(
+            f"corpus file too short for a trailer ({len(buf)} bytes)"
+        )
+    offset, size, magic = _TRAILER.unpack(buf[-TRAILER_SIZE:])
+    if magic != MAGIC:
+        raise CorpusFormatError(
+            f"not a corpus file: bad trailer magic {magic!r}"
+        )
+    return int(offset), int(size)
+
+
+def encode_footer(
+    sections: Mapping[str, Mapping[str, Any]], groups: list[GroupInfo], n_frames: int
+) -> bytes:
+    """Canonical footer bytes (sorted keys, compact — byte-pinned)."""
+    payload = {
+        "format": CORPUS_FORMAT,
+        "n_frames": n_frames,
+        "sections": {name: dict(sections[name]) for name in SECTION_NAMES},
+        "groups": [g.to_wire() for g in groups],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def decode_footer(
+    data: bytes,
+) -> tuple[dict[str, dict[str, Any]], list[GroupInfo], int]:
+    """Parse and validate footer bytes back into the section/group tables."""
+    try:
+        payload = json.loads(data)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CorpusFormatError(f"corpus footer is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("format") != CORPUS_FORMAT:
+        raise CorpusFormatError(
+            f"corpus footer format marker is "
+            f"{payload.get('format') if isinstance(payload, dict) else payload!r}"
+            f" (expected {CORPUS_FORMAT!r})"
+        )
+    n_frames = payload.get("n_frames")
+    if not isinstance(n_frames, int) or isinstance(n_frames, bool) or n_frames < 0:
+        raise CorpusFormatError("corpus footer field 'n_frames' must be an int >= 0")
+    sections = payload.get("sections")
+    if not isinstance(sections, dict) or set(sections) != set(SECTION_NAMES):
+        raise CorpusFormatError(
+            f"corpus footer must describe exactly the sections "
+            f"{', '.join(SECTION_NAMES)}"
+        )
+    for name in SECTION_NAMES:
+        info = sections[name]
+        if (
+            not isinstance(info, dict)
+            or not isinstance(info.get("offset"), int)
+            or not isinstance(info.get("count"), int)
+            or not isinstance(info.get("sha256"), str)
+        ):
+            raise CorpusFormatError(
+                f"corpus section {name!r} needs int 'offset'/'count' "
+                "and a 'sha256' hex string"
+            )
+    raw_groups = payload.get("groups")
+    if not isinstance(raw_groups, list):
+        raise CorpusFormatError("corpus footer field 'groups' must be a list")
+    groups = []
+    for raw in raw_groups:
+        if not isinstance(raw, dict):
+            raise CorpusFormatError("corpus group entries must be objects")
+        try:
+            group = GroupInfo(
+                graph=raw["graph"],
+                scheduler=raw["scheduler"],
+                k=raw["k"],
+                seed=raw["seed"],
+                lo=raw["lo"],
+                hi=raw["hi"],
+            )
+        except KeyError as exc:
+            raise CorpusFormatError(
+                f"corpus group entry is missing field {exc.args[0]!r}"
+            ) from None
+        if (
+            not isinstance(group.graph, str)
+            or not isinstance(group.scheduler, str)
+            or not (group.k is None or isinstance(group.k, int))
+            or not isinstance(group.seed, int)
+            or not isinstance(group.lo, int)
+            or not isinstance(group.hi, int)
+            or not 0 <= group.lo <= group.hi <= n_frames
+        ):
+            raise CorpusFormatError(
+                f"corpus group entry for {group.graph!r} is malformed"
+            )
+        groups.append(group)
+    return (
+        {name: dict(sections[name]) for name in SECTION_NAMES},
+        groups,
+        n_frames,
+    )
+
+
+def section_sha256(data: bytes | memoryview) -> str:
+    """The hex content digest recorded per section in the footer."""
+    return hashlib.sha256(data).hexdigest()

@@ -1,0 +1,276 @@
+"""Streaming corpus builder: append frames, assemble one packed file.
+
+:class:`CorpusWriter` is the low-level append API: feed it frames group
+by group (a group is one ``(graph spec, scheduler, k, seed)`` key,
+sources strictly ascending) and it streams the three big planes to
+spooled temporaries — memory stays O(frame), not O(corpus) — while
+digesting every byte incrementally.  ``close()`` assembles the final
+header/sections/footer/trailer file and atomically replaces the target
+path, so a crashed build never leaves a half-corpus behind.
+
+:func:`build_corpus` is the generation front-end used by ``repro corpus
+build``.  Two modes, keyed by the scheduler name:
+
+* ``"scheme"`` — the paper's construction: one generated schedule per
+  coset of :func:`repro.engine.batch.translation_group`, the rest of
+  each coset derived as stacked XOR translations
+  (:func:`~repro.engine.batch.all_sources_schedules`), and each row
+  sliced straight into a frame without materializing ``Schedule``/
+  ``Call`` objects.
+* any registered scheduler — one :func:`repro.api.schedule` run per
+  source.  Only found-and-valid results are admitted (that is the
+  corpus-hit contract the service relies on); anything else aborts the
+  build with a :class:`CorpusError` naming the failing source.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import IO, Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.corpus import format as corpus_format
+from repro.errors import CorpusError
+from repro.frame import ScheduleFrame
+
+__all__ = ["CorpusWriter", "build_corpus"]
+
+# The paper's construction is not a registry scheduler; the corpus
+# spells it the same way analysis/scenarios.py does.
+SCHEME_SCHEDULER = "scheme"
+
+_COPY_CHUNK = 1 << 20
+
+
+class _PlaneSink:
+    """One big section streamed to a spooled temp file, digest inline."""
+
+    def __init__(self) -> None:
+        self._file: IO[bytes] = tempfile.SpooledTemporaryFile(max_size=1 << 22)
+        self._digest = hashlib.sha256()
+        self.count = 0
+
+    def append(self, arr: np.ndarray) -> None:
+        data = np.ascontiguousarray(arr, dtype="<i8").tobytes()
+        self._file.write(data)
+        self._digest.update(data)
+        self.count += arr.size
+
+    def hexdigest(self) -> str:
+        return self._digest.hexdigest()
+
+    def copy_into(self, out: IO[bytes]) -> None:
+        self._file.seek(0)
+        while True:
+            chunk = self._file.read(_COPY_CHUNK)
+            if not chunk:
+                break
+            out.write(chunk)
+
+    def close(self) -> None:
+        self._file.close()
+
+
+class CorpusWriter:
+    """Append frames, then :meth:`close` to assemble the packed file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._planes = {
+            name: _PlaneSink()
+            for name in ("path_verts", "call_offsets", "round_offsets")
+        }
+        self._sources: list[int] = []
+        self._pv_bounds: list[int] = [0]
+        self._co_bounds: list[int] = [0]
+        self._ro_bounds: list[int] = [0]
+        self._groups: list[corpus_format.GroupInfo] = []
+        self._open_key: tuple[str, str, int | None, int] | None = None
+        self._open_lo = 0
+        self._seen_keys: set[tuple[str, str, int | None, int]] = set()
+        self._closed = False
+
+    @property
+    def n_frames(self) -> int:
+        return len(self._sources)
+
+    def add_frame(
+        self,
+        graph: str,
+        scheduler: str,
+        frame: ScheduleFrame,
+        *,
+        k: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        """Append one frame under the ``(graph, scheduler, k, seed)`` key.
+
+        Frames for one key must arrive contiguously and in strictly
+        ascending source order (that is what makes per-source lookup a
+        binary search); a key can never be reopened.
+        """
+        if self._closed:
+            raise CorpusError("corpus writer is already closed")
+        key = (graph, scheduler, k, seed)
+        if key != self._open_key:
+            self._finish_group()
+            if key in self._seen_keys:
+                raise CorpusError(
+                    f"corpus group {key!r} was already written; "
+                    "frames for one key must be appended contiguously"
+                )
+            self._open_key = key
+            self._open_lo = self.n_frames
+        elif self._sources and frame.source <= self._sources[-1]:
+            raise CorpusError(
+                f"corpus group {key!r} sources must be strictly ascending, "
+                f"got {frame.source} after {self._sources[-1]}"
+            )
+        self._planes["path_verts"].append(frame.path_verts)
+        self._planes["call_offsets"].append(frame.call_offsets)
+        self._planes["round_offsets"].append(frame.round_offsets)
+        self._sources.append(int(frame.source))
+        self._pv_bounds.append(self._planes["path_verts"].count)
+        self._co_bounds.append(self._planes["call_offsets"].count)
+        self._ro_bounds.append(self._planes["round_offsets"].count)
+
+    def _finish_group(self) -> None:
+        if self._open_key is None:
+            return
+        graph, scheduler, k, seed = self._open_key
+        self._groups.append(
+            corpus_format.GroupInfo(
+                graph=graph,
+                scheduler=scheduler,
+                k=k,
+                seed=seed,
+                lo=self._open_lo,
+                hi=self.n_frames,
+            )
+        )
+        self._seen_keys.add(self._open_key)
+        self._open_key = None
+
+    def close(self) -> Path:
+        """Assemble and atomically publish the corpus file."""
+        if self._closed:
+            return self._path
+        self._closed = True
+        self._finish_group()
+        small = {
+            "source": np.asarray(self._sources, dtype="<i8"),
+            "pv_bounds": np.asarray(self._pv_bounds, dtype="<i8"),
+            "co_bounds": np.asarray(self._co_bounds, dtype="<i8"),
+            "ro_bounds": np.asarray(self._ro_bounds, dtype="<i8"),
+        }
+        sections: dict[str, dict[str, Any]] = {}
+        offset = corpus_format.HEADER_SIZE
+        for name in corpus_format.SECTION_NAMES:
+            if name in self._planes:
+                count = self._planes[name].count
+                digest = self._planes[name].hexdigest()
+            else:
+                count = int(small[name].size)
+                digest = corpus_format.section_sha256(small[name].tobytes())
+            sections[name] = {"offset": offset, "count": count, "sha256": digest}
+            offset += count * 8
+        footer = corpus_format.encode_footer(sections, self._groups, self.n_frames)
+        tmp = self._path.with_name(self._path.name + ".tmp")
+        with open(tmp, "wb") as out:
+            out.write(corpus_format.pack_header())
+            for name in corpus_format.SECTION_NAMES:
+                if name in self._planes:
+                    self._planes[name].copy_into(out)
+                else:
+                    out.write(small[name].tobytes())
+            out.write(footer)
+            out.write(corpus_format.pack_trailer(offset, len(footer)))
+        os.replace(tmp, self._path)
+        for sink in self._planes.values():
+            sink.close()
+        return self._path
+
+    def __enter__(self) -> "CorpusWriter":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            for sink in self._planes.values():
+                sink.close()
+            self._closed = True
+
+
+def _scheme_frames(
+    construction_spec: str, sources: Sequence[int] | None
+) -> Iterable[ScheduleFrame]:
+    """Frames for the construction, ascending source, coset-derived."""
+    from repro import api
+    from repro.engine.batch import all_sources_schedules
+
+    sh = api.construction(construction_spec)
+    stacks = all_sources_schedules(sh, sources)
+    rows = [
+        (int(stack.sources[i]), stack, i)
+        for stack in stacks
+        for i in range(stack.n_schedules)
+    ]
+    rows.sort(key=lambda row: row[0])
+    for _source, stack, i in rows:
+        yield stack.to_frame(i)
+
+
+def _scheduler_frames(
+    graph_spec: str,
+    scheduler: str,
+    sources: Sequence[int] | None,
+    *,
+    k: int | None,
+    seed: int,
+) -> Iterable[ScheduleFrame]:
+    """One validated ``api.schedule`` frame per source, ascending."""
+    from repro import api
+
+    graph = api.build_graph(graph_spec)
+    wanted = range(graph.n_vertices) if sources is None else sorted(set(sources))
+    for source in wanted:
+        result = api.schedule(graph, scheduler, source=source, k=k, seed=seed)
+        if not result.found or result.frame is None or result.valid is not True:
+            raise CorpusError(
+                f"scheduler {scheduler!r} produced no valid schedule for "
+                f"{graph_spec!r} source {source} (found={result.found}, "
+                f"valid={result.valid}); a corpus only stores served answers"
+            )
+        yield result.frame
+
+
+def build_corpus(
+    out: str | Path,
+    graph: str,
+    scheduler: str = SCHEME_SCHEDULER,
+    *,
+    k: int | None = None,
+    seed: int = 0,
+    sources: Sequence[int] | None = None,
+) -> int:
+    """Generate and pack one group; returns the number of frames written.
+
+    For multi-group corpora use :class:`CorpusWriter` directly (the CLI
+    builds one group per invocation against a fresh file; append-merge
+    is a deliberate non-goal of format v1).
+    """
+    if scheduler == SCHEME_SCHEDULER:
+        frames: Iterable[ScheduleFrame] = _scheme_frames(graph, sources)
+    else:
+        frames = _scheduler_frames(graph, scheduler, sources, k=k, seed=seed)
+    with CorpusWriter(out) as writer:
+        for frame in frames:
+            writer.add_frame(graph, scheduler, frame, k=k, seed=seed)
+        if writer.n_frames == 0:
+            raise CorpusError(f"no frames generated for corpus group {graph!r}")
+    return writer.n_frames

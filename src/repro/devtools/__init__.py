@@ -20,7 +20,7 @@ Layout (mirrors the scheduler registry architecture):
     suppression comments (line-scoped) with an unused-suppression
     check, deterministic violation ordering, text/JSON reporting.
 :mod:`repro.devtools.rules`
-    the project rules (RL001..RL008) — see each rule's docstring for
+    the project rules (RL001..RL011) — see each rule's docstring for
     the invariant and the bug story behind it.
 
 CLI: ``repro lint [PATHS] [--rule ID] [--format text|json] [--list]``.

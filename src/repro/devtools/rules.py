@@ -1,4 +1,4 @@
-"""The project lint rules (RL001..RL010).
+"""The project lint rules (RL001..RL011).
 
 Each rule machine-checks one invariant the engine's correctness story
 depends on.  Most are grounded in a real past bug (noted per rule); the
@@ -698,4 +698,54 @@ def rl010_fault_handling_boundaries(ctx: FileContext) -> Iterable[Finding]:
                 "broad exception catch; route through repro.errors.capture/"
                 "captured_call (or catch the specific exceptions) so "
                 "swallowed failures are accounted for",
+            )
+
+
+# -- RL011: corpus binary access only inside repro/corpus/ -------------------
+
+# The one package allowed to speak the repro-corpus/1 binary dialect.
+# engine/shm.py keeps its np.memmap planes (a different file format
+# with its own RL009-governed lifecycle).
+_RL011_OWNER = "repro/corpus/"
+_RL011_SHM = "repro/engine/shm.py"
+
+
+@rule(
+    "RL011",
+    "corpus-format-containment",
+    "raw struct/mmap/np.memmap corpus-file access only inside "
+    "repro/corpus/ (mirrors RL009's shm containment)",
+)
+def rl011_corpus_format_containment(ctx: FileContext) -> Iterable[Finding]:
+    """The packed corpus layout has exactly one reader and one writer.
+
+    ``repro-corpus/1`` is a versioned binary format with golden-pinned
+    bytes; a second ad-hoc ``struct.unpack``/``mmap.mmap`` path over a
+    corpus file would fork the layout knowledge and silently rot when
+    the version bumps.  All byte-level access therefore lives in
+    :mod:`repro.corpus` (``format.py`` owns the structs, ``reader.py``
+    the mapping) — everyone else goes through
+    :class:`~repro.corpus.reader.CorpusReader` and
+    :class:`~repro.corpus.writer.CorpusWriter`.
+    ``repro/engine/shm.py`` keeps its ``np.memmap``-backed planes: that
+    is the shm transport layer (RL009), not corpus access.
+    """
+    if ctx.is_test_file or ctx.in_package(_RL011_OWNER):
+        return
+    for call in _calls(ctx):
+        resolved = ctx.resolve(call.func)
+        if resolved is None:
+            continue
+        if resolved == "numpy.memmap" and ctx.in_module(_RL011_SHM):
+            continue
+        if (
+            resolved.startswith(("struct.", "mmap."))
+            or resolved == "numpy.memmap"
+        ):
+            yield (
+                call.lineno,
+                call.col_offset,
+                f"{resolved} outside repro/corpus/; binary corpus access "
+                "goes through CorpusReader/CorpusWriter so the format "
+                "knowledge stays in one versioned place",
             )

@@ -36,6 +36,10 @@ __all__ = [
     "TaskTimeout",
     "ShmAttachError",
     "ScenarioError",
+    "CorpusError",
+    "CorpusFormatError",
+    "CorpusIntegrityError",
+    "CorpusKeyError",
     "error_code",
     "format_cause",
     "capture",
@@ -127,6 +131,39 @@ class ScenarioError(ReproError):
         super().__init__(f"scenario {scenario_id}: {cause}")
         self.scenario_id = scenario_id
         self.cause = cause
+
+
+class CorpusError(ReproError):
+    """Something is wrong with a packed schedule corpus file.
+
+    The family root for :mod:`repro.corpus`.  Subclasses distinguish
+    the three failure classes a corpus consumer cares about: the file
+    is not a corpus at all (:class:`CorpusFormatError`), the file *is*
+    a corpus but its bytes do not match its digests
+    (:class:`CorpusIntegrityError`), and a lookup key is simply absent
+    (:class:`CorpusKeyError`).  All codes are stable and mapped to HTTP
+    statuses in :mod:`repro.service.protocol`.
+    """
+
+    code = "corpus-error"
+
+
+class CorpusFormatError(CorpusError):
+    """The file is not a readable corpus (bad magic, version, layout)."""
+
+    code = "corpus-format-error"
+
+
+class CorpusIntegrityError(CorpusError):
+    """A section's bytes do not match the footer's recorded digest."""
+
+    code = "corpus-integrity-error"
+
+
+class CorpusKeyError(CorpusError):
+    """A strict lookup found no frame for the requested key."""
+
+    code = "corpus-miss"
 
 
 def error_code(exc: BaseException) -> str:

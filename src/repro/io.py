@@ -130,9 +130,23 @@ def schedule_to_dict(
 
 
 def schedule_from_dict(data: dict[str, Any]) -> Schedule:
-    """Deserialize a schedule payload of either version (sniffed)."""
-    if data.get("format") == SCHEDULE_FORMAT_V2:
+    """Deserialize a schedule payload of either version (sniffed).
+
+    Version sniffing is explicit: a ``format`` marker must be the known
+    v2 string, and its *absence* selects the legacy v1 ``rounds`` shape.
+    Any other marker — a future version, a typo, a foreign payload — is
+    an :class:`InvalidParameterError` naming the marker, never a bare
+    ``KeyError`` from the v1 parser chewing on the wrong shape.
+    """
+    marker = data.get("format")
+    if marker == SCHEDULE_FORMAT_V2:
         return Schedule.from_frame(frame_from_dict(data))
+    if marker is not None:
+        raise InvalidParameterError(
+            f"unknown schedule payload format {marker!r} "
+            f"(this reader supports {SCHEDULE_FORMAT_V2} and the "
+            "marker-less v1 rounds shape)"
+        )
     try:
         schedule = Schedule(source=int(data["source"]))
         for rnd in data["rounds"]:
@@ -174,8 +188,16 @@ def load_schedule(path: str) -> tuple[Graph, ScheduleFrame, int | None]:
             payload = json.load(fh)
     except json.JSONDecodeError as exc:
         raise InvalidParameterError(f"{path} is not valid JSON: {exc}") from exc
-    if not isinstance(payload, dict) or payload.get("format") != SCHEDULE_FILE_FORMAT:
-        raise InvalidParameterError(f"{path} is not a {SCHEDULE_FILE_FORMAT} file")
+    if not isinstance(payload, dict) or "format" not in payload:
+        raise InvalidParameterError(
+            f"{path} has no schedule-file version marker "
+            f"(expected format={SCHEDULE_FILE_FORMAT!r})"
+        )
+    if payload["format"] != SCHEDULE_FILE_FORMAT:
+        raise InvalidParameterError(
+            f"{path} is not a {SCHEDULE_FILE_FORMAT} file "
+            f"(format={payload['format']!r})"
+        )
     graph = graph_from_dict(payload.get("graph", {}))
     frame = frame_from_dict(payload.get("schedule", {}))
     k = payload.get("k")

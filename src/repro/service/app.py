@@ -69,9 +69,25 @@ class _EndpointStats:
 class ReproService:
     """The transport-free service core (see module docstring)."""
 
-    def __init__(self, *, workers: int = 2, coalesce_window: float = 0.002) -> None:
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        coalesce_window: float = 0.002,
+        corpus: Any = None,
+        max_connections: int | None = None,
+        max_keepalive: int = 1000,
+    ) -> None:
         if workers < 1:
             raise InvalidParameterError(f"--workers must be >= 1, got {workers}")
+        if max_connections is not None and max_connections < 1:
+            raise InvalidParameterError(
+                f"--max-connections must be >= 1, got {max_connections}"
+            )
+        if max_keepalive < 1:
+            raise InvalidParameterError(
+                f"--max-keepalive must be >= 1, got {max_keepalive}"
+            )
         from concurrent.futures import ThreadPoolExecutor
 
         self._executor = ThreadPoolExecutor(
@@ -87,6 +103,19 @@ class ReproService:
         self._idle = asyncio.Event()
         self._idle.set()
         self._closing = False
+        # the precomputed-answer cache: a CorpusReader, a path to open
+        # one, or None (every schedule request runs a scheduler)
+        if corpus is not None and not hasattr(corpus, "lookup"):
+            from repro.corpus import CorpusReader
+
+            corpus = CorpusReader(corpus)
+        self._corpus = corpus
+        self._corpus_hits = 0
+        self._corpus_misses = 0
+        self._max_connections = max_connections
+        self._max_keepalive = max_keepalive
+        self._connections = 0
+        self._rejected = 0
 
     # -- caches -------------------------------------------------------------
 
@@ -132,8 +161,52 @@ class ReproService:
         )
         return list(reports) if isinstance(reports, list) else [reports]
 
+    def _corpus_response(
+        self, request: protocol.ScheduleRequestV1
+    ) -> tuple[int, bytes] | None:
+        """A corpus-hit answer, or ``None`` when the scheduler must run.
+
+        Only default-shaped requests are eligible (no round budget, no
+        scheduler params — a corpus stores exactly the default run), so
+        a hit is byte-identical to the computed response by
+        construction: corpora only admit found-and-valid frames, and
+        registry schedulers are deterministic in (graph, scheduler, k,
+        source, seed).  Pinned by tests and ``bench_corpus``.
+        """
+        if self._corpus is None or request.rounds is not None or request.params:
+            return None
+        fid = self._corpus.lookup(
+            request.graph,
+            request.scheduler,
+            request.source,
+            k=request.k,
+            seed=request.seed,
+        )
+        if fid is None:
+            self._corpus_misses += 1
+            return None
+        self._corpus_hits += 1
+        frame = self._corpus.frame_at(fid)
+        from repro.io import frame_to_dict
+
+        response = protocol.ScheduleResponseV1(
+            scheduler=request.scheduler,
+            graph=request.graph,
+            source=request.source,
+            k=request.k,
+            found=True,
+            rounds=frame.n_rounds,
+            valid=True,
+            n_calls=frame.n_calls,
+            schedule=frame_to_dict(frame),
+        )
+        return 200, protocol.encode_canonical(response.to_wire())
+
     async def _do_schedule(self, body: bytes) -> tuple[int, bytes]:
         request = protocol.decode_schedule_request(_parse_json(body))
+        hit = self._corpus_response(request)
+        if hit is not None:
+            return hit
         graph = self._graph_for(request.graph)
 
         from repro import api
@@ -239,6 +312,7 @@ class ReproService:
 
     def _do_stats(self) -> tuple[int, bytes]:
         from repro.engine.cache import cache_info
+        from repro.engine.parallel import transport_stats
 
         payload = {
             "format": protocol.SERVICE_FORMAT,
@@ -254,6 +328,24 @@ class ReproService:
             },
             "graphs_cached": len(self._graphs),
             "constructions_cached": len(self._constructions),
+            "corpus": {
+                "enabled": self._corpus is not None,
+                "frames": (
+                    self._corpus.n_frames if self._corpus is not None else 0
+                ),
+                "groups": (
+                    len(self._corpus.groups) if self._corpus is not None else 0
+                ),
+                "hits": self._corpus_hits,
+                "misses": self._corpus_misses,
+            },
+            "transport": transport_stats(),
+            "connections": {
+                "active": self._connections,
+                "rejected": self._rejected,
+                "max": self._max_connections,
+                "max_keepalive": self._max_keepalive,
+            },
         }
         return 200, protocol.encode_canonical(payload)
 
@@ -313,7 +405,46 @@ class ReproService:
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """One keep-alive HTTP connection, request by request."""
+        """One keep-alive HTTP connection, request by request.
+
+        Backpressure happens here, not in dispatch: a connection beyond
+        ``--max-connections`` is answered ``503`` with ``Retry-After``
+        and closed before any request is read, and an accepted
+        connection is closed (``Connection: close``) after
+        ``--max-keepalive`` requests so one chatty client cannot pin a
+        slot forever.
+        """
+        if (
+            self._max_connections is not None
+            and self._connections >= self._max_connections
+        ):
+            self._rejected += 1
+            error = protocol.ErrorV1(
+                "overloaded",
+                f"connection limit {self._max_connections} reached; retry",
+            )
+            status, payload = _error_response(error)
+            try:
+                writer.write(
+                    render_response(
+                        status,
+                        payload,
+                        keep_alive=False,
+                        extra_headers={"Retry-After": "1"},
+                    )
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            return
+        self._connections += 1
+        served = 0
         try:
             while not self._closing:
                 try:
@@ -331,7 +462,12 @@ class ReproService:
                 status, payload = await self.dispatch(
                     request.method, request.path, request.body
                 )
-                keep = request.keep_alive and not self._closing
+                served += 1
+                keep = (
+                    request.keep_alive
+                    and not self._closing
+                    and served < self._max_keepalive
+                )
                 writer.write(render_response(status, payload, keep_alive=keep))
                 await writer.drain()
                 if not keep:
@@ -339,6 +475,7 @@ class ReproService:
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-exchange; nothing to answer
         finally:
+            self._connections -= 1
             writer.close()
             try:
                 await writer.wait_closed()
@@ -351,8 +488,11 @@ class ReproService:
         await self._idle.wait()
 
     def close(self) -> None:
-        """Release the pool and the process-wide shm attach cache."""
+        """Release the pool, the corpus, and the shm attach cache."""
         self._executor.shutdown(wait=True)
+        if self._corpus is not None:
+            self._corpus.close()
+            self._corpus = None
         from repro.engine.shm import detach_all
 
         detach_all()
@@ -378,8 +518,20 @@ _ROUTES: dict[str, tuple[str, str]] = {
 }
 
 
-async def _amain(host: str, port: int, workers: int) -> int:
-    service = ReproService(workers=workers)
+async def _amain(
+    host: str,
+    port: int,
+    workers: int,
+    corpus: str | None,
+    max_connections: int | None,
+    max_keepalive: int,
+) -> int:
+    service = ReproService(
+        workers=workers,
+        corpus=corpus,
+        max_connections=max_connections,
+        max_keepalive=max_keepalive,
+    )
     server = await asyncio.start_server(service.handle_connection, host, port)
     bound = server.sockets[0].getsockname()
     print(f"repro serve listening on http://{bound[0]}:{bound[1]}", flush=True)
@@ -397,6 +549,16 @@ async def _amain(host: str, port: int, workers: int) -> int:
     return 0
 
 
-def serve_forever(*, host: str = "127.0.0.1", port: int = 8571, workers: int = 2) -> int:
+def serve_forever(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8571,
+    workers: int = 2,
+    corpus: str | None = None,
+    max_connections: int | None = None,
+    max_keepalive: int = 1000,
+) -> int:
     """Run the daemon until SIGINT/SIGTERM; returns the exit code (0)."""
-    return asyncio.run(_amain(host, port, workers))
+    return asyncio.run(
+        _amain(host, port, workers, corpus, max_connections, max_keepalive)
+    )

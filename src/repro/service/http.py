@@ -103,13 +103,23 @@ def render_response(
     *,
     content_type: str = "application/json",
     keep_alive: bool = True,
+    extra_headers: dict[str, str] | None = None,
 ) -> bytes:
-    """Serialize one fixed-length response."""
+    """Serialize one fixed-length response.
+
+    ``extra_headers`` are emitted verbatim between ``Content-Length``
+    and ``Connection`` (the service uses this for ``Retry-After`` on
+    503 connection sheds).
+    """
     reason = STATUS_REASONS.get(status, "Unknown")
+    extras = "".join(
+        f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extras}"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         "\r\n"
     )

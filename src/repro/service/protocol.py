@@ -70,6 +70,11 @@ HTTP_STATUS_BY_CODE: dict[str, int] = {
     "shm-attach-error": 503,
     "scenario-error": 500,
     "construction-error": 500,
+    "overloaded": 503,
+    "corpus-miss": 404,
+    "corpus-error": 500,
+    "corpus-format-error": 500,
+    "corpus-integrity-error": 500,
     "io-error": 500,
     "repro-error": 500,
     "internal-error": 500,

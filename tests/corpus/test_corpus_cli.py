@@ -1,0 +1,173 @@
+"""``repro corpus`` subprocess contract: build, query, verify, stats.
+
+Subprocess tests pin the real entry point including the exit-2 error
+contract (one stderr line ``corpus failed [<code>]: ...``, no
+traceback), same as tests/integration/test_cli_errors.py.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*args, cwd=None):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd or REPO_ROOT,
+        timeout=120,
+    )
+
+
+def assert_clean_failure(proc, *, needle=None):
+    assert proc.returncode == 2, (proc.returncode, proc.stderr)
+    assert "Traceback" not in proc.stderr
+    assert "Traceback" not in proc.stdout
+    message_lines = [ln for ln in proc.stderr.splitlines() if ln.strip()]
+    assert len(message_lines) == 1, proc.stderr
+    if needle is not None:
+        assert needle in message_lines[0]
+
+
+@pytest.fixture(scope="module")
+def built(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "cli.corpus"
+    proc = run_cli(
+        "corpus",
+        "build",
+        "--out",
+        str(path),
+        "--graph",
+        "hypercube:3",
+        "--scheduler",
+        "greedy",
+        "--k",
+        "1",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "8 frames" in proc.stdout
+    return path
+
+
+class TestBuildQueryStats:
+    def test_query_hit_prints_schedule(self, built):
+        proc = run_cli(
+            "corpus",
+            "query",
+            str(built),
+            "--graph",
+            "hypercube:3",
+            "--scheduler",
+            "greedy",
+            "--k",
+            "1",
+            "--source",
+            "5",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "source" in proc.stdout
+
+    def test_query_saves_loadable_schedule(self, built, tmp_path):
+        out = tmp_path / "frame.json"
+        proc = run_cli(
+            "corpus",
+            "query",
+            str(built),
+            "--graph",
+            "hypercube:3",
+            "--scheduler",
+            "greedy",
+            "--k",
+            "1",
+            "--source",
+            "0",
+            "--out",
+            str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        from repro.io import load_schedule
+
+        graph, frame, k = load_schedule(str(out))
+        assert frame.source == 0
+        assert graph.n_vertices == 8
+        assert k == 1
+
+    def test_stats_json(self, built):
+        proc = run_cli("corpus", "stats", str(built))
+        assert proc.returncode == 0, proc.stderr
+        stats = json.loads(proc.stdout)
+        assert stats["n_frames"] == 8
+        assert stats["format"] == "repro-corpus/1"
+        assert stats["groups"][0]["scheduler"] == "greedy"
+
+    def test_verify_ok(self, built):
+        proc = run_cli("corpus", "verify", str(built), "--sample", "3")
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(proc.stdout)
+        assert report["ok"] is True
+        assert report["revalidated"] == 3
+
+
+class TestCorpusErrors:
+    def test_query_miss_exits_2_with_code(self, built):
+        proc = run_cli(
+            "corpus",
+            "query",
+            str(built),
+            "--graph",
+            "hypercube:3",
+            "--scheduler",
+            "greedy",
+            "--k",
+            "1",
+            "--source",
+            "99",
+        )
+        assert_clean_failure(proc, needle="corpus failed [corpus-miss]")
+
+    def test_verify_corrupted_exits_2_with_code(self, built, tmp_path):
+        data = bytearray(built.read_bytes())
+        data[40] ^= 0xFF
+        bad = tmp_path / "bad.corpus"
+        bad.write_bytes(bytes(data))
+        proc = run_cli("corpus", "verify", str(bad))
+        assert proc.returncode == 2, (proc.returncode, proc.stderr)
+        assert "Traceback" not in proc.stderr
+        assert "corpus failed [corpus-integrity-error]" in proc.stderr
+        # the report still prints before the failure line
+        report = json.loads(proc.stdout)
+        assert report["ok"] is False
+
+    def test_not_a_corpus_file_exits_2(self, tmp_path):
+        noise = tmp_path / "noise.corpus"
+        noise.write_bytes(b"not a corpus at all, far too short header")
+        proc = run_cli("corpus", "stats", str(noise))
+        assert_clean_failure(proc, needle="corpus failed [corpus-format-error]")
+
+    def test_missing_file_exits_2(self, tmp_path):
+        proc = run_cli("corpus", "stats", str(tmp_path / "absent.corpus"))
+        assert_clean_failure(proc, needle="corpus failed")
+
+    def test_build_unknown_graph_exits_2(self, tmp_path):
+        proc = run_cli(
+            "corpus",
+            "build",
+            "--out",
+            str(tmp_path / "x.corpus"),
+            "--graph",
+            "bogus:3",
+        )
+        assert_clean_failure(proc, needle="corpus failed")

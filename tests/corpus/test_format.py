@@ -1,0 +1,168 @@
+"""Golden byte-pinning and validation for the repro-corpus/1 layout.
+
+Like the io v2 writer tests: the header, trailer, and a complete tiny
+corpus file are pinned to exact bytes, so any change to the on-disk
+layout is a loud format break (bump CORPUS_VERSION, don't reinterpret
+v1 bytes).
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.corpus import format as corpus_format
+from repro.corpus.writer import CorpusWriter
+from repro.errors import CorpusFormatError
+from repro.frame import ScheduleFrame
+
+HEADER_HEX = "5250434f52505553010000002000000000000000000000000000000000000000"
+TRAILER_100_7_HEX = "640000000000000007000000000000005250434f52505553"
+GOLDEN_SHA256 = "0bb4b6ad6578a9a0f48c9e19d1cd7cb910a3b490845efcc48f42582226621134"
+GOLDEN_SIZE = 1286
+
+
+def tiny_corpus(path):
+    f0 = ScheduleFrame.from_paths(0, [[(0, 1)], [(0, 2), (1, 3)]])
+    f1 = ScheduleFrame.from_paths(1, [[(1, 0)], [(1, 3), (0, 2)]])
+    with CorpusWriter(path) as writer:
+        writer.add_frame("hypercube:2", "greedy", f0, k=1, seed=0)
+        writer.add_frame("hypercube:2", "greedy", f1, k=1, seed=0)
+    return path
+
+
+class TestGoldenBytes:
+    def test_header_bytes_pinned(self):
+        assert corpus_format.pack_header().hex() == HEADER_HEX
+        assert len(corpus_format.pack_header()) == corpus_format.HEADER_SIZE
+
+    def test_trailer_bytes_pinned(self):
+        assert corpus_format.pack_trailer(100, 7).hex() == TRAILER_100_7_HEX
+        assert corpus_format.unpack_trailer(
+            corpus_format.pack_trailer(100, 7)
+        ) == (100, 7)
+
+    def test_whole_file_pinned(self, tmp_path):
+        path = tiny_corpus(tmp_path / "golden.corpus")
+        data = path.read_bytes()
+        assert len(data) == GOLDEN_SIZE
+        assert hashlib.sha256(data).hexdigest() == GOLDEN_SHA256
+
+    def test_sections_are_8_byte_aligned(self, tmp_path):
+        path = tiny_corpus(tmp_path / "golden.corpus")
+        data = path.read_bytes()
+        offset, size = corpus_format.unpack_trailer(data)
+        sections, groups, n_frames = corpus_format.decode_footer(
+            data[offset : offset + size]
+        )
+        assert n_frames == 2
+        assert [g.key for g in groups] == [("hypercube:2", "greedy", 1, 0)]
+        for name in corpus_format.SECTION_NAMES:
+            assert sections[name]["offset"] % 8 == 0
+
+
+class TestHeaderValidation:
+    def test_short_buffer_rejected(self):
+        with pytest.raises(CorpusFormatError, match="too short"):
+            corpus_format.unpack_header(b"RPC")
+
+    def test_bad_magic_rejected(self):
+        buf = b"NOTMAGIC" + bytes(corpus_format.HEADER_SIZE - 8)
+        with pytest.raises(CorpusFormatError, match="bad magic"):
+            corpus_format.unpack_header(buf)
+
+    def test_future_version_rejected(self):
+        import struct
+
+        buf = struct.pack(
+            "<8sII16s",
+            corpus_format.MAGIC,
+            corpus_format.CORPUS_VERSION + 1,
+            corpus_format.HEADER_SIZE,
+            b"\x00" * 16,
+        )
+        with pytest.raises(CorpusFormatError, match="unsupported corpus version"):
+            corpus_format.unpack_header(buf)
+
+    def test_bad_trailer_magic_rejected(self):
+        with pytest.raises(CorpusFormatError, match="trailer magic"):
+            corpus_format.unpack_trailer(bytes(corpus_format.TRAILER_SIZE))
+
+    def test_error_codes_are_stable(self):
+        from repro.errors import error_code
+
+        try:
+            corpus_format.unpack_header(b"")
+        except CorpusFormatError as exc:
+            assert error_code(exc) == "corpus-format-error"
+
+
+class TestFooterCodec:
+    def footer_parts(self):
+        sections = {
+            name: {"offset": 32 + 8 * i, "count": 1, "sha256": "ab" * 32}
+            for i, name in enumerate(corpus_format.SECTION_NAMES)
+        }
+        groups = [
+            corpus_format.GroupInfo(
+                graph="hypercube:2", scheduler="greedy", k=None, seed=3, lo=0, hi=1
+            )
+        ]
+        return sections, groups
+
+    def test_round_trip(self):
+        sections, groups = self.footer_parts()
+        data = corpus_format.encode_footer(sections, groups, 1)
+        got_sections, got_groups, n = corpus_format.decode_footer(data)
+        assert n == 1
+        assert got_sections == sections
+        assert got_groups == groups
+        assert got_groups[0].k is None  # JSON null round-trips
+
+    def test_footer_is_canonical_json(self):
+        sections, groups = self.footer_parts()
+        data = corpus_format.encode_footer(sections, groups, 1)
+        payload = json.loads(data)
+        assert data == json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    def test_not_json_rejected(self):
+        with pytest.raises(CorpusFormatError, match="not valid JSON"):
+            corpus_format.decode_footer(b"\xff\xfe")
+
+    def test_wrong_format_marker_rejected(self):
+        with pytest.raises(CorpusFormatError, match="format marker"):
+            corpus_format.decode_footer(b'{"format":"repro-corpus/99"}')
+
+    def test_missing_section_rejected(self):
+        sections, groups = self.footer_parts()
+        del sections["source"]
+        payload = json.loads(corpus_format.encode_footer(
+            {**sections, "source": {"offset": 0, "count": 0, "sha256": ""}},
+            groups,
+            1,
+        ))
+        del payload["sections"]["source"]
+        data = json.dumps(payload).encode()
+        with pytest.raises(CorpusFormatError, match="exactly the sections"):
+            corpus_format.decode_footer(data)
+
+    def test_group_out_of_range_rejected(self):
+        sections, _ = self.footer_parts()
+        groups = [
+            corpus_format.GroupInfo(
+                graph="g", scheduler="s", k=None, seed=0, lo=0, hi=5
+            )
+        ]
+        data = corpus_format.encode_footer(sections, groups, 1)
+        with pytest.raises(CorpusFormatError, match="malformed"):
+            corpus_format.decode_footer(data)
+
+    def test_group_missing_field_rejected(self):
+        sections, groups = self.footer_parts()
+        payload = json.loads(corpus_format.encode_footer(sections, groups, 1))
+        del payload["groups"][0]["seed"]
+        data = json.dumps(payload).encode()
+        with pytest.raises(CorpusFormatError, match="missing field 'seed'"):
+            corpus_format.decode_footer(data)

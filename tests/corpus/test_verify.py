@@ -1,0 +1,74 @@
+"""verify_corpus: digest pass, seeded re-validation, corruption detection."""
+
+import pytest
+
+from repro.corpus import build_corpus, verify_corpus
+
+GRAPH = "hypercube:3"
+SCHED = "greedy"
+K = 1
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def corpus_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("verify") / "good.corpus"
+    build_corpus(path, GRAPH, SCHED, k=K, seed=SEED)
+    return path
+
+
+class TestVerifyOk:
+    def test_good_corpus_passes(self, corpus_path):
+        report = verify_corpus(corpus_path, sample=4)
+        assert report.ok
+        assert report.errors == []
+        assert report.n_frames == 8
+        assert report.n_groups == 1
+        assert report.sections_checked == 7
+        assert report.sampled == 4
+        assert report.revalidated == 4
+
+    def test_sample_capped_at_corpus_size(self, corpus_path):
+        report = verify_corpus(corpus_path, sample=999)
+        assert report.sampled == 8
+        assert report.revalidated == 8
+        assert report.ok
+
+    def test_sample_is_seed_deterministic(self, corpus_path):
+        a = verify_corpus(corpus_path, sample=3, seed=7).to_wire()
+        b = verify_corpus(corpus_path, sample=3, seed=7).to_wire()
+        assert a == b
+
+    def test_wire_payload_shape(self, corpus_path):
+        wire = verify_corpus(corpus_path, sample=2).to_wire()
+        assert set(wire) == {
+            "path",
+            "ok",
+            "n_frames",
+            "n_groups",
+            "sections_checked",
+            "sampled",
+            "revalidated",
+            "errors",
+        }
+        assert wire["ok"] is True
+
+    def test_scheme_corpus_verifies(self, tmp_path):
+        path = tmp_path / "scheme.corpus"
+        build_corpus(path, "sparse:5:2", "scheme")
+        report = verify_corpus(path, sample=6, engine="fast")
+        assert report.ok, report.errors
+        assert report.revalidated == 6
+
+
+class TestVerifyCorruption:
+    def test_flipped_plane_byte_fails_digest(self, corpus_path, tmp_path):
+        data = bytearray(corpus_path.read_bytes())
+        data[40] ^= 0xFF  # inside the path_verts section
+        bad = tmp_path / "bad.corpus"
+        bad.write_bytes(bytes(data))
+        report = verify_corpus(bad, sample=4)
+        assert not report.ok
+        assert any("digest mismatch" in err for err in report.errors)
+        # bad bytes short-circuit: no frame is re-validated
+        assert report.revalidated == 0

@@ -589,6 +589,90 @@ class TestRL010FaultHandlingBoundaries:
         assert run_rule(tmp_path, good, "RL010") == []
 
 
+class TestRL011CorpusFormatContainment:
+    def test_struct_unpack_flagged(self, tmp_path):
+        bad = """\
+            import struct
+
+
+            def sniff(buf):
+                return struct.unpack("<8sII16s", buf[:32])
+            """
+        assert_flagged(run_rule(tmp_path, bad, "RL011"), "RL011", 5)
+
+    def test_mmap_flagged(self, tmp_path):
+        bad = """\
+            import mmap
+
+
+            def load(fh):
+                return mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            """
+        assert_flagged(run_rule(tmp_path, bad, "RL011"), "RL011", 5)
+
+    def test_np_memmap_flagged(self, tmp_path):
+        bad = """\
+            import numpy as np
+
+
+            def load(path):
+                return np.memmap(path, dtype="<i8")
+            """
+        assert_flagged(run_rule(tmp_path, bad, "RL011"), "RL011", 5)
+
+    def test_corpus_package_exempt(self, tmp_path):
+        good = """\
+            import mmap
+            import struct
+
+
+            def load(fh):
+                struct.unpack("<QQ8s", fh.read(24))
+                return mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            """
+        assert (
+            run_rule(tmp_path, good, "RL011", relpath="repro/corpus/reader.py")
+            == []
+        )
+
+    def test_engine_shm_memmap_exempt(self, tmp_path):
+        good = """\
+            import numpy as np
+
+
+            def attach(path):
+                return np.memmap(path, dtype="<i8")
+            """
+        assert (
+            run_rule(tmp_path, good, "RL011", relpath="repro/engine/shm.py")
+            == []
+        )
+
+    def test_reader_usage_passes(self, tmp_path):
+        good = """\
+            from repro.corpus import CorpusReader
+
+
+            def frames(path):
+                with CorpusReader(path) as reader:
+                    return reader.n_frames
+            """
+        assert run_rule(tmp_path, good, "RL011") == []
+
+    def test_unrelated_struct_name_passes(self, tmp_path):
+        good = """\
+            class struct:
+                @staticmethod
+                def unpack(fmt, buf):
+                    return ()
+
+
+            def sniff(buf):
+                return struct.unpack("x", buf)
+            """
+        assert run_rule(tmp_path, good, "RL011") == []
+
+
 class TestEveryRuleHasFixture:
     def test_all_registered_rules_are_exercised_above(self):
         exercised = {

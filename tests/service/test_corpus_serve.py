@@ -1,0 +1,168 @@
+"""Corpus-backed serving: byte-identical hits, counters, fall-through."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.corpus import build_corpus
+from repro.service.app import ReproService
+
+GRAPH = "hypercube:3"
+SCHED = "greedy"
+K = 1
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def corpus_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve") / "serve.corpus"
+    build_corpus(path, GRAPH, SCHED, k=K, seed=SEED)
+    return path
+
+
+@pytest.fixture()
+def plain_service():
+    svc = ReproService(workers=1)
+    yield svc
+    svc.close()
+
+
+@pytest.fixture()
+def corpus_service(corpus_path):
+    svc = ReproService(workers=1, corpus=corpus_path)
+    yield svc
+    svc.close()
+
+
+def dispatch(service, method, path, body=b""):
+    return asyncio.run(service.dispatch(method, path, body))
+
+
+def schedule_body(**overrides):
+    payload = {
+        "graph": GRAPH,
+        "scheduler": SCHED,
+        "source": 3,
+        "k": K,
+        "seed": SEED,
+    }
+    payload.update(overrides)
+    return json.dumps(payload).encode()
+
+
+def corpus_stats(service):
+    status, body = dispatch(service, "GET", "/v1/stats")
+    assert status == 200
+    return json.loads(body)["corpus"]
+
+
+class TestCorpusHit:
+    def test_hit_is_byte_identical_to_computed(
+        self, plain_service, corpus_service
+    ):
+        body = schedule_body()
+        s1, b1 = dispatch(plain_service, "POST", "/v1/schedule", body)
+        s2, b2 = dispatch(corpus_service, "POST", "/v1/schedule", body)
+        assert s1 == s2 == 200
+        assert b1 == b2
+
+    def test_hit_and_miss_counters(self, corpus_service):
+        assert corpus_stats(corpus_service) == {
+            "enabled": True,
+            "frames": 8,
+            "groups": 1,
+            "hits": 0,
+            "misses": 0,
+        }
+        dispatch(corpus_service, "POST", "/v1/schedule", schedule_body())
+        dispatch(
+            corpus_service, "POST", "/v1/schedule", schedule_body(seed=99)
+        )
+        stats = corpus_stats(corpus_service)
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_disabled_without_corpus(self, plain_service):
+        assert corpus_stats(plain_service) == {
+            "enabled": False,
+            "frames": 0,
+            "groups": 0,
+            "hits": 0,
+            "misses": 0,
+        }
+
+
+class TestFallThrough:
+    def test_miss_still_computes(self, corpus_service):
+        status, body = dispatch(
+            corpus_service, "POST", "/v1/schedule", schedule_body(source=6, seed=42)
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["found"] is True
+        assert payload["source"] == 6
+        assert corpus_stats(corpus_service)["misses"] == 1
+
+    def test_rounds_request_bypasses_corpus(self, corpus_service):
+        status, body = dispatch(
+            corpus_service, "POST", "/v1/schedule", schedule_body(rounds=4)
+        )
+        assert status == 200
+        stats = corpus_stats(corpus_service)
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+
+    def test_params_request_bypasses_corpus(self, corpus_service):
+        status, body = dispatch(
+            corpus_service,
+            "POST",
+            "/v1/schedule",
+            schedule_body(params={"restarts": 5}),
+        )
+        assert status == 200
+        stats = corpus_stats(corpus_service)
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+
+
+class TestSchemeServing:
+    """"scheme" is not a registry scheduler — only a corpus can serve it."""
+
+    @pytest.fixture()
+    def scheme_service(self, tmp_path):
+        path = tmp_path / "scheme.corpus"
+        build_corpus(path, "sparse:5:2", "scheme")
+        svc = ReproService(workers=1, corpus=path)
+        yield svc
+        svc.close()
+
+    def scheme_body(self, source):
+        return json.dumps(
+            {"graph": "sparse:5:2", "scheduler": "scheme", "source": source}
+        ).encode()
+
+    def test_scheme_hit_served_from_corpus(self, scheme_service):
+        status, body = dispatch(
+            scheme_service, "POST", "/v1/schedule", self.scheme_body(9)
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["scheduler"] == "scheme"
+        assert payload["source"] == 9
+        assert payload["found"] is True
+        assert payload["valid"] is True
+
+    def test_scheme_miss_is_404_unknown_scheduler(self, scheme_service):
+        # source 999 is not in the corpus; the compute path then rejects
+        # the pseudo-scheduler, so the client sees a scheduler 404.
+        status, body = dispatch(
+            scheme_service, "POST", "/v1/schedule", self.scheme_body(999)
+        )
+        assert status == 404
+
+    def test_plain_service_cannot_serve_scheme(self, plain_service):
+        status, body = dispatch(
+            plain_service, "POST", "/v1/schedule", self.scheme_body(9)
+        )
+        assert status == 404

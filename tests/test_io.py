@@ -98,6 +98,58 @@ class TestColumnarCodecV2:
             load_schedule(str(path))
 
 
+class TestVersionSniffingErrors:
+    """Unknown/missing format markers raise taxonomy errors, not KeyError.
+
+    Stable codes and message shapes are part of the io contract: tools
+    that read ``schedule failed [invalid-parameter]`` lines (or the
+    service's error JSON) match on them.
+    """
+
+    def test_unknown_payload_marker_rejected_with_code(self):
+        from repro.errors import error_code
+
+        with pytest.raises(InvalidParameterError) as excinfo:
+            schedule_from_dict({"format": "repro-schedule/99", "source": 0})
+        assert error_code(excinfo.value) == "invalid-parameter"
+        message = str(excinfo.value)
+        assert "unknown schedule payload format 'repro-schedule/99'" in message
+        assert "repro-schedule/2" in message  # says what it does support
+
+    def test_non_string_marker_rejected_not_keyerror(self):
+        with pytest.raises(InvalidParameterError):
+            schedule_from_dict({"format": 2, "source": 0, "rounds": []})
+
+    def test_markerless_v1_shape_still_loads(self):
+        sched = schedule_from_dict({"source": 0, "rounds": [[[0, 1]]]})
+        assert sched.source == 0
+
+    def test_load_schedule_missing_marker(self, tmp_path):
+        from repro.errors import error_code
+
+        path = tmp_path / "nomarker.json"
+        path.write_text('{"graph": {}, "schedule": {}}')
+        with pytest.raises(InvalidParameterError) as excinfo:
+            load_schedule(str(path))
+        assert error_code(excinfo.value) == "invalid-parameter"
+        assert "no schedule-file version marker" in str(excinfo.value)
+        assert "repro-schedule-file/1" in str(excinfo.value)
+
+    def test_load_schedule_wrong_marker(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text('{"format": "repro-schedule-file/99"}')
+        with pytest.raises(InvalidParameterError) as excinfo:
+            load_schedule(str(path))
+        assert "not a repro-schedule-file/1 file" in str(excinfo.value)
+        assert "repro-schedule-file/99" in str(excinfo.value)
+
+    def test_load_schedule_non_object_payload(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(InvalidParameterError):
+            load_schedule(str(path))
+
+
 class TestCertificates:
     def test_full_certificate_verifies(self):
         sh = construct_base(4, 2)
